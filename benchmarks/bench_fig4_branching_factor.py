@@ -1,0 +1,86 @@
+"""Figure 4 — impact of the branching factor B and range length r.
+
+Regenerates the grid of Figure 4: for each domain size and query length,
+the mean squared error of TreeOUE[CI] / TreeHRR[CI] across branching
+factors, with flat OUE (the paper plots it as B = D) and HaarHRR (plotted
+as B = 2) as reference lines, and TreeOLH[CI] included for the small
+domain only (its decoding cost is O(N D), exactly as the paper notes).
+
+Laptop-scale substitution: domains 2^8 and 2^12 stand in for the paper's
+2^8 .. 2^22 ladder, with N = 2^16 users (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+
+import pytest
+
+from repro.experiments.figures import figure4_branching_factor
+from repro.experiments.reporting import format_table
+
+
+def _print_figure4(domain_size: int, results) -> None:
+    print(f"\n=== Figure 4 | D = {domain_size} | MSE x 1000 ===")
+    for length, cells in sorted(results.items()):
+        by_spec = {cell.mechanism: cell.scaled_mse for cell in cells}
+        rows = [[spec, value] for spec, value in sorted(by_spec.items())]
+        print(f"\n-- query length r = {length} --")
+        print(format_table(["method", "mse x1000"], rows))
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_small_domain(run_once, bench_config):
+    """D = 2^8 with OLH included (the paper's 'small domain' panel)."""
+    domain = 1 << 8
+    results = run_once(
+        figure4_branching_factor,
+        bench_config,
+        domain,
+        query_lengths=(1, 16, 64, 128),
+        branching_factors=(2, 4, 8, 16),
+        include_olh=True,
+    )
+    _print_figure4(domain, results)
+
+    # Qualitative checks from the paper:
+    by_length = {
+        length: {cell.mechanism: cell.mse_mean for cell in cells}
+        for length, cells in results.items()
+    }
+    # (1) For point queries the flat method is competitive (best or near it).
+    point = by_length[1]
+    assert point["flat_oue"] <= 2.0 * min(point.values())
+    # (2) For long ranges the flat method is clearly beaten.
+    long_range = by_length[128]
+    best_tree = min(v for k, v in long_range.items() if k != "flat_oue")
+    assert best_tree < long_range["flat_oue"]
+    # (3) Consistency helps TreeOUE on long ranges.
+    assert long_range["hhc_4_oue"] <= long_range["hh_4_oue"] * 1.2
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_medium_domain(run_once, bench_config):
+    """D = 2^12 panel (OLH omitted for cost, like the paper's larger Ds)."""
+    domain = 1 << 12
+    results = run_once(
+        figure4_branching_factor,
+        bench_config,
+        domain,
+        query_lengths=(1, 64, 1024, 2048),
+        branching_factors=(2, 4, 8, 16),
+        include_olh=False,
+    )
+    _print_figure4(domain, results)
+
+    by_length = {
+        length: {cell.mechanism: cell.mse_mean for cell in cells}
+        for length, cells in results.items()
+    }
+    long_range = by_length[2048]
+    hierarchical = min(v for k, v in long_range.items() if k.startswith(("hh", "haar")))
+    # The paper: "at least 16 times more accurate than the flat method" for
+    # long queries on large domains; require a factor of 4 at this scale.
+    assert hierarchical * 4 < long_range["flat_oue"]
+    # HaarHRR is never the worst of the non-flat methods for long ranges.
+    non_flat = {k: v for k, v in long_range.items() if k != "flat_oue"}
+    assert non_flat["haar"] < max(non_flat.values()) or len(non_flat) == 1

@@ -1,0 +1,53 @@
+"""Figure/Table 5 — mean squared error of arbitrary range queries vs epsilon.
+
+Regenerates the paper's Table 5 grid (rows = epsilon in 0.2..1.4, columns =
+HHc_2, HHc_4, HHc_16, HaarHRR, values = MSE x 1000, best per row marked) for
+a small and a medium domain.  Laptop-scale substitution: N = 2^16 users and
+domains 2^8 / 2^12 instead of 2^26 users and domains up to 2^22; the method
+ordering and the epsilon trend are what carries over (EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import table5_epsilon_ranges
+from repro.experiments.reporting import render_results
+
+
+def _check_table5_shape(results) -> None:
+    """Assert the qualitative claims the paper draws from Table 5."""
+    by_eps = {}
+    for cell in results:
+        by_eps.setdefault(cell.epsilon, {})[cell.mechanism] = cell.mse_mean
+    epsilons = sorted(by_eps)
+    # Error decreases as epsilon grows, for every method.
+    for method in ("hhc_2", "hhc_4", "hhc_16", "haar"):
+        assert by_eps[epsilons[-1]][method] < by_eps[epsilons[0]][method]
+    # No method is ever catastrophically worse than the best (the paper's
+    # "regret for choosing the wrong method is low" conclusion).
+    for epsilon in epsilons:
+        row = by_eps[epsilon]
+        assert max(row.values()) < 5.0 * min(row.values())
+    # The wavelet is competitive at the strictest privacy level: never the
+    # worst method there by a large margin.
+    strict = by_eps[epsilons[0]]
+    assert strict["haar"] <= 1.3 * min(strict.values())
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_small_domain(run_once, bench_config):
+    domain = 1 << 8
+    results = run_once(table5_epsilon_ranges, bench_config, domain)
+    print(f"\n=== Table 5(a) | D = 2^8 | range queries | MSE x 1000 ===")
+    print(render_results(results))
+    _check_table5_shape(results)
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_medium_domain(run_once, bench_config):
+    domain = 1 << 12
+    results = run_once(table5_epsilon_ranges, bench_config, domain)
+    print(f"\n=== Table 5(b) | D = 2^12 | range queries | MSE x 1000 ===")
+    print(render_results(results))
+    _check_table5_shape(results)

@@ -1,0 +1,57 @@
+"""Figure/Table 6 — mean squared error of prefix queries vs epsilon.
+
+Same grid as Table 5 but over the prefix-query workload.  The paper's
+observation is that prefix errors are often noticeably smaller (up to ~30%)
+than arbitrary-range errors at the same setting, because a prefix touches
+only one fringe of the hierarchy / wavelet tree (Section 4.7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import table5_epsilon_ranges, table6_epsilon_prefix
+from repro.experiments.reporting import render_results
+
+
+@pytest.mark.benchmark(group="table6")
+def test_table6_small_domain(run_once, bench_config):
+    domain = 1 << 8
+    results = run_once(table6_epsilon_prefix, bench_config, domain)
+    print(f"\n=== Table 6(a) | D = 2^8 | prefix queries | MSE x 1000 ===")
+    print(render_results(results))
+
+    by_eps = {}
+    for cell in results:
+        by_eps.setdefault(cell.epsilon, {})[cell.mechanism] = cell.mse_mean
+    epsilons = sorted(by_eps)
+    for method in ("hhc_2", "hhc_4", "hhc_16", "haar"):
+        assert by_eps[epsilons[-1]][method] < by_eps[epsilons[0]][method]
+
+
+@pytest.mark.benchmark(group="table6")
+def test_prefix_errors_do_not_exceed_range_errors(run_once, bench_config):
+    """Prefix queries are a special case and should not be harder than
+    arbitrary ranges (they are usually easier, Section 4.7)."""
+    domain = 1 << 10
+    config = bench_config.scaled(epsilons=(0.4, 1.1))
+
+    def both():
+        return (
+            table5_epsilon_ranges(config, domain),
+            table6_epsilon_prefix(config, domain),
+        )
+
+    ranges_results, prefix_results = run_once(both)
+    print("\n=== Prefix vs arbitrary ranges | D = 2^10 | MSE x 1000 ===")
+    print("arbitrary ranges:")
+    print(render_results(ranges_results))
+    print("prefix queries:")
+    print(render_results(prefix_results))
+
+    range_mse = {(c.epsilon, c.mechanism): c.mse_mean for c in ranges_results}
+    prefix_mse = {(c.epsilon, c.mechanism): c.mse_mean for c in prefix_results}
+    ratios = [prefix_mse[key] / range_mse[key] for key in range_mse]
+    # On average prefixes are no harder; individual cells get slack for noise.
+    assert np.mean(ratios) < 1.25

@@ -1,0 +1,82 @@
+"""Figure 7 — contrast with the centralized case (Qardaji et al. Table 3).
+
+The paper reproduces a table from Qardaji et al. showing that in the
+*centralized* model the wavelet approach (Privelet) incurs roughly 1.9-2.8x
+the average variance of an optimised consistent hierarchical histogram,
+whereas in the *local* model the two families are nearly tied.  This
+benchmark regenerates both halves of that contrast:
+
+* the centralized mechanisms (Privelet, HHc_16, HHc_2) are fitted on the
+  Cauchy dataset and their average squared error over range queries is
+  measured, along with the Wavelet/HHc_16 and HHc_2/HHc_16 ratios;
+* the corresponding local ratio (HaarHRR vs the best consistent HH) is
+  measured at eps = 1 and shown to be close to 1, the paper's key point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import (
+    table5_epsilon_ranges,
+    table7_centralized_comparison,
+)
+from repro.experiments.reporting import format_table
+
+
+@pytest.mark.benchmark(group="table7")
+def test_table7_centralized_ratios(run_once, bench_config):
+    # Domain sizes are chosen so the complete B=16 tree is a reasonable fit
+    # (Qardaji et al. additionally tune per-level fan-outs for the odd sizes
+    # 2^9 / 2^11, which is out of scope here; see EXPERIMENTS.md).
+    domains = (256, 1024, 4096)
+    results = run_once(
+        table7_centralized_comparison,
+        bench_config,
+        domain_sizes=domains,
+        epsilon=1.0,
+        max_queries=2000,
+    )
+    rows = []
+    for domain in domains:
+        row = results[domain]
+        rows.append(
+            [
+                domain,
+                row["wavelet"],
+                row["hhc_16"],
+                row["hhc_2"],
+                row["wavelet/hhc_16"],
+                row["hhc_2/hhc_16"],
+            ]
+        )
+    print("\n=== Figure 7 | centralized average squared error (counts), eps = 1 ===")
+    print(
+        format_table(
+            ["D", "Wavelet", "HHc_16", "HHc_2", "Wavelet/HHc_16", "HHc_2/HHc_16"], rows
+        )
+    )
+
+    for domain in domains:
+        row = results[domain]
+        # The centralized wavelet is clearly worse than the optimised
+        # centralized hierarchy (Qardaji et al. report 1.86x-2.8x).
+        assert row["wavelet/hhc_16"] > 1.3
+        # A binary hierarchy is also substantially worse than B = 16.
+        assert row["hhc_2/hhc_16"] > 1.3
+
+
+@pytest.mark.benchmark(group="table7")
+def test_local_wavelet_is_competitive_unlike_centralized(run_once, bench_config):
+    """The paper's headline contrast: locally, Haar vs best HHc is ~1x."""
+    domain = 256
+    config = bench_config.scaled(epsilons=(1.0,), repetitions=3)
+    results = run_once(table5_epsilon_ranges, config, domain)
+    by_method = {cell.mechanism: cell.mse_mean for cell in results}
+    best_hh = min(v for k, v in by_method.items() if k.startswith("hhc"))
+    local_ratio = by_method["haar"] / best_hh
+    print(f"\nLocal model (eps=1, D=2^8): HaarHRR / best HHc ratio = {local_ratio:.3f}")
+    # The paper observes a deviation of only a few percent; allow noise at
+    # this reduced scale but require the ratio to be far below the ~1.9-2.8
+    # seen in the centralized model.
+    assert local_ratio < 1.5

@@ -1,0 +1,70 @@
+"""Theory check — measured error vs the closed-form variance bounds.
+
+Fact 1 (flat), equation (1)/(2) (hierarchical, without/with consistency) and
+equation (3) (Haar) give upper bounds on the variance of a range query.
+Because every estimator is unbiased, the measured mean squared error over a
+fixed-length workload estimates exactly that variance, so each bound can be
+checked directly.  The measured values should sit below (but within an order
+of magnitude of) their bounds — much smaller would indicate the bound is
+vacuous, larger would indicate a bug.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.variance import (
+    flat_range_variance,
+    haar_range_variance,
+    hh_consistent_range_variance,
+    hh_range_variance,
+)
+from repro.data.workloads import fixed_length_queries
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import evaluate_mechanism
+
+DOMAIN = 1 << 10
+LENGTH = 1 << 7
+EPSILON = 1.1
+
+
+@pytest.mark.benchmark(group="theory")
+def test_measured_error_respects_theoretical_bounds(run_once, bench_config):
+    counts = bench_config.data.counts(DOMAIN, bench_config.n_users)
+    workload = fixed_length_queries(DOMAIN, LENGTH).subset(
+        bench_config.max_queries_per_workload, random_state=0
+    )
+    n_users = int(counts.sum())
+
+    cases = {
+        "flat_oue": flat_range_variance(EPSILON, n_users, LENGTH, DOMAIN),
+        "hh_4": hh_range_variance(EPSILON, n_users, LENGTH, DOMAIN, 4),
+        "hhc_8": hh_consistent_range_variance(EPSILON, n_users, LENGTH, DOMAIN, 8),
+        "haar": haar_range_variance(EPSILON, n_users, DOMAIN),
+    }
+
+    def measure():
+        return {
+            spec: evaluate_mechanism(
+                spec,
+                counts,
+                workload,
+                epsilon=EPSILON,
+                repetitions=max(3, bench_config.repetitions),
+                random_state=bench_config.seed,
+            ).mse_mean
+            for spec in cases
+        }
+
+    measured = run_once(measure)
+
+    rows = [
+        [spec, measured[spec] * 1000, bound * 1000, measured[spec] / bound]
+        for spec, bound in cases.items()
+    ]
+    print(f"\n=== Theory check | D = 2^10, r = 2^7, eps = 1.1 | MSE x 1000 vs bound ===")
+    print(format_table(["method", "measured", "bound", "measured/bound"], rows))
+
+    for spec, bound in cases.items():
+        assert measured[spec] < 1.5 * bound, f"{spec} exceeds its theoretical bound"
+        assert measured[spec] > bound / 100.0, f"{spec} bound looks vacuous"

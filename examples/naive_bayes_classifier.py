@@ -1,0 +1,114 @@
+"""Building a prediction model on top of LDP range queries (Section 6).
+
+The paper's concluding remarks sketch how range queries become a modelling
+primitive: "consider building a Naive Bayes classifier for a public class
+based on private numerical attributes ... use our methods to allow range
+queries to be evaluated on each attribute for each class".
+
+Scenario: a bank wants a simple risk model predicting whether a loan is
+repaid (public outcome) from two *private* numerical attributes — income
+and existing-debt ratio — reported by applicants under local differential
+privacy.  One LDP collection per (attribute, class) pair is run; the
+classifier then scores new applicants using only range queries against the
+private estimates (binned likelihoods), never the raw data.
+
+Run with:  python examples/naive_bayes_classifier.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import HaarWaveletMechanism
+
+DOMAIN = 256          # both attributes discretised into 256 bins
+N_APPLICANTS = 200_000
+EPSILON = 1.0         # budget per attribute collection
+N_BINS = 16           # likelihood bins used by the classifier (range queries)
+
+
+def synthetic_applications(random_state: int = 17):
+    """Income / debt-ratio attributes with class-dependent distributions."""
+    rng = np.random.default_rng(random_state)
+    repaid = rng.random(N_APPLICANTS) < 0.7
+    income = np.where(
+        repaid,
+        rng.normal(150, 35, N_APPLICANTS),
+        rng.normal(95, 30, N_APPLICANTS),
+    )
+    debt = np.where(
+        repaid,
+        rng.normal(70, 25, N_APPLICANTS),
+        rng.normal(140, 40, N_APPLICANTS),
+    )
+    income = np.clip(income, 0, DOMAIN - 1).astype(int)
+    debt = np.clip(debt, 0, DOMAIN - 1).astype(int)
+    return income, debt, repaid
+
+
+def collect_private_histogram(items: np.ndarray, seed: int) -> HaarWaveletMechanism:
+    """One LDP collection: every user in `items` reports once."""
+    mechanism = HaarWaveletMechanism(EPSILON, DOMAIN)
+    mechanism.fit_items(items, random_state=seed)
+    return mechanism
+
+
+def binned_likelihoods(mechanism: HaarWaveletMechanism) -> np.ndarray:
+    """Per-bin probabilities from N_BINS range queries (floored at a tiny
+    constant so the log-likelihoods stay finite)."""
+    width = DOMAIN // N_BINS
+    edges = [(b * width, (b + 1) * width - 1) for b in range(N_BINS)]
+    estimates = np.array([mechanism.answer_range(a, b) for a, b in edges])
+    clipped = np.clip(estimates, 1e-4, None)
+    return clipped / clipped.sum()
+
+
+def main() -> None:
+    income, debt, repaid = synthetic_applications()
+
+    # ------------------------------------------------------------------
+    # Training: four independent LDP collections (2 attributes x 2 classes).
+    # Each applicant participates once per attribute, so the total budget
+    # per person is 2 * EPSILON under sequential composition.
+    # ------------------------------------------------------------------
+    collections = {
+        ("income", True): collect_private_histogram(income[repaid], seed=1),
+        ("income", False): collect_private_histogram(income[~repaid], seed=2),
+        ("debt", True): collect_private_histogram(debt[repaid], seed=3),
+        ("debt", False): collect_private_histogram(debt[~repaid], seed=4),
+    }
+    likelihoods = {key: binned_likelihoods(m) for key, m in collections.items()}
+    prior_repaid = repaid.mean()  # the class labels are public in this scenario
+
+    # ------------------------------------------------------------------
+    # Scoring new applicants with the private model.
+    # ------------------------------------------------------------------
+    rng = np.random.default_rng(99)
+    test_income, test_debt, test_repaid = synthetic_applications(random_state=123)
+    subset = rng.choice(N_APPLICANTS, size=20_000, replace=False)
+    width = DOMAIN // N_BINS
+
+    def log_posterior(income_bin, debt_bin, label):
+        prior = prior_repaid if label else 1.0 - prior_repaid
+        return (
+            np.log(prior)
+            + np.log(likelihoods[("income", label)][income_bin])
+            + np.log(likelihoods[("debt", label)][debt_bin])
+        )
+
+    income_bins = np.minimum(test_income[subset] // width, N_BINS - 1)
+    debt_bins = np.minimum(test_debt[subset] // width, N_BINS - 1)
+    scores_true = np.array([log_posterior(i, d, True) for i, d in zip(income_bins, debt_bins)])
+    scores_false = np.array([log_posterior(i, d, False) for i, d in zip(income_bins, debt_bins)])
+    predictions = scores_true > scores_false
+
+    accuracy = np.mean(predictions == test_repaid[subset])
+    baseline = max(prior_repaid, 1 - prior_repaid)
+    print(f"private Naive Bayes accuracy: {accuracy:.3f}")
+    print(f"majority-class baseline:      {baseline:.3f}")
+    print(f"(model trained purely from epsilon={EPSILON} LDP range queries, "
+          f"{N_BINS} bins per attribute)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that editable installs (``pip install -e .``) work on minimal environments
+that lack the ``wheel`` package needed by the PEP 660 build path.
+"""
+
+from setuptools import setup
+
+setup()

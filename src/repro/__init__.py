@@ -1,0 +1,67 @@
+"""repro — Answering Range Queries Under Local Differential Privacy.
+
+A complete, laptop-scale reproduction of Cormode, Kulkarni and Srivastava,
+*"Answering Range Queries Under Local Differential Privacy"* (SIGMOD 2019 /
+arXiv:1812.10942): the LDP frequency-oracle substrate, the flat /
+hierarchical-histogram / Haar-wavelet range-query mechanisms, prefix and
+quantile queries, the centralized baselines used for comparison, synthetic
+workloads, and the experiment harness that regenerates every table and
+figure of the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import LdpRangeQuerySession
+>>> from repro.data import cauchy_probabilities, sample_items
+>>> items = sample_items(cauchy_probabilities(1024), n_users=200_000, random_state=0)
+>>> session = LdpRangeQuerySession(epsilon=1.1, domain_size=1024, mechanism="hhc_4")
+>>> _ = session.collect(items, random_state=0)
+>>> answer = session.range_query(100, 500)
+"""
+
+from repro.core.base import RangeQueryMechanism
+from repro.core.factory import make_mechanism, mechanism_from_spec
+from repro.core.flat import FlatMechanism
+from repro.core.hierarchical import HierarchicalHistogramMechanism
+from repro.core.multidim import HierarchicalGrid2D
+from repro.core.quantiles import DECILES, estimate_cdf, estimate_quantiles
+from repro.core.session import LdpRangeQuerySession
+from repro.core.wavelet import HaarWaveletMechanism
+from repro.exceptions import (
+    ConfigurationError,
+    InvalidDomainError,
+    InvalidPrivacyBudgetError,
+    InvalidQueryError,
+    NotFittedError,
+    ProtocolError,
+    ReproError,
+)
+from repro.privacy.budget import PrivacyBudget
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # Core mechanisms
+    "RangeQueryMechanism",
+    "FlatMechanism",
+    "HierarchicalHistogramMechanism",
+    "HaarWaveletMechanism",
+    "HierarchicalGrid2D",
+    "LdpRangeQuerySession",
+    "make_mechanism",
+    "mechanism_from_spec",
+    # Quantiles
+    "DECILES",
+    "estimate_cdf",
+    "estimate_quantiles",
+    # Privacy
+    "PrivacyBudget",
+    # Errors
+    "ReproError",
+    "InvalidPrivacyBudgetError",
+    "InvalidDomainError",
+    "InvalidQueryError",
+    "NotFittedError",
+    "ProtocolError",
+    "ConfigurationError",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro`` — run the paper's experiments from the command line."""
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,37 @@
+"""Theoretical error model and empirical error metrics."""
+
+from repro.analysis.metrics import (
+    ErrorSummary,
+    mean_absolute_error,
+    mean_squared_error,
+    quantile_errors,
+    summarize_errors,
+)
+from repro.analysis.variance import (
+    flat_average_variance,
+    flat_range_variance,
+    frequency_oracle_variance,
+    haar_range_variance,
+    hh_average_variance,
+    hh_consistent_range_variance,
+    hh_range_variance,
+    optimal_branching_factor,
+    optimal_branching_factor_consistent,
+)
+
+__all__ = [
+    "frequency_oracle_variance",
+    "flat_range_variance",
+    "flat_average_variance",
+    "hh_range_variance",
+    "hh_consistent_range_variance",
+    "hh_average_variance",
+    "haar_range_variance",
+    "optimal_branching_factor",
+    "optimal_branching_factor_consistent",
+    "mean_squared_error",
+    "mean_absolute_error",
+    "quantile_errors",
+    "summarize_errors",
+    "ErrorSummary",
+]

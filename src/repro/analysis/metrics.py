@@ -1,0 +1,125 @@
+"""Empirical error metrics used throughout the experiments.
+
+The paper reports the **mean squared error** between true and reconstructed
+normalized range-query answers (scaled by 1000 in Tables 5/6), and for the
+quantile experiments both the **value error** (distance in the domain
+between the true and returned quantile item) and the **quantile error**
+(distance in probability mass between the target quantile and the quantile
+actually attained by the returned item).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidQueryError
+
+__all__ = [
+    "mean_squared_error",
+    "mean_absolute_error",
+    "max_absolute_error",
+    "quantile_errors",
+    "summarize_errors",
+    "ErrorSummary",
+]
+
+
+def _check_pair(true_values: np.ndarray, estimates: np.ndarray) -> tuple:
+    true_values = np.asarray(true_values, dtype=np.float64)
+    estimates = np.asarray(estimates, dtype=np.float64)
+    if true_values.shape != estimates.shape:
+        raise InvalidQueryError(
+            f"shape mismatch: true {true_values.shape} vs estimates {estimates.shape}"
+        )
+    if true_values.size == 0:
+        raise InvalidQueryError("cannot compute an error over zero queries")
+    return true_values, estimates
+
+
+def mean_squared_error(true_values: np.ndarray, estimates: np.ndarray) -> float:
+    """Mean of ``(estimate - truth)^2`` over a query workload."""
+    true_values, estimates = _check_pair(true_values, estimates)
+    return float(np.mean((estimates - true_values) ** 2))
+
+
+def mean_absolute_error(true_values: np.ndarray, estimates: np.ndarray) -> float:
+    """Mean of ``|estimate - truth|`` over a query workload."""
+    true_values, estimates = _check_pair(true_values, estimates)
+    return float(np.mean(np.abs(estimates - true_values)))
+
+
+def max_absolute_error(true_values: np.ndarray, estimates: np.ndarray) -> float:
+    """Worst-case ``|estimate - truth|`` over a query workload."""
+    true_values, estimates = _check_pair(true_values, estimates)
+    return float(np.max(np.abs(estimates - true_values)))
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Summary statistics of the error of one mechanism on one workload."""
+
+    mse: float
+    mae: float
+    max_error: float
+    n_queries: int
+
+    def scaled_mse(self, factor: float = 1000.0) -> float:
+        """MSE scaled for presentation (the paper multiplies by 1000)."""
+        return self.mse * factor
+
+
+def summarize_errors(true_values: np.ndarray, estimates: np.ndarray) -> ErrorSummary:
+    """Compute the full :class:`ErrorSummary` for a workload evaluation."""
+    true_values, estimates = _check_pair(true_values, estimates)
+    return ErrorSummary(
+        mse=mean_squared_error(true_values, estimates),
+        mae=mean_absolute_error(true_values, estimates),
+        max_error=max_absolute_error(true_values, estimates),
+        n_queries=int(true_values.size),
+    )
+
+
+def quantile_errors(
+    counts: np.ndarray,
+    targets: Sequence[float],
+    returned_items: Sequence[int],
+) -> Dict[str, np.ndarray]:
+    """Value error and quantile error of estimated quantiles (Section 5.5).
+
+    Parameters
+    ----------
+    counts:
+        Exact per-item counts of the population (ground truth).
+    targets:
+        The requested quantiles ``phi`` (e.g. the deciles ``0.1 .. 0.9``).
+    returned_items:
+        The item each mechanism returned for the corresponding target.
+
+    Returns
+    -------
+    dict with keys
+        ``"value_error"`` — ``|returned_item - true_quantile_item|`` in item
+        units, and ``"quantile_error"`` — ``|phi - phi'|`` where ``phi'`` is
+        the CDF value actually attained by the returned item.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    targets = np.asarray(list(targets), dtype=np.float64)
+    returned = np.asarray(list(returned_items), dtype=np.int64)
+    if targets.shape != returned.shape:
+        raise InvalidQueryError("targets and returned_items must align")
+    if np.any((targets < 0) | (targets > 1)):
+        raise InvalidQueryError("quantile targets must be in [0, 1]")
+    if returned.size and (returned.min() < 0 or returned.max() >= counts.shape[0]):
+        raise InvalidQueryError("returned items outside the domain")
+    total = counts.sum()
+    if total <= 0:
+        raise InvalidQueryError("counts must describe a non-empty population")
+    cdf = np.cumsum(counts) / total
+    true_items = np.searchsorted(cdf, targets, side="left")
+    true_items = np.clip(true_items, 0, counts.shape[0] - 1)
+    value_error = np.abs(returned - true_items)
+    quantile_error = np.abs(cdf[returned] - targets)
+    return {"value_error": value_error, "quantile_error": quantile_error}

@@ -1,0 +1,226 @@
+"""Command-line interface for regenerating the paper's experiments.
+
+``python -m repro <experiment> [options]`` runs one of the table/figure
+drivers at a configurable scale and prints the resulting table in the
+paper's layout.  It is a thin wrapper around :mod:`repro.experiments.figures`
+for people who want the numbers without going through pytest.
+
+Examples
+--------
+::
+
+    python -m repro table5 --domain 256 --users 131072
+    python -m repro fig4   --domain 4096 --repetitions 3
+    python -m repro fig9   --domain 4096 --centers 0.1 0.5
+    python -m repro table7 --domains 256 1024
+    python -m repro ablation-consistency --domain 1024
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from repro.core.quantiles import DECILES
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import (
+    ablation_consistency,
+    ablation_sampling_vs_splitting,
+    figure4_branching_factor,
+    figure8_distribution_shift,
+    figure9_quantiles,
+    table5_epsilon_ranges,
+    table6_epsilon_prefix,
+    table7_centralized_comparison,
+)
+from repro.experiments.reporting import format_table, render_results
+
+__all__ = ["main", "build_parser"]
+
+EXPERIMENTS = (
+    "fig4",
+    "table5",
+    "table6",
+    "table7",
+    "fig8",
+    "fig9",
+    "ablation-sampling",
+    "ablation-consistency",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate tables/figures from 'Answering Range Queries Under LDP'.",
+    )
+    parser.add_argument("experiment", choices=EXPERIMENTS, help="which experiment to run")
+    parser.add_argument("--domain", type=int, default=1 << 10, help="domain size D")
+    parser.add_argument(
+        "--domains",
+        type=int,
+        nargs="+",
+        default=None,
+        help="domain sizes (table7 only; default 256 1024 4096)",
+    )
+    parser.add_argument("--users", type=int, default=1 << 17, help="population size N")
+    parser.add_argument("--epsilon", type=float, default=1.1, help="privacy budget")
+    parser.add_argument(
+        "--epsilons",
+        type=float,
+        nargs="+",
+        default=None,
+        help="epsilon grid for table5/table6 (default: the paper's 0.2..1.4)",
+    )
+    parser.add_argument("--repetitions", type=int, default=3, help="repetitions per cell")
+    parser.add_argument(
+        "--max-queries", type=int, default=6000, help="cap on queries per workload"
+    )
+    parser.add_argument("--seed", type=int, default=20190630, help="random seed")
+    parser.add_argument(
+        "--centers",
+        type=float,
+        nargs="+",
+        default=None,
+        help="Cauchy centers P (fig8/fig9)",
+    )
+    return parser
+
+
+def _config(args: argparse.Namespace) -> ExperimentConfig:
+    overrides = {
+        "n_users": args.users,
+        "repetitions": args.repetitions,
+        "epsilon": args.epsilon,
+        "max_queries_per_workload": args.max_queries,
+        "seed": args.seed,
+    }
+    if args.epsilons:
+        overrides["epsilons"] = tuple(args.epsilons)
+    return ExperimentConfig(**overrides)
+
+
+def _run_fig4(config: ExperimentConfig, args: argparse.Namespace) -> str:
+    results = figure4_branching_factor(config, args.domain)
+    sections: List[str] = [f"Figure 4 | D = {args.domain} | MSE x 1000"]
+    for length, cells in sorted(results.items()):
+        rows = sorted((cell.mechanism, cell.scaled_mse) for cell in cells)
+        sections.append(f"\nquery length r = {length}")
+        sections.append(format_table(["method", "mse x1000"], rows))
+    return "\n".join(sections)
+
+
+def _run_table(config: ExperimentConfig, args: argparse.Namespace, prefix: bool) -> str:
+    driver = table6_epsilon_prefix if prefix else table5_epsilon_ranges
+    results = driver(config, args.domain)
+    label = "prefix queries (Table 6)" if prefix else "range queries (Table 5)"
+    return f"{label} | D = {args.domain} | MSE x 1000\n" + render_results(results)
+
+
+def _run_table7(config: ExperimentConfig, args: argparse.Namespace) -> str:
+    domains = tuple(args.domains) if args.domains else (256, 1024, 4096)
+    results = table7_centralized_comparison(config, domain_sizes=domains, epsilon=1.0)
+    rows = [
+        [
+            domain,
+            row["wavelet"],
+            row["hhc_16"],
+            row["hhc_2"],
+            row["wavelet/hhc_16"],
+            row["hhc_2/hhc_16"],
+        ]
+        for domain, row in sorted(results.items())
+    ]
+    header = ["D", "Wavelet", "HHc_16", "HHc_2", "Wavelet/HHc_16", "HHc_2/HHc_16"]
+    return "Figure 7 | centralized comparison (eps = 1)\n" + format_table(header, rows)
+
+
+def _run_fig8(config: ExperimentConfig, args: argparse.Namespace) -> str:
+    centers = tuple(args.centers) if args.centers else (0.1, 0.3, 0.5, 0.7, 0.9)
+    results = figure8_distribution_shift(config, args.domain, centers=centers)
+    rows = []
+    for center in centers:
+        cells = {cell.mechanism: cell.scaled_mse for cell in results[center]}
+        rows.append([center, cells.get("hhc_4"), cells.get("haar")])
+    return (
+        f"Figure 8 | D = {args.domain} | MSE x 1000 vs Cauchy center\n"
+        + format_table(["P", "HHc_4", "HaarHRR"], rows)
+    )
+
+
+def _run_fig9(config: ExperimentConfig, args: argparse.Namespace) -> str:
+    centers = tuple(args.centers) if args.centers else (0.1, 0.5)
+    results = figure9_quantiles(config, args.domain, centers=centers)
+    sections: List[str] = [f"Figure 9 | D = {args.domain} | decile errors"]
+    for center in centers:
+        per_method = results[center]
+        rows = []
+        for index, phi in enumerate(DECILES):
+            rows.append(
+                [
+                    phi,
+                    per_method["hhc_2"]["value_error"][index],
+                    per_method["haar"]["value_error"][index],
+                    per_method["hhc_2"]["quantile_error"][index],
+                    per_method["haar"]["quantile_error"][index],
+                ]
+            )
+        sections.append(f"\nCauchy center P = {center}")
+        sections.append(
+            format_table(
+                ["phi", "value err HHc_2", "value err Haar", "q-err HHc_2", "q-err Haar"],
+                rows,
+            )
+        )
+    return "\n".join(sections)
+
+
+def _run_ablation_sampling(config: ExperimentConfig, args: argparse.Namespace) -> str:
+    results = ablation_sampling_vs_splitting(config, args.domain)
+    rows = [[label, cell.scaled_mse] for label, cell in sorted(results.items())]
+    return (
+        f"Ablation | level sampling vs budget splitting | D = {args.domain}\n"
+        + format_table(["strategy", "mse x1000"], rows)
+    )
+
+
+def _run_ablation_consistency(config: ExperimentConfig, args: argparse.Namespace) -> str:
+    results = ablation_consistency(config, args.domain)
+    rows = [
+        [
+            branching,
+            cells["raw"].scaled_mse,
+            cells["consistent"].scaled_mse,
+            cells["raw"].mse_mean / cells["consistent"].mse_mean,
+        ]
+        for branching, cells in sorted(results.items())
+    ]
+    return (
+        f"Ablation | constrained inference | D = {args.domain}\n"
+        + format_table(["B", "raw mse x1000", "consistent mse x1000", "improvement x"], rows)
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    config = _config(args)
+
+    runners = {
+        "fig4": _run_fig4,
+        "table5": lambda c, a: _run_table(c, a, prefix=False),
+        "table6": lambda c, a: _run_table(c, a, prefix=True),
+        "table7": _run_table7,
+        "fig8": _run_fig8,
+        "fig9": _run_fig9,
+        "ablation-sampling": _run_ablation_sampling,
+        "ablation-consistency": _run_ablation_consistency,
+    }
+    print(runners[args.experiment](config, args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,38 @@
+"""Core LDP range-query mechanisms (the paper's primary contribution).
+
+* :class:`FlatMechanism` — sums per-item frequency-oracle estimates
+  (Section 4.2); the baseline whose error grows linearly with range length.
+* :class:`HierarchicalHistogramMechanism` — the ``HH_B`` framework of
+  Sections 4.3–4.5: every user samples one level of a complete B-ary tree,
+  reports her node at that level through a frequency oracle, and the
+  aggregator optionally applies constrained inference (consistency).
+* :class:`HaarWaveletMechanism` — the ``HaarHRR`` method of Section 4.6:
+  users perturb one Haar coefficient level with Hadamard randomized
+  response.
+* :mod:`repro.core.quantiles` — prefix/CDF/quantile estimation on top of any
+  mechanism (Section 4.7).
+* :class:`HierarchicalGrid2D` — the two-dimensional extension sketched in
+  Section 6.
+"""
+
+from repro.core.base import RangeQueryMechanism
+from repro.core.factory import make_mechanism, mechanism_from_spec
+from repro.core.flat import FlatMechanism
+from repro.core.hierarchical import HierarchicalHistogramMechanism
+from repro.core.multidim import HierarchicalGrid2D
+from repro.core.quantiles import estimate_cdf, estimate_quantiles
+from repro.core.session import LdpRangeQuerySession
+from repro.core.wavelet import HaarWaveletMechanism
+
+__all__ = [
+    "RangeQueryMechanism",
+    "FlatMechanism",
+    "HierarchicalHistogramMechanism",
+    "HaarWaveletMechanism",
+    "HierarchicalGrid2D",
+    "LdpRangeQuerySession",
+    "make_mechanism",
+    "mechanism_from_spec",
+    "estimate_cdf",
+    "estimate_quantiles",
+]

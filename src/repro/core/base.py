@@ -1,0 +1,270 @@
+"""Abstract interface shared by every range-query mechanism.
+
+A mechanism's lifecycle has two phases:
+
+1. **Collection** — the private inputs of ``N`` users are turned into noisy
+   aggregate state.  Two entry points exist: :meth:`fit_items` (an array of
+   individual user items, supporting both ``per_user`` and ``aggregate``
+   simulation) and :meth:`fit_counts` (exact per-item counts, ``aggregate``
+   simulation only).
+2. **Query answering** — once fitted, :meth:`answer_range`,
+   :meth:`answer_prefix`, :meth:`estimate_frequencies`, :meth:`estimate_cdf`
+   and :meth:`quantile` are available.  All answers are *fractions of the
+   population*, matching the problem definition in Section 4.1 of the paper.
+
+Subclasses implement :meth:`_collect` (store aggregate state) and
+:meth:`_answer_range` (answer a single validated range query); the base
+class provides validation, workload evaluation and the quantile search.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.workloads import RangeWorkload
+from repro.exceptions import (
+    ConfigurationError,
+    InvalidDomainError,
+    InvalidQueryError,
+    NotFittedError,
+)
+from repro.privacy.budget import PrivacyBudget
+from repro.privacy.randomness import RandomState, as_generator
+
+__all__ = ["RangeQueryMechanism", "SIMULATION_MODES"]
+
+#: Supported simulation modes for the collection phase.
+SIMULATION_MODES = ("per_user", "aggregate")
+
+
+class RangeQueryMechanism(abc.ABC):
+    """Base class of all LDP range-query mechanisms.
+
+    Parameters
+    ----------
+    epsilon:
+        Privacy budget each user's report must satisfy.
+    domain_size:
+        Number of items ``D`` of the (one-dimensional, discrete) domain.
+    name:
+        Optional human-readable identifier used in experiment reports.
+    """
+
+    def __init__(self, epsilon: float, domain_size: int, name: Optional[str] = None) -> None:
+        self._budget = PrivacyBudget(epsilon)
+        if not isinstance(domain_size, (int, np.integer)) or domain_size < 1:
+            raise InvalidDomainError(
+                f"domain size must be a positive integer, got {domain_size!r}"
+            )
+        self._domain_size = int(domain_size)
+        self._n_users: Optional[int] = None
+        self._name = name
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    @property
+    def epsilon(self) -> float:
+        """Per-report privacy budget."""
+        return self._budget.epsilon
+
+    @property
+    def domain_size(self) -> int:
+        """Number of items ``D``."""
+        return self._domain_size
+
+    @property
+    def name(self) -> str:
+        """Identifier used in reports (defaults to the class name)."""
+        return self._name or type(self).__name__
+
+    @property
+    def n_users(self) -> Optional[int]:
+        """Population size seen during collection (``None`` before fitting)."""
+        return self._n_users
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether the collection phase has run."""
+        return self._n_users is not None
+
+    # ------------------------------------------------------------------
+    # Collection phase
+    # ------------------------------------------------------------------
+    def fit_items(
+        self,
+        items: np.ndarray,
+        random_state: RandomState = None,
+        mode: str = "aggregate",
+    ) -> "RangeQueryMechanism":
+        """Collect the population given each user's private item.
+
+        Parameters
+        ----------
+        items:
+            Integer array with one entry per user, each in ``[0, D)``.
+        random_state:
+            Seed or generator driving both the protocol randomness and any
+            simulation sampling.
+        mode:
+            ``"per_user"`` runs the actual local protocol for every user;
+            ``"aggregate"`` samples the aggregator's view directly (much
+            faster, statistically equivalent — see the oracle docstrings).
+        """
+        items = np.asarray(items)
+        if items.ndim != 1:
+            raise InvalidQueryError("items must be a one-dimensional array")
+        if items.size and (items.min() < 0 or items.max() >= self._domain_size):
+            raise InvalidQueryError(f"items must be in [0, {self._domain_size})")
+        self._check_mode(mode)
+        rng = as_generator(random_state)
+        counts = np.bincount(items.astype(np.int64), minlength=self._domain_size)
+        self._collect(items=items.astype(np.int64), counts=counts, rng=rng, mode=mode)
+        self._n_users = int(items.shape[0])
+        return self
+
+    def fit_counts(
+        self,
+        counts: np.ndarray,
+        random_state: RandomState = None,
+        mode: str = "aggregate",
+    ) -> "RangeQueryMechanism":
+        """Collect the population given exact per-item counts.
+
+        ``mode="per_user"`` is also accepted: the counts are expanded into an
+        explicit item vector first (costs ``O(N)`` memory).
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.ndim != 1 or counts.shape[0] != self._domain_size:
+            raise InvalidDomainError(
+                f"expected {self._domain_size} per-item counts, got shape {counts.shape}"
+            )
+        if np.any(counts < 0):
+            raise InvalidQueryError("per-item counts must be non-negative")
+        self._check_mode(mode)
+        rng = as_generator(random_state)
+        items = None
+        if mode == "per_user":
+            items = np.repeat(np.arange(self._domain_size, dtype=np.int64), counts)
+        self._collect(items=items, counts=counts, rng=rng, mode=mode)
+        self._n_users = int(counts.sum())
+        return self
+
+    @abc.abstractmethod
+    def _collect(
+        self,
+        items: Optional[np.ndarray],
+        counts: np.ndarray,
+        rng: np.random.Generator,
+        mode: str,
+    ) -> None:
+        """Store the mechanism's aggregate state for the given population.
+
+        ``items`` is guaranteed to be present when ``mode == "per_user"``;
+        ``counts`` is always present.
+        """
+
+    # ------------------------------------------------------------------
+    # Query answering
+    # ------------------------------------------------------------------
+    def answer_range(self, start: int, end: int) -> float:
+        """Estimated fraction of users whose item lies in ``[start, end]``."""
+        self._require_fitted()
+        start, end = self._check_range(start, end)
+        return float(self._answer_range(start, end))
+
+    def answer_ranges(self, queries: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`answer_range` over an ``(n, 2)`` query array."""
+        self._require_fitted()
+        queries = np.asarray(queries, dtype=np.int64)
+        if queries.ndim != 2 or queries.shape[1] != 2:
+            raise InvalidQueryError("queries must be an (n, 2) array")
+        return np.array(
+            [self._answer_range(*self._check_range(int(a), int(b))) for a, b in queries]
+        )
+
+    def answer_workload(self, workload: RangeWorkload) -> np.ndarray:
+        """Answer every query of a :class:`~repro.data.workloads.RangeWorkload`."""
+        if workload.domain_size != self._domain_size:
+            raise InvalidQueryError(
+                "workload domain does not match the mechanism domain"
+            )
+        return self.answer_ranges(workload.queries)
+
+    def answer_prefix(self, end: int) -> float:
+        """Estimated fraction of users with item ``<= end`` (prefix query)."""
+        return self.answer_range(0, end)
+
+    def estimate_frequencies(self) -> np.ndarray:
+        """Estimated per-item fractions (point queries for every item).
+
+        The default implementation issues one range query per item;
+        subclasses override it with their natural reconstruction.
+        """
+        self._require_fitted()
+        return np.array([self._answer_range(i, i) for i in range(self._domain_size)])
+
+    def estimate_cdf(self) -> np.ndarray:
+        """Estimated cumulative distribution ``F(b) = R[0, b]`` for every b."""
+        self._require_fitted()
+        frequencies = self.estimate_frequencies()
+        return np.cumsum(frequencies)
+
+    def quantile(self, phi: float) -> int:
+        """Estimate the ``phi``-quantile by binary search over prefix queries.
+
+        This follows Section 4.7: the returned item ``j`` is the smallest
+        item whose estimated prefix fraction reaches ``phi``.
+        """
+        self._require_fitted()
+        if not 0.0 <= float(phi) <= 1.0:
+            raise InvalidQueryError(f"phi must be in [0, 1], got {phi!r}")
+        target = float(phi)
+        lo, hi = 0, self._domain_size - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.answer_prefix(mid) < target:
+                lo = mid + 1
+            else:
+                hi = mid
+        return int(lo)
+
+    def quantiles(self, phis: Sequence[float]) -> List[int]:
+        """Estimate several quantiles (e.g. the deciles of Section 5.5)."""
+        return [self.quantile(phi) for phi in phis]
+
+    @abc.abstractmethod
+    def _answer_range(self, start: int, end: int) -> float:
+        """Answer a single validated range query (bounds already checked)."""
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise NotFittedError(
+                f"{self.name} has not collected any reports yet; call fit_items/fit_counts"
+            )
+
+    def _check_range(self, start: int, end: int) -> tuple:
+        if not 0 <= start <= end < self._domain_size:
+            raise InvalidQueryError(
+                f"invalid range [{start}, {end}] for domain of size {self._domain_size}"
+            )
+        return int(start), int(end)
+
+    @staticmethod
+    def _check_mode(mode: str) -> None:
+        if mode not in SIMULATION_MODES:
+            raise ConfigurationError(
+                f"mode must be one of {SIMULATION_MODES}, got {mode!r}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(epsilon={self.epsilon:.4g}, "
+            f"domain_size={self.domain_size}, fitted={self.is_fitted})"
+        )

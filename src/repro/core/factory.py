@@ -1,0 +1,120 @@
+"""Mechanism factory and paper-style name parsing.
+
+The experiment harness refers to mechanisms by compact specification
+strings modelled on the paper's naming:
+
+=========================  ====================================================
+``"flat_oue"``              :class:`FlatMechanism` with the OUE oracle
+``"flat_hrr"``              flat mechanism with HRR point estimates
+``"hh_4"``                  :class:`HierarchicalHistogramMechanism`, ``B = 4``,
+                            OUE oracle, **no** consistency (``TreeOUE``)
+``"hhc_4"``                 the same with consistency (``TreeOUECI`` / ``HHc_4``)
+``"hh_8_hrr"`` / ``"hhc_8_hrr"``  HH with the HRR oracle (``TreeHRR[CI]``)
+``"hhc_16_olh"``            HH with the OLH oracle (``TreeOLHCI``)
+``"haar"`` / ``"haar_hrr"``  :class:`HaarWaveletMechanism` (``HaarHRR``)
+=========================  ====================================================
+
+:func:`make_mechanism` is the programmatic entry point;
+:func:`mechanism_from_spec` parses the strings above.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.core.base import RangeQueryMechanism
+from repro.core.flat import FlatMechanism
+from repro.core.hierarchical import HierarchicalHistogramMechanism
+from repro.core.wavelet import HaarWaveletMechanism
+from repro.exceptions import ConfigurationError
+
+__all__ = ["make_mechanism", "mechanism_from_spec"]
+
+_HH_PATTERN = re.compile(
+    r"^(?:hh|tree)(?P<consistent>c?)[_-](?P<branching>\d+)(?:[_-](?P<oracle>[a-z]+))?$"
+)
+_FLAT_PATTERN = re.compile(r"^flat(?:[_-](?P<oracle>[a-z]+))?$")
+_HAAR_PATTERN = re.compile(r"^haar(?:[_-]hrr)?$")
+
+
+def make_mechanism(
+    kind: str,
+    epsilon: float,
+    domain_size: int,
+    branching: int = 4,
+    oracle: str = "oue",
+    consistency: bool = True,
+    name: Optional[str] = None,
+    **kwargs,
+) -> RangeQueryMechanism:
+    """Construct a range-query mechanism programmatically.
+
+    Parameters
+    ----------
+    kind:
+        ``"flat"``, ``"hierarchical"`` (alias ``"hh"``/``"tree"``) or
+        ``"haar"`` (alias ``"wavelet"``).
+    epsilon, domain_size:
+        Standard mechanism parameters.
+    branching, oracle, consistency:
+        Hierarchical-histogram options (ignored by the other kinds, except
+        ``oracle`` which the flat mechanism also honours).
+    kwargs:
+        Forwarded to the concrete constructor (e.g. ``level_probabilities``
+        or ``hash_range``).
+    """
+    key = str(kind).lower()
+    if key == "flat":
+        return FlatMechanism(epsilon, domain_size, oracle=oracle, name=name, **kwargs)
+    if key in ("hierarchical", "hh", "tree"):
+        return HierarchicalHistogramMechanism(
+            epsilon,
+            domain_size,
+            branching=branching,
+            oracle=oracle,
+            consistency=consistency,
+            name=name,
+            **kwargs,
+        )
+    if key in ("haar", "wavelet"):
+        return HaarWaveletMechanism(epsilon, domain_size, name=name, **kwargs)
+    raise ConfigurationError(
+        f"unknown mechanism kind {kind!r}; expected flat / hierarchical / haar"
+    )
+
+
+def mechanism_from_spec(
+    spec: str, epsilon: float, domain_size: int, **kwargs
+) -> RangeQueryMechanism:
+    """Instantiate a mechanism from a compact specification string.
+
+    See the module docstring for the accepted grammar.  Additional keyword
+    arguments are forwarded to the constructor, so e.g. custom level
+    probabilities can still be injected for spec-built mechanisms.
+    """
+    token = str(spec).strip().lower()
+    flat_match = _FLAT_PATTERN.match(token)
+    if flat_match:
+        oracle = flat_match.group("oracle") or "oue"
+        return FlatMechanism(epsilon, domain_size, oracle=oracle, name=spec, **kwargs)
+    if _HAAR_PATTERN.match(token):
+        return HaarWaveletMechanism(epsilon, domain_size, name=spec, **kwargs)
+    hh_match = _HH_PATTERN.match(token)
+    if hh_match:
+        branching = int(hh_match.group("branching"))
+        oracle = hh_match.group("oracle") or "oue"
+        consistency = hh_match.group("consistent") == "c"
+        return HierarchicalHistogramMechanism(
+            epsilon,
+            domain_size,
+            branching=branching,
+            oracle=oracle,
+            consistency=consistency,
+            name=spec,
+            **kwargs,
+        )
+    raise ConfigurationError(
+        f"could not parse mechanism specification {spec!r}; "
+        "expected e.g. 'flat_oue', 'hhc_4', 'hh_16_hrr' or 'haar'"
+    )

@@ -1,0 +1,169 @@
+"""Synthetic input distributions.
+
+The paper's experiments (Section 5, "Dataset Used") draw user items from a
+truncated Cauchy distribution whose *center* sits at ``P * D`` (``P = 0.4``
+by default) and whose *height* (scale) parameter is ``D / 10``; values
+falling outside ``[0, D)`` are dropped.  The paper notes that accuracy is
+largely insensitive to the data distribution, and Figure 8 sweeps ``P``.
+
+Additional families (Zipf, Gaussian, uniform, bimodal) are provided so the
+examples and tests can exercise skewed and sparse inputs beyond what the
+paper shows.  Every generator returns a *probability vector* over the
+domain; :func:`sample_counts` / :func:`sample_items` turn it into a finite
+population.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, InvalidDomainError
+from repro.privacy.randomness import RandomState, as_generator
+
+__all__ = [
+    "cauchy_probabilities",
+    "zipf_probabilities",
+    "gaussian_probabilities",
+    "uniform_probabilities",
+    "bimodal_probabilities",
+    "sample_counts",
+    "sample_items",
+    "expected_counts",
+]
+
+
+def _check_domain(domain_size: int) -> int:
+    if not isinstance(domain_size, (int, np.integer)) or domain_size < 1:
+        raise InvalidDomainError(
+            f"domain size must be a positive integer, got {domain_size!r}"
+        )
+    return int(domain_size)
+
+
+def _normalize(weights: np.ndarray) -> np.ndarray:
+    total = weights.sum()
+    if not np.isfinite(total) or total <= 0:
+        raise ConfigurationError("distribution weights must sum to a positive number")
+    return weights / total
+
+
+def cauchy_probabilities(
+    domain_size: int,
+    center_fraction: float = 0.4,
+    height_fraction: float = 0.1,
+) -> np.ndarray:
+    """Truncated Cauchy distribution over ``[0, D)`` (the paper's default).
+
+    Parameters
+    ----------
+    domain_size:
+        Number of items ``D``.
+    center_fraction:
+        The paper's ``P``: the mode sits at ``P * D``.  Must be in ``(0, 1)``.
+    height_fraction:
+        Scale parameter as a fraction of ``D``; the paper uses ``D / 10``.
+    """
+    domain_size = _check_domain(domain_size)
+    if not 0.0 < center_fraction < 1.0:
+        raise ConfigurationError(
+            f"center_fraction must be in (0, 1), got {center_fraction!r}"
+        )
+    if height_fraction <= 0.0:
+        raise ConfigurationError(
+            f"height_fraction must be positive, got {height_fraction!r}"
+        )
+    items = np.arange(domain_size, dtype=np.float64)
+    center = center_fraction * domain_size
+    height = height_fraction * domain_size
+    weights = 1.0 / (1.0 + ((items - center) / height) ** 2)
+    return _normalize(weights)
+
+
+def zipf_probabilities(domain_size: int, exponent: float = 1.1) -> np.ndarray:
+    """Zipf (power-law) distribution: ``p_i`` proportional to ``(i+1)^-s``."""
+    domain_size = _check_domain(domain_size)
+    if exponent <= 0.0:
+        raise ConfigurationError(f"exponent must be positive, got {exponent!r}")
+    ranks = np.arange(1, domain_size + 1, dtype=np.float64)
+    return _normalize(ranks**-exponent)
+
+
+def gaussian_probabilities(
+    domain_size: int, center_fraction: float = 0.5, std_fraction: float = 0.1
+) -> np.ndarray:
+    """Discretised Gaussian over the domain."""
+    domain_size = _check_domain(domain_size)
+    if not 0.0 < center_fraction < 1.0:
+        raise ConfigurationError(
+            f"center_fraction must be in (0, 1), got {center_fraction!r}"
+        )
+    if std_fraction <= 0.0:
+        raise ConfigurationError(f"std_fraction must be positive, got {std_fraction!r}")
+    items = np.arange(domain_size, dtype=np.float64)
+    center = center_fraction * domain_size
+    std = std_fraction * domain_size
+    weights = np.exp(-0.5 * ((items - center) / std) ** 2)
+    return _normalize(weights)
+
+
+def uniform_probabilities(domain_size: int) -> np.ndarray:
+    """Uniform distribution over the domain."""
+    domain_size = _check_domain(domain_size)
+    return np.full(domain_size, 1.0 / domain_size)
+
+
+def bimodal_probabilities(
+    domain_size: int,
+    centers: tuple = (0.25, 0.75),
+    std_fraction: float = 0.05,
+    mix: float = 0.5,
+) -> np.ndarray:
+    """Mixture of two discretised Gaussians (a simple multi-modal input)."""
+    domain_size = _check_domain(domain_size)
+    if not 0.0 < mix < 1.0:
+        raise ConfigurationError(f"mix must be in (0, 1), got {mix!r}")
+    first = gaussian_probabilities(domain_size, centers[0], std_fraction)
+    second = gaussian_probabilities(domain_size, centers[1], std_fraction)
+    return _normalize(mix * first + (1.0 - mix) * second)
+
+
+def sample_counts(
+    probabilities: np.ndarray, n_users: int, random_state: RandomState = None
+) -> np.ndarray:
+    """Draw a random population: multinomial per-item counts summing to N."""
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    if n_users < 0:
+        raise ConfigurationError(f"n_users must be non-negative, got {n_users!r}")
+    rng = as_generator(random_state)
+    return rng.multinomial(int(n_users), _normalize(probabilities))
+
+
+def sample_items(
+    probabilities: np.ndarray, n_users: int, random_state: RandomState = None
+) -> np.ndarray:
+    """Draw ``n_users`` individual items from the distribution."""
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    if n_users < 0:
+        raise ConfigurationError(f"n_users must be non-negative, got {n_users!r}")
+    rng = as_generator(random_state)
+    return rng.choice(probabilities.shape[0], size=int(n_users), p=_normalize(probabilities))
+
+
+def expected_counts(probabilities: np.ndarray, n_users: int) -> np.ndarray:
+    """Deterministic integer counts close to ``N * p`` (largest remainders).
+
+    Useful for reproducible tests where sampling noise in the *input* would
+    obscure the estimation noise being measured.
+    """
+    probabilities = _normalize(np.asarray(probabilities, dtype=np.float64))
+    if n_users < 0:
+        raise ConfigurationError(f"n_users must be non-negative, got {n_users!r}")
+    raw = probabilities * int(n_users)
+    counts = np.floor(raw).astype(np.int64)
+    remainder = int(n_users) - int(counts.sum())
+    if remainder > 0:
+        # Assign the leftover users to the items with the largest fractional
+        # parts so the counts sum exactly to N.
+        order = np.argsort(-(raw - counts))
+        counts[order[:remainder]] += 1
+    return counts

@@ -1,0 +1,99 @@
+"""Experiment configuration.
+
+Two named presets are provided:
+
+* :data:`PAPER_SCALE` — the parameters of the paper's evaluation
+  (``N = 2^26`` users, domains up to ``2^22``, 5 repetitions).  Running at
+  this scale is possible with the aggregate simulation mode but takes hours
+  on a laptop; it exists so that the exact original setting is encoded in
+  code rather than prose.
+* :data:`LAPTOP_SCALE` — the defaults used by the benchmark suite
+  (``N = 2^17`` users, domains up to ``2^14``, 3 repetitions).  Because all
+  estimators are unbiased with variance proportional to ``1/N``, shrinking
+  ``N`` scales every mean-squared-error cell by the same factor and
+  preserves the comparisons between methods (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+import numpy as np
+
+from repro.data.synthetic import cauchy_probabilities, expected_counts
+from repro.exceptions import ConfigurationError
+
+__all__ = ["DataConfig", "ExperimentConfig", "PAPER_SCALE", "LAPTOP_SCALE"]
+
+
+@dataclass(frozen=True)
+class DataConfig:
+    """Synthetic input distribution configuration (Section 5, Dataset Used).
+
+    Attributes
+    ----------
+    center_fraction:
+        The paper's ``P``: the Cauchy mode sits at ``P * D`` (default 0.4).
+    height_fraction:
+        Cauchy scale as a fraction of ``D`` (default 0.1, i.e. ``D / 10``).
+    """
+
+    center_fraction: float = 0.4
+    height_fraction: float = 0.1
+
+    def probabilities(self, domain_size: int) -> np.ndarray:
+        """The item distribution over a domain of the given size."""
+        return cauchy_probabilities(
+            domain_size,
+            center_fraction=self.center_fraction,
+            height_fraction=self.height_fraction,
+        )
+
+    def counts(self, domain_size: int, n_users: int) -> np.ndarray:
+        """Deterministic per-item counts for ``n_users`` (largest remainders).
+
+        The experiments use deterministic input counts so that the only
+        randomness across repetitions is the privacy noise, matching how the
+        paper reports means and standard deviations over 5 runs of the
+        mechanisms on a fixed dataset.
+        """
+        return expected_counts(self.probabilities(domain_size), n_users)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Scale parameters shared by the table/figure generators."""
+
+    n_users: int = 1 << 17
+    repetitions: int = 3
+    epsilon: float = 1.1
+    domain_sizes: Tuple[int, ...] = (1 << 8, 1 << 12, 1 << 14)
+    epsilons: Tuple[float, ...] = (0.2, 0.4, 0.6, 0.8, 1.0, 1.1, 1.2, 1.4)
+    max_queries_per_workload: int = 20_000
+    seed: int = 20190630
+    data: DataConfig = field(default_factory=DataConfig)
+
+    def __post_init__(self) -> None:
+        if self.n_users < 1:
+            raise ConfigurationError("n_users must be positive")
+        if self.repetitions < 1:
+            raise ConfigurationError("repetitions must be positive")
+        if self.max_queries_per_workload < 1:
+            raise ConfigurationError("max_queries_per_workload must be positive")
+
+    def scaled(self, **overrides) -> "ExperimentConfig":
+        """Return a copy with some fields overridden (dataclass replace)."""
+        return replace(self, **overrides)
+
+
+#: The paper's original evaluation scale (Section 5).
+PAPER_SCALE = ExperimentConfig(
+    n_users=1 << 26,
+    repetitions=5,
+    domain_sizes=(1 << 8, 1 << 16, 1 << 20, 1 << 22),
+    max_queries_per_workload=17_000_000,
+)
+
+#: The default laptop-scale configuration used by the benchmark suite.
+LAPTOP_SCALE = ExperimentConfig()

@@ -1,0 +1,388 @@
+"""One entry point per table / figure of the paper's evaluation (Section 5).
+
+Every function returns plain data structures (lists/dicts of
+:class:`~repro.experiments.runner.CellResult` or floats) so the benchmark
+scripts can both print paper-style tables and assert on the qualitative
+claims (who wins where).  All functions accept an
+:class:`~repro.experiments.config.ExperimentConfig` so the same code runs at
+laptop scale (default) or at the paper's original scale
+(:data:`~repro.experiments.config.PAPER_SCALE`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.metrics import mean_squared_error, quantile_errors
+from repro.centralized.hierarchical import CentralHierarchicalHistogram
+from repro.centralized.wavelet import PriveletWavelet
+from repro.core.factory import mechanism_from_spec
+from repro.core.quantiles import DECILES, estimate_quantiles
+from repro.data.synthetic import cauchy_probabilities, expected_counts
+from repro.data.workloads import (
+    RangeWorkload,
+    all_range_queries,
+    fixed_length_queries,
+    prefix_queries,
+    random_range_queries,
+    sampled_range_queries,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import CellResult, evaluate_mechanism, run_epsilon_grid
+from repro.privacy.randomness import spawn_generators
+
+__all__ = [
+    "default_range_workload",
+    "figure4_branching_factor",
+    "table5_epsilon_ranges",
+    "table6_epsilon_prefix",
+    "table7_centralized_comparison",
+    "figure8_distribution_shift",
+    "figure9_quantiles",
+    "ablation_sampling_vs_splitting",
+    "ablation_consistency",
+]
+
+#: The four methods compared in Tables 5 and 6 of the paper.
+TABLE_METHODS = ("hhc_2", "hhc_4", "hhc_16", "haar")
+
+
+def default_range_workload(
+    domain_size: int, max_queries: int, seed: int = 0
+) -> RangeWorkload:
+    """The paper's workload policy: exhaustive when feasible, sampled otherwise.
+
+    All ``D (D + 1) / 2`` ranges are used when that fits inside
+    ``max_queries``; otherwise ranges start at evenly spaced points (the
+    strategy used for ``D = 2^20`` / ``2^22``) and the result is subsampled
+    down to ``max_queries`` for bounded runtime.
+    """
+    total = domain_size * (domain_size + 1) // 2
+    if total <= max_queries:
+        return all_range_queries(domain_size)
+    # Pick a start step so the number of sampled starts stays manageable.
+    starts = max(2, int(np.ceil(2.0 * max_queries / domain_size)))
+    step = max(1, domain_size // starts)
+    workload = sampled_range_queries(domain_size, start_step=step)
+    return workload.subset(max_queries, random_state=seed)
+
+
+def _dataset(config: ExperimentConfig, domain_size: int) -> np.ndarray:
+    return config.data.counts(domain_size, config.n_users)
+
+
+# ----------------------------------------------------------------------
+# Figure 4 — impact of branching factor B and range length r
+# ----------------------------------------------------------------------
+def figure4_branching_factor(
+    config: ExperimentConfig,
+    domain_size: int,
+    query_lengths: Optional[Sequence[int]] = None,
+    branching_factors: Optional[Sequence[int]] = None,
+    include_olh: Optional[bool] = None,
+    mode: str = "aggregate",
+) -> Dict[int, List[CellResult]]:
+    """MSE of every method as the branching factor varies (Figure 4).
+
+    Returns ``{query_length: [CellResult, ...]}`` where the cells cover
+    ``TreeOUE[CI]`` and ``TreeHRR[CI]`` for every branching factor, the flat
+    OUE baseline (plotted by the paper as ``B = D``), ``HaarHRR`` (plotted
+    as ``B = 2``) and, for small domains, ``TreeOLH[CI]``.
+    """
+    if query_lengths is None:
+        # Four representative lengths spanning point queries to nearly the
+        # whole domain, mirroring the columns of Figure 4.
+        query_lengths = sorted(
+            {1, max(2, domain_size // 256), max(4, domain_size // 16), domain_size // 2}
+        )
+    if branching_factors is None:
+        branching_factors = [b for b in (2, 4, 8, 16, 32, 64) if b < domain_size]
+    if include_olh is None:
+        include_olh = domain_size <= 256
+    counts = _dataset(config, domain_size)
+    results: Dict[int, List[CellResult]] = {}
+    seeds = spawn_generators(config.seed, len(list(query_lengths)))
+    for length, seed in zip(query_lengths, seeds):
+        workload = fixed_length_queries(domain_size, int(length)).subset(
+            config.max_queries_per_workload, random_state=seed
+        )
+        specs: List[str] = ["flat_oue", "haar"]
+        for branching in branching_factors:
+            for oracle in ("oue", "hrr"):
+                specs.append(f"hh_{branching}_{oracle}")
+                specs.append(f"hhc_{branching}_{oracle}")
+            if include_olh:
+                specs.append(f"hh_{branching}_olh")
+                specs.append(f"hhc_{branching}_olh")
+        cells: List[CellResult] = []
+        for spec in specs:
+            cells.append(
+                evaluate_mechanism(
+                    spec,
+                    counts,
+                    workload,
+                    epsilon=config.epsilon,
+                    repetitions=config.repetitions,
+                    random_state=seed,
+                    mode=mode,
+                )
+            )
+        results[int(length)] = cells
+    return results
+
+
+# ----------------------------------------------------------------------
+# Tables 5 and 6 — epsilon sweeps for range and prefix queries
+# ----------------------------------------------------------------------
+def table5_epsilon_ranges(
+    config: ExperimentConfig,
+    domain_size: int,
+    methods: Sequence[str] = TABLE_METHODS,
+    mode: str = "aggregate",
+) -> List[CellResult]:
+    """The Table-5 grid: MSE (x1000) of each method at each epsilon."""
+    counts = _dataset(config, domain_size)
+    workload = default_range_workload(
+        domain_size, config.max_queries_per_workload, seed=config.seed
+    )
+    return run_epsilon_grid(
+        methods,
+        counts,
+        workload,
+        epsilons=config.epsilons,
+        repetitions=config.repetitions,
+        random_state=config.seed,
+        mode=mode,
+    )
+
+
+def table6_epsilon_prefix(
+    config: ExperimentConfig,
+    domain_size: int,
+    methods: Sequence[str] = TABLE_METHODS,
+    mode: str = "aggregate",
+) -> List[CellResult]:
+    """The Table-6 grid: prefix-query MSE (x1000) per method and epsilon."""
+    counts = _dataset(config, domain_size)
+    workload = prefix_queries(domain_size).subset(
+        config.max_queries_per_workload, random_state=config.seed
+    )
+    return run_epsilon_grid(
+        methods,
+        counts,
+        workload,
+        epsilons=config.epsilons,
+        repetitions=config.repetitions,
+        random_state=config.seed,
+        mode=mode,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 7 — centralized-case comparison (Qardaji et al. Table 3)
+# ----------------------------------------------------------------------
+def table7_centralized_comparison(
+    config: ExperimentConfig,
+    domain_sizes: Sequence[int] = (256, 512, 1024, 2048),
+    epsilon: float = 1.0,
+    max_queries: int = 4000,
+) -> Dict[int, Dict[str, float]]:
+    """Average squared error of centralized Wavelet vs HHc_16 vs HHc_2.
+
+    For every domain size the three centralized mechanisms are fitted
+    ``config.repetitions`` times on the Cauchy dataset and their average
+    squared error over (a sample of) all range queries is recorded, along
+    with the ``Wavelet / HHc_16`` and ``HHc_2 / HHc_16`` ratios — the
+    quantities the paper quotes from Qardaji et al. to contrast with the
+    local setting where the two families are nearly tied.
+
+    Errors are reported on *unnormalized counts* (like Qardaji et al.), so
+    the absolute values are comparable across domain sizes.
+
+    The query workload is drawn uniformly at random (rather than from
+    evenly spaced starting points) so that no method benefits from queries
+    accidentally aligned with its tree levels — Qardaji et al. average over
+    *all* ranges, which random sampling approximates without bias.
+    """
+    results: Dict[int, Dict[str, float]] = {}
+    seeds = spawn_generators(config.seed, len(list(domain_sizes)))
+    for domain_size, seed in zip(domain_sizes, seeds):
+        counts = _dataset(config, int(domain_size)).astype(np.float64)
+        workload = random_range_queries(
+            int(domain_size), max_queries, random_state=config.seed
+        )
+        true_counts_answers = workload.true_answers(counts) * counts.sum()
+        per_method: Dict[str, List[float]] = {"wavelet": [], "hhc_16": [], "hhc_2": []}
+        reps = spawn_generators(seed, config.repetitions)
+        for rng in reps:
+            wavelet = PriveletWavelet(epsilon, int(domain_size)).fit_counts(counts, rng)
+            hh16 = CentralHierarchicalHistogram(
+                epsilon, int(domain_size), branching=16, consistency=True
+            ).fit_counts(counts, rng)
+            hh2 = CentralHierarchicalHistogram(
+                epsilon, int(domain_size), branching=2, consistency=True
+            ).fit_counts(counts, rng)
+            for name, mechanism in (("wavelet", wavelet), ("hhc_16", hh16), ("hhc_2", hh2)):
+                answers = mechanism.answer_ranges(workload.queries, normalized=False)
+                per_method[name].append(
+                    mean_squared_error(true_counts_answers, answers)
+                )
+        row = {name: float(np.mean(values)) for name, values in per_method.items()}
+        row["wavelet/hhc_16"] = row["wavelet"] / row["hhc_16"]
+        row["hhc_2/hhc_16"] = row["hhc_2"] / row["hhc_16"]
+        results[int(domain_size)] = row
+    return results
+
+
+# ----------------------------------------------------------------------
+# Figure 8 — impact of the input distribution center P
+# ----------------------------------------------------------------------
+def figure8_distribution_shift(
+    config: ExperimentConfig,
+    domain_size: int,
+    centers: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9),
+    methods: Sequence[str] = ("hhc_4", "haar"),
+    mode: str = "aggregate",
+) -> Dict[float, List[CellResult]]:
+    """MSE as the Cauchy center ``P`` moves across the domain (Figure 8)."""
+    workload = default_range_workload(
+        domain_size, config.max_queries_per_workload, seed=config.seed
+    )
+    results: Dict[float, List[CellResult]] = {}
+    seeds = spawn_generators(config.seed, len(list(centers)))
+    for center, seed in zip(centers, seeds):
+        probabilities = cauchy_probabilities(
+            domain_size,
+            center_fraction=float(center),
+            height_fraction=config.data.height_fraction,
+        )
+        counts = expected_counts(probabilities, config.n_users)
+        cells = [
+            evaluate_mechanism(
+                spec,
+                counts,
+                workload,
+                epsilon=config.epsilon,
+                repetitions=config.repetitions,
+                random_state=seed,
+                mode=mode,
+            )
+            for spec in methods
+        ]
+        results[float(center)] = cells
+    return results
+
+
+# ----------------------------------------------------------------------
+# Figure 9 — decile (quantile) estimation
+# ----------------------------------------------------------------------
+def figure9_quantiles(
+    config: ExperimentConfig,
+    domain_size: int,
+    centers: Sequence[float] = (0.1, 0.5),
+    methods: Sequence[str] = ("hhc_2", "haar"),
+    targets: Sequence[float] = DECILES,
+    mode: str = "aggregate",
+) -> Dict[float, Dict[str, Dict[str, np.ndarray]]]:
+    """Value error and quantile error of the deciles (Figure 9).
+
+    Returns ``{center P: {method: {"value_error": ..., "quantile_error":
+    ...}}}`` where each error array has one entry per decile, averaged over
+    the configured repetitions.
+    """
+    results: Dict[float, Dict[str, Dict[str, np.ndarray]]] = {}
+    seeds = spawn_generators(config.seed, len(list(centers)))
+    for center, center_seed in zip(centers, seeds):
+        probabilities = cauchy_probabilities(
+            domain_size,
+            center_fraction=float(center),
+            height_fraction=config.data.height_fraction,
+        )
+        counts = expected_counts(probabilities, config.n_users)
+        per_method: Dict[str, Dict[str, np.ndarray]] = {}
+        for spec in methods:
+            value_errors = np.zeros(len(list(targets)))
+            quantile_errs = np.zeros(len(list(targets)))
+            reps = spawn_generators(center_seed, config.repetitions)
+            for rng in reps:
+                mechanism = mechanism_from_spec(
+                    spec, epsilon=config.epsilon, domain_size=domain_size
+                )
+                mechanism.fit_counts(counts, random_state=rng, mode=mode)
+                returned = estimate_quantiles(mechanism, targets)
+                errors = quantile_errors(counts, targets, returned)
+                value_errors += errors["value_error"]
+                quantile_errs += errors["quantile_error"]
+            per_method[spec] = {
+                "value_error": value_errors / config.repetitions,
+                "quantile_error": quantile_errs / config.repetitions,
+            }
+        results[float(center)] = per_method
+    return results
+
+
+# ----------------------------------------------------------------------
+# Ablations (design choices called out in DESIGN.md)
+# ----------------------------------------------------------------------
+def ablation_sampling_vs_splitting(
+    config: ExperimentConfig,
+    domain_size: int,
+    branching: int = 4,
+    mode: str = "aggregate",
+) -> Dict[str, CellResult]:
+    """Level *sampling* vs budget *splitting* (Section 4.4 design choice)."""
+    counts = _dataset(config, domain_size)
+    workload = default_range_workload(
+        domain_size, config.max_queries_per_workload, seed=config.seed
+    )
+    results: Dict[str, CellResult] = {}
+    for label, strategy in (("sampling", "sampling"), ("splitting", "splitting")):
+        results[label] = evaluate_mechanism(
+            f"hhc_{branching}",
+            counts,
+            workload,
+            epsilon=config.epsilon,
+            repetitions=config.repetitions,
+            random_state=config.seed,
+            mode=mode,
+            mechanism_kwargs={"budget_strategy": strategy},
+        )
+    return results
+
+
+def ablation_consistency(
+    config: ExperimentConfig,
+    domain_size: int,
+    branching_factors: Sequence[int] = (2, 4, 8, 16),
+    mode: str = "aggregate",
+) -> Dict[int, Dict[str, CellResult]]:
+    """Constrained inference on vs off for every branching factor."""
+    counts = _dataset(config, domain_size)
+    workload = default_range_workload(
+        domain_size, config.max_queries_per_workload, seed=config.seed
+    )
+    results: Dict[int, Dict[str, CellResult]] = {}
+    for branching in branching_factors:
+        results[int(branching)] = {
+            "raw": evaluate_mechanism(
+                f"hh_{branching}",
+                counts,
+                workload,
+                epsilon=config.epsilon,
+                repetitions=config.repetitions,
+                random_state=config.seed,
+                mode=mode,
+            ),
+            "consistent": evaluate_mechanism(
+                f"hhc_{branching}",
+                counts,
+                workload,
+                epsilon=config.epsilon,
+                repetitions=config.repetitions,
+                random_state=config.seed,
+                mode=mode,
+            ),
+        }
+    return results

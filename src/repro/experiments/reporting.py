@@ -1,0 +1,86 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark scripts print their tables in the same orientation as the
+paper (rows = epsilon, columns = methods, values = MSE x 1000) so that the
+console output can be compared side by side with the published tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.experiments.runner import CellResult
+
+__all__ = ["format_table", "render_results", "pivot_by_epsilon"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a simple aligned text table."""
+    headers = [str(h) for h in headers]
+    text_rows = [[_format_value(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for column, value in enumerate(row):
+            widths[column] = max(widths[column], len(value))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in text_rows:
+        lines.append("  ".join(value.ljust(widths[i]) for i, value in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def pivot_by_epsilon(results: Sequence[CellResult]) -> Dict[float, Dict[str, CellResult]]:
+    """Group grid results as ``{epsilon: {mechanism: cell}}``."""
+    table: Dict[float, Dict[str, CellResult]] = {}
+    for cell in results:
+        table.setdefault(cell.epsilon, {})[cell.mechanism] = cell
+    return table
+
+
+def render_results(
+    results: Sequence[CellResult],
+    scale: float = 1000.0,
+    mark_best: bool = True,
+) -> str:
+    """Render a Table-5/6 style grid: rows = epsilon, columns = mechanisms.
+
+    Values are MSE multiplied by ``scale`` (1000, the paper's presentation
+    unit).  The smallest value in every row is marked with ``*`` when
+    ``mark_best`` is set, mirroring the bold entries of the paper.
+    """
+    if not results:
+        return "(no results)"
+    mechanisms: List[str] = []
+    for cell in results:
+        if cell.mechanism not in mechanisms:
+            mechanisms.append(cell.mechanism)
+    table = pivot_by_epsilon(results)
+    headers = ["eps"] + mechanisms
+    rows: List[List[object]] = []
+    for epsilon in sorted(table):
+        row_cells = table[epsilon]
+        values = {
+            name: row_cells[name].mse_mean * scale
+            for name in mechanisms
+            if name in row_cells
+        }
+        best = min(values.values()) if values else None
+        row: List[object] = [f"{epsilon:g}"]
+        for name in mechanisms:
+            if name not in values:
+                row.append("-")
+                continue
+            text = f"{values[name]:.3f}"
+            if mark_best and best is not None and values[name] == best:
+                text += "*"
+            row.append(text)
+        rows.append(row)
+    return format_table(headers, rows)

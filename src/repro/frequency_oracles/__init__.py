@@ -1,0 +1,50 @@
+"""Frequency oracles (LDP point-query primitives), Section 3.2 of the paper.
+
+Every oracle implements the same two-sided protocol:
+
+* the **user side** (:meth:`~repro.frequency_oracles.base.FrequencyOracle.encode`)
+  turns a private item into a randomized report satisfying ``epsilon``-LDP;
+* the **aggregator side**
+  (:meth:`~repro.frequency_oracles.base.FrequencyOracle.aggregate`) collects
+  the reports and produces an unbiased estimate of the fraction of users
+  holding each item.
+
+Implemented oracles:
+
+============================  =============================================
+:class:`GeneralizedRandomizedResponse`  k-ary randomized response (k-RR)
+:class:`SymmetricUnaryEncoding`         basic RAPPOR (SUE)
+:class:`OptimizedUnaryEncoding`         OUE [Wang et al. 2017]
+:class:`OptimalLocalHashing`            OLH [Wang et al. 2017]
+:class:`HadamardRandomizedResponse`     HRR [Cormode et al. 2018; Nguyen et al. 2016]
+============================  =============================================
+
+Each oracle also provides ``simulate_aggregate``, a statistically equivalent
+fast path that samples the aggregator's noisy view directly from the true
+per-item counts — the trick the paper itself uses to scale OUE to very large
+domains.
+"""
+
+from repro.frequency_oracles.base import FrequencyOracle, OracleReports
+from repro.frequency_oracles.hadamard import HadamardRandomizedResponse
+from repro.frequency_oracles.local_hashing import OptimalLocalHashing, UniversalHashFamily
+from repro.frequency_oracles.randomized_response import (
+    BinaryRandomizedResponse,
+    GeneralizedRandomizedResponse,
+)
+from repro.frequency_oracles.registry import available_oracles, make_oracle
+from repro.frequency_oracles.unary import OptimizedUnaryEncoding, SymmetricUnaryEncoding
+
+__all__ = [
+    "FrequencyOracle",
+    "OracleReports",
+    "BinaryRandomizedResponse",
+    "GeneralizedRandomizedResponse",
+    "SymmetricUnaryEncoding",
+    "OptimizedUnaryEncoding",
+    "OptimalLocalHashing",
+    "UniversalHashFamily",
+    "HadamardRandomizedResponse",
+    "make_oracle",
+    "available_oracles",
+]

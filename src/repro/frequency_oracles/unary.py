@@ -1,0 +1,139 @@
+"""Unary-encoding frequency oracles (SUE and OUE).
+
+The user represents her item ``v`` as the one-hot bit vector ``e_v`` of
+length ``D`` and flips every bit independently:
+
+* **SUE** (symmetric unary encoding, basic RAPPOR): every bit is kept with
+  probability ``e^{eps/2} / (1 + e^{eps/2})``;
+* **OUE** (optimized unary encoding, Section 3.2 of the paper): the "1" bit
+  is reported truthfully with probability ``1/2`` while each "0" bit is set
+  with probability ``1 / (1 + e^eps)``.  This asymmetry minimises the
+  estimator variance to ``4 e^eps / (N (e^eps - 1)^2)``.
+
+Because the bit flips are independent across positions, the aggregator's
+noisy count of each item is exactly the sum of two binomials — which is what
+``simulate_aggregate`` samples, making the fast path *statistically
+identical* to the per-user protocol (this is the simulation trick described
+in Section 5 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.frequency_oracles.base import FrequencyOracle, OracleReports
+from repro.privacy.mechanisms import (
+    PerturbationProbabilities,
+    oue_probabilities,
+    sue_probabilities,
+)
+from repro.privacy.randomness import RandomState, as_generator
+
+__all__ = ["SymmetricUnaryEncoding", "OptimizedUnaryEncoding"]
+
+
+class _UnaryEncodingOracle(FrequencyOracle):
+    """Shared implementation of the two unary encodings."""
+
+    def __init__(self, epsilon: float, domain_size: int) -> None:
+        super().__init__(epsilon, domain_size)
+        self._probabilities = self._make_probabilities(epsilon)
+
+    def _make_probabilities(self, epsilon: float) -> PerturbationProbabilities:
+        raise NotImplementedError
+
+    @property
+    def p(self) -> float:
+        """Probability of reporting "1" for the user's own item."""
+        return self._probabilities.p
+
+    @property
+    def q(self) -> float:
+        """Probability of reporting "1" for any other item."""
+        return self._probabilities.q
+
+    # ------------------------------------------------------------------
+    # User side
+    # ------------------------------------------------------------------
+    def encode(self, value: int, random_state: RandomState = None) -> Dict[str, Any]:
+        """Report layout: ``{"bits": uint8 array of length D}``."""
+        value = self._check_value(value)
+        rng = as_generator(random_state)
+        bits = (rng.random(self._domain_size) < self.q).astype(np.uint8)
+        bits[value] = np.uint8(rng.random() < self.p)
+        return {"bits": bits}
+
+    def encode_batch(
+        self, values: np.ndarray, random_state: RandomState = None
+    ) -> OracleReports:
+        values = self._check_values(values)
+        rng = as_generator(random_state)
+        n_users = values.shape[0]
+        bits = (rng.random((n_users, self._domain_size)) < self.q).astype(np.uint8)
+        if n_users:
+            bits[np.arange(n_users), values] = (
+                rng.random(n_users) < self.p
+            ).astype(np.uint8)
+        return OracleReports(payload={"bits": bits}, n_users=n_users)
+
+    # ------------------------------------------------------------------
+    # Aggregator side
+    # ------------------------------------------------------------------
+    def aggregate(self, reports: OracleReports) -> np.ndarray:
+        bits = np.asarray(reports.payload["bits"])
+        if bits.ndim != 2 or bits.shape[1] != self._domain_size:
+            raise ValueError(
+                f"expected a reports matrix with {self._domain_size} columns"
+            )
+        ones = bits.sum(axis=0).astype(np.float64)
+        return self._unbias(ones, reports.n_users)
+
+    def simulate_aggregate(
+        self, true_counts: np.ndarray, random_state: RandomState = None
+    ) -> np.ndarray:
+        """Exact fast path: noisy count = Bino(c_j, p) + Bino(N - c_j, q)."""
+        counts = self._check_counts(true_counts)
+        rng = as_generator(random_state)
+        n_users = int(counts.sum())
+        ones = rng.binomial(counts, self.p) + rng.binomial(n_users - counts, self.q)
+        return self._unbias(ones.astype(np.float64), n_users)
+
+    def _unbias(self, ones: np.ndarray, n_users: int) -> np.ndarray:
+        if n_users == 0:
+            return np.zeros(self._domain_size)
+        observed = ones / float(n_users)
+        return (observed - self.q) / (self.p - self.q)
+
+    def theoretical_variance(self, n_users: int) -> float:
+        """Small-frequency variance ``q (1 - q) / (N (p - q)^2)``.
+
+        For OUE this equals the canonical ``4 e^eps / (N (e^eps - 1)^2)``.
+        """
+        if n_users <= 0:
+            raise ValueError(f"n_users must be positive, got {n_users!r}")
+        p, q = self.p, self.q
+        return q * (1.0 - q) / (n_users * (p - q) ** 2)
+
+
+class SymmetricUnaryEncoding(_UnaryEncodingOracle):
+    """Basic RAPPOR: symmetric per-bit randomized response with ``eps/2``."""
+
+    name = "sue"
+
+    def _make_probabilities(self, epsilon: float) -> PerturbationProbabilities:
+        return sue_probabilities(epsilon)
+
+
+class OptimizedUnaryEncoding(_UnaryEncodingOracle):
+    """OUE [Wang et al. 2017]: ``p = 1/2``, ``q = 1 / (1 + e^eps)``.
+
+    The paper uses OUE both as its flat baseline and (as ``TreeOUE``) as the
+    per-level primitive of the hierarchical histogram framework.
+    """
+
+    name = "oue"
+
+    def _make_probabilities(self, epsilon: float) -> PerturbationProbabilities:
+        return oue_probabilities(epsilon)

@@ -1,0 +1,30 @@
+"""Hierarchy substrate for the hierarchical histogram mechanisms.
+
+* :mod:`repro.hierarchy.tree` — a complete B-ary tree laid over the item
+  domain (Section 4.3 of the paper): level layouts, node ranges and the
+  leaf-to-root path of an individual item.
+* :mod:`repro.hierarchy.decomposition` — translation of a range query into
+  tree nodes via the B-adic decomposition, returned as per-level contiguous
+  runs so that many queries can be evaluated with per-level prefix sums.
+* :mod:`repro.hierarchy.consistency` — the constrained-inference
+  post-processing of Section 4.5 (weighted averaging followed by mean
+  consistency), plus an exact least-squares reference implementation used to
+  validate it.
+"""
+
+from repro.hierarchy.consistency import (
+    enforce_consistency,
+    least_squares_consistency,
+    subtree_counts,
+)
+from repro.hierarchy.decomposition import NodeRun, decompose_to_runs
+from repro.hierarchy.tree import DomainTree
+
+__all__ = [
+    "DomainTree",
+    "NodeRun",
+    "decompose_to_runs",
+    "enforce_consistency",
+    "least_squares_consistency",
+    "subtree_counts",
+]

@@ -1,0 +1,91 @@
+"""Range query decomposition onto tree nodes.
+
+A range query ``[a, b]`` is answered by summing the estimated weights of the
+nodes in its B-adic decomposition.  To make evaluating large query workloads
+cheap, the decomposition is expressed as *runs*: per tree level, a contiguous
+span of node indices.  With per-level prefix sums of the estimates, each run
+costs O(1) to evaluate, so a query costs ``O(B log_B D)`` regardless of its
+length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.exceptions import InvalidQueryError
+from repro.hierarchy.tree import DomainTree
+from repro.transforms.badic import badic_decompose
+
+__all__ = ["NodeRun", "decompose_to_runs", "runs_per_level"]
+
+
+@dataclass(frozen=True)
+class NodeRun:
+    """A contiguous run of node indices at one tree level.
+
+    Attributes
+    ----------
+    level:
+        Tree level of the run (1 = children of the root, ``h`` = leaves).
+    first, last:
+        Inclusive node-index bounds of the run.
+    """
+
+    level: int
+    first: int
+    last: int
+
+    @property
+    def count(self) -> int:
+        return self.last - self.first + 1
+
+
+def decompose_to_runs(tree: DomainTree, start: int, end: int) -> List[NodeRun]:
+    """Decompose a range query into per-level runs of tree nodes.
+
+    Parameters
+    ----------
+    tree:
+        Domain tree describing the hierarchy geometry.
+    start, end:
+        Inclusive item bounds of the query; must lie inside the original
+        domain.
+
+    Returns
+    -------
+    list of :class:`NodeRun`
+        Runs over *tree* levels.  Adjacent B-adic intervals of the same size
+        are merged into a single run, so the number of runs is at most two
+        per level.
+    """
+    if not 0 <= start <= end < tree.domain_size:
+        raise InvalidQueryError(
+            f"invalid range [{start}, {end}] for domain of size {tree.domain_size}"
+        )
+    intervals = badic_decompose(start, end, tree.branching, domain_size=tree.padded_size)
+    runs: List[NodeRun] = []
+    for interval in intervals:
+        # A B-adic interval of length B^j corresponds to a node at tree level
+        # h - j with node index `interval.index`.
+        level = tree.height - interval.level
+        if level == 0:
+            # The whole (padded) domain: weight is the root, which is exactly
+            # the total fraction.  Express it as the full run of level-1
+            # nodes so that callers never need a special root estimate.
+            runs.append(NodeRun(level=1, first=0, last=tree.nodes_at_level(1) - 1))
+            continue
+        index = interval.index
+        if runs and runs[-1].level == level and runs[-1].last == index - 1:
+            runs[-1] = NodeRun(level=level, first=runs[-1].first, last=index)
+        else:
+            runs.append(NodeRun(level=level, first=index, last=index))
+    return runs
+
+
+def runs_per_level(runs: List[NodeRun]) -> Dict[int, List[NodeRun]]:
+    """Group runs by tree level (helper for per-level evaluation)."""
+    grouped: Dict[int, List[NodeRun]] = {}
+    for run in runs:
+        grouped.setdefault(run.level, []).append(run)
+    return grouped

@@ -1,0 +1,211 @@
+"""Complete B-ary tree over an item domain.
+
+The hierarchical histogram mechanisms (Section 4.3/4.4 of the paper) arrange
+the domain ``[0, D)`` under a complete B-ary tree.  Level ``l`` (for
+``l = 1 .. h``) contains ``B^l`` nodes and every node at level ``l`` covers a
+B-adic block of ``B^{h-l}`` consecutive items; level ``h`` is the leaf level
+with one node per item, and the (implicit) level ``0`` root covers the whole
+domain and always has fractional weight exactly ``1``.
+
+If ``D`` is not a power of ``B`` the tree is laid over the *padded* domain of
+size ``B^h`` with ``h = ceil(log_B D)``; items beyond ``D - 1`` simply never
+receive any weight.  This matches how the paper's experiments pick ``D`` and
+``B`` so that ``log_B D`` is an integer, while letting the library accept
+arbitrary domain sizes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, InvalidDomainError, InvalidQueryError
+
+__all__ = ["DomainTree"]
+
+
+class DomainTree:
+    """Geometry of a complete B-ary tree over a discrete domain.
+
+    Parameters
+    ----------
+    domain_size:
+        Number of items ``D`` in the original domain; must be positive.
+    branching:
+        Fan-out ``B >= 2`` of the tree.
+
+    Notes
+    -----
+    The object is immutable and holds no estimates — it is pure geometry.
+    Mechanisms combine it with per-level estimate arrays.
+    """
+
+    def __init__(self, domain_size: int, branching: int) -> None:
+        if not isinstance(domain_size, (int, np.integer)) or domain_size < 1:
+            raise InvalidDomainError(
+                f"domain size must be a positive integer, got {domain_size!r}"
+            )
+        if not isinstance(branching, (int, np.integer)) or branching < 2:
+            raise ConfigurationError(
+                f"branching factor must be an integer >= 2, got {branching!r}"
+            )
+        self._domain_size = int(domain_size)
+        self._branching = int(branching)
+        self._height = max(1, int(math.ceil(round(math.log(self._domain_size, self._branching), 10))))
+        # Guard against floating point log errors: adjust until B^h >= D.
+        while self._branching**self._height < self._domain_size:
+            self._height += 1
+        while (
+            self._height > 1
+            and self._branching ** (self._height - 1) >= self._domain_size
+        ):
+            self._height -= 1
+        self._padded_size = self._branching**self._height
+
+    # ------------------------------------------------------------------
+    # Basic geometry
+    # ------------------------------------------------------------------
+    @property
+    def domain_size(self) -> int:
+        """Original (un-padded) number of items ``D``."""
+        return self._domain_size
+
+    @property
+    def branching(self) -> int:
+        """Fan-out ``B`` of the tree."""
+        return self._branching
+
+    @property
+    def height(self) -> int:
+        """Number of estimated levels ``h`` (leaves are level ``h``)."""
+        return self._height
+
+    @property
+    def padded_size(self) -> int:
+        """``B^h``, the leaf count of the complete tree."""
+        return self._padded_size
+
+    @property
+    def levels(self) -> range:
+        """The estimated levels ``1 .. h`` (the level-0 root is implicit)."""
+        return range(1, self._height + 1)
+
+    def nodes_at_level(self, level: int) -> int:
+        """Number of nodes at ``level`` (``B^level``)."""
+        self._check_level(level)
+        return self._branching**level
+
+    def block_size(self, level: int) -> int:
+        """Number of items covered by one node at ``level`` (``B^{h-level}``)."""
+        self._check_level(level)
+        return self._branching ** (self._height - level)
+
+    def total_nodes(self) -> int:
+        """Total number of estimated nodes across levels ``1 .. h``."""
+        return sum(self.nodes_at_level(level) for level in self.levels)
+
+    # ------------------------------------------------------------------
+    # Item <-> node mappings
+    # ------------------------------------------------------------------
+    def node_of_item(self, level: int, item: int) -> int:
+        """Index of the level-``level`` node containing ``item``."""
+        self._check_item(item)
+        return item // self.block_size(level)
+
+    def path_of_item(self, item: int) -> List[Tuple[int, int]]:
+        """The leaf-to-root path of ``item`` as ``(level, node_index)`` pairs.
+
+        This is the "local view" each user materialises before perturbation
+        (Figure 2(b) of the paper): a weight of one on exactly one node per
+        level.
+        """
+        self._check_item(item)
+        return [(level, self.node_of_item(level, item)) for level in self.levels]
+
+    def nodes_of_items(self, level: int, items: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`node_of_item` for an array of items."""
+        items = np.asarray(items)
+        if items.size and (items.min() < 0 or items.max() >= self._domain_size):
+            raise InvalidQueryError("items outside the domain")
+        return items // self.block_size(level)
+
+    def node_range(self, level: int, index: int) -> Tuple[int, int]:
+        """Inclusive item range ``[start, end]`` covered by a node.
+
+        The range is clipped to the original domain; a node entirely inside
+        the padding returns an empty range signalled by ``start > end``.
+        """
+        self._check_level(level)
+        if not 0 <= index < self.nodes_at_level(level):
+            raise InvalidQueryError(
+                f"node index {index!r} out of range at level {level}"
+            )
+        size = self.block_size(level)
+        start = index * size
+        end = min(start + size - 1, self._domain_size - 1)
+        return start, end
+
+    def children(self, level: int, index: int) -> range:
+        """Indices of the children (at ``level + 1``) of node ``(level, index)``."""
+        self._check_level(level)
+        if level == self._height:
+            raise InvalidQueryError("leaf nodes have no children")
+        return range(index * self._branching, (index + 1) * self._branching)
+
+    def parent(self, level: int, index: int) -> Tuple[int, int]:
+        """The ``(level - 1, index)`` parent of a node below level 1."""
+        self._check_level(level)
+        if level == 1:
+            raise InvalidQueryError("level-1 nodes are children of the implicit root")
+        return level - 1, index // self._branching
+
+    # ------------------------------------------------------------------
+    # Aggregation helpers
+    # ------------------------------------------------------------------
+    def level_histogram(self, level: int, items: np.ndarray) -> np.ndarray:
+        """Exact counts of ``items`` per node at ``level`` (no privacy).
+
+        Used to build the ground-truth tree and by the aggregate-mode
+        simulators that need the true per-node counts to sample the noisy
+        aggregator view.
+        """
+        nodes = self.nodes_of_items(level, np.asarray(items))
+        return np.bincount(nodes, minlength=self.nodes_at_level(level)).astype(np.int64)
+
+    def level_histogram_from_counts(self, level: int, counts: np.ndarray) -> np.ndarray:
+        """Per-node counts at ``level`` given per-item counts.
+
+        ``counts`` has length ``domain_size``; items are grouped into
+        consecutive blocks of :meth:`block_size` items.
+        """
+        counts = np.asarray(counts)
+        if counts.shape[0] != self._domain_size:
+            raise InvalidDomainError(
+                f"expected {self._domain_size} per-item counts, got {counts.shape[0]}"
+            )
+        padded = np.zeros(self._padded_size, dtype=np.float64)
+        padded[: self._domain_size] = counts
+        return padded.reshape(self.nodes_at_level(level), self.block_size(level)).sum(axis=1)
+
+    # ------------------------------------------------------------------
+    # Validation helpers
+    # ------------------------------------------------------------------
+    def _check_level(self, level: int) -> None:
+        if not isinstance(level, (int, np.integer)) or not 1 <= level <= self._height:
+            raise InvalidQueryError(
+                f"level must be in [1, {self._height}], got {level!r}"
+            )
+
+    def _check_item(self, item: int) -> None:
+        if not isinstance(item, (int, np.integer)) or not 0 <= item < self._domain_size:
+            raise InvalidQueryError(
+                f"item must be in [0, {self._domain_size}), got {item!r}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DomainTree(domain_size={self._domain_size}, branching={self._branching}, "
+            f"height={self._height})"
+        )

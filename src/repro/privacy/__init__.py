@@ -1,0 +1,40 @@
+"""Local differential privacy substrate.
+
+This subpackage holds everything that is about the *privacy model* rather
+than any particular mechanism:
+
+* :mod:`repro.privacy.budget` — validation and book-keeping of the privacy
+  parameter ``epsilon``;
+* :mod:`repro.privacy.mechanisms` — the canonical perturbation probabilities
+  used by the frequency oracles (binary randomized response, generalized
+  randomized response, unary-encoding flip probabilities) together with
+  helpers that verify a pair of probabilities actually satisfies
+  ``epsilon``-LDP;
+* :mod:`repro.privacy.randomness` — pseudo-random number generator plumbing
+  so that every experiment is reproducible from a single seed.
+"""
+
+from repro.privacy.budget import PrivacyBudget, validate_epsilon
+from repro.privacy.mechanisms import (
+    PerturbationProbabilities,
+    binary_rr_probability,
+    grr_probabilities,
+    ldp_guarantee_epsilon,
+    oue_probabilities,
+    verify_ldp,
+)
+from repro.privacy.randomness import RandomState, as_generator, spawn_generators
+
+__all__ = [
+    "PrivacyBudget",
+    "validate_epsilon",
+    "PerturbationProbabilities",
+    "binary_rr_probability",
+    "grr_probabilities",
+    "oue_probabilities",
+    "ldp_guarantee_epsilon",
+    "verify_ldp",
+    "RandomState",
+    "as_generator",
+    "spawn_generators",
+]

@@ -1,0 +1,167 @@
+"""Canonical perturbation probabilities and LDP verification helpers.
+
+Every frequency oracle in the paper is built from one of a small set of
+randomizers, each fully characterised by a pair of probabilities ``(p, q)``:
+
+* ``p`` — the probability of reporting "1" (or of keeping the true symbol)
+  when the true bit/symbol matches;
+* ``q`` — the probability of reporting "1" (or of emitting a given wrong
+  symbol) when it does not match.
+
+The ``epsilon``-LDP constraint is ``p / q <= e^eps`` together with the
+symmetric constraint ``(1 - q) / (1 - p) <= e^eps`` for binary outputs.  This
+module centralises those formulas so mechanisms never hand-roll them, and
+offers :func:`verify_ldp` / :func:`ldp_guarantee_epsilon`, used both by the
+unit tests and by the property-based tests to certify that every oracle's
+advertised guarantee matches the probabilities it actually uses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.privacy.budget import validate_epsilon
+
+__all__ = [
+    "PerturbationProbabilities",
+    "binary_rr_probability",
+    "grr_probabilities",
+    "oue_probabilities",
+    "sue_probabilities",
+    "olh_probabilities",
+    "ldp_guarantee_epsilon",
+    "verify_ldp",
+]
+
+
+@dataclass(frozen=True)
+class PerturbationProbabilities:
+    """The ``(p, q)`` pair characterising a randomizer.
+
+    Attributes
+    ----------
+    p:
+        Probability of a "truthful" output (bit kept / true symbol reported).
+    q:
+        Probability of the same output being produced from a non-matching
+        input (bit set from a zero / a specific wrong symbol reported).
+    """
+
+    p: float
+    q: float
+
+    def __post_init__(self) -> None:
+        for name, value in (("p", self.p), ("q", self.q)):
+            if not 0.0 < value < 1.0:
+                raise ConfigurationError(
+                    f"perturbation probability {name}={value!r} must be in (0, 1)"
+                )
+        if self.p <= self.q:
+            raise ConfigurationError(
+                f"p={self.p!r} must exceed q={self.q!r} for a useful randomizer"
+            )
+
+    @property
+    def gap(self) -> float:
+        """``p - q``, the denominator of every unbiased-correction step."""
+        return self.p - self.q
+
+
+def binary_rr_probability(epsilon: float) -> float:
+    """Keep-probability of binary (Warner) randomized response.
+
+    ``p = e^eps / (1 + e^eps)``; the bit is flipped with probability
+    ``1 - p``.  For ``e^eps = 3`` (the paper's default) ``p = 0.75``.
+    """
+    eps = validate_epsilon(epsilon)
+    e = math.exp(eps)
+    return e / (1.0 + e)
+
+
+def grr_probabilities(epsilon: float, domain_size: int) -> PerturbationProbabilities:
+    """Generalized randomized response (k-RR, [Kairouz et al. 2016]).
+
+    The user reports her true symbol with probability
+    ``p = e^eps / (e^eps + k - 1)`` and each of the other ``k - 1`` symbols
+    with probability ``q = 1 / (e^eps + k - 1)``.
+    """
+    eps = validate_epsilon(epsilon)
+    if not isinstance(domain_size, int) or domain_size < 2:
+        raise ConfigurationError(
+            f"GRR needs a domain of at least two symbols, got {domain_size!r}"
+        )
+    e = math.exp(eps)
+    denom = e + domain_size - 1
+    return PerturbationProbabilities(p=e / denom, q=1.0 / denom)
+
+
+def sue_probabilities(epsilon: float) -> PerturbationProbabilities:
+    """Symmetric unary encoding (basic RAPPOR).
+
+    Each bit of the one-hot vector is kept with probability
+    ``p = e^{eps/2} / (1 + e^{eps/2})`` and flipped otherwise, so
+    ``q = 1 - p``.  Included as a baseline; OUE (below) dominates it.
+    """
+    eps = validate_epsilon(epsilon)
+    e_half = math.exp(eps / 2.0)
+    p = e_half / (1.0 + e_half)
+    return PerturbationProbabilities(p=p, q=1.0 - p)
+
+
+def oue_probabilities(epsilon: float) -> PerturbationProbabilities:
+    """Optimized unary encoding ([Wang et al. 2017], Section 3.2 of the paper).
+
+    The "1" bit is reported truthfully with probability ``p = 1/2`` while a
+    "0" bit is flipped to "1" with probability ``q = 1 / (1 + e^eps)``.  The
+    asymmetric choice minimises the estimator variance
+    ``4 e^eps / (N (e^eps - 1)^2)``.
+    """
+    eps = validate_epsilon(epsilon)
+    return PerturbationProbabilities(p=0.5, q=1.0 / (1.0 + math.exp(eps)))
+
+
+def olh_probabilities(epsilon: float, hash_range: int) -> PerturbationProbabilities:
+    """Optimal local hashing: GRR applied to the hashed symbol in ``[g]``.
+
+    ``p`` is the probability of reporting the true hash value.  ``q`` here is
+    the *support probability* of a non-true item in the original domain,
+    which is ``1/g`` because a universal hash collides uniformly.
+    """
+    eps = validate_epsilon(epsilon)
+    if not isinstance(hash_range, int) or hash_range < 2:
+        raise ConfigurationError(
+            f"OLH hash range must be an integer >= 2, got {hash_range!r}"
+        )
+    e = math.exp(eps)
+    p = e / (e + hash_range - 1)
+    return PerturbationProbabilities(p=p, q=1.0 / hash_range)
+
+
+def ldp_guarantee_epsilon(p: float, q: float, binary_output: bool = True) -> float:
+    """Return the tightest ``epsilon`` guaranteed by a ``(p, q)`` randomizer.
+
+    For a binary-output randomizer the likelihood ratio is maximised either
+    by the "1" output (``p / q``) or the "0" output (``(1 - q) / (1 - p)``),
+    so the guarantee is the log of the larger of the two.  For categorical
+    randomizers only the first ratio applies.
+    """
+    if not (0.0 < q <= p < 1.0):
+        raise ConfigurationError(f"need 0 < q <= p < 1, got p={p!r}, q={q!r}")
+    ratio = p / q
+    if binary_output:
+        ratio = max(ratio, (1.0 - q) / (1.0 - p))
+    return math.log(ratio)
+
+
+def verify_ldp(
+    p: float, q: float, epsilon: float, binary_output: bool = True, tol: float = 1e-9
+) -> bool:
+    """Check that a ``(p, q)`` randomizer satisfies ``epsilon``-LDP.
+
+    A small tolerance absorbs floating point error in the probability
+    formulas; the property tests use the default ``1e-9``.
+    """
+    eps = validate_epsilon(epsilon)
+    return ldp_guarantee_epsilon(p, q, binary_output=binary_output) <= eps + tol

@@ -1,0 +1,163 @@
+"""B-adic interval decomposition.
+
+Fact 2 of the paper: an interval is *B-adic* if it has the form
+``[k * B^j, (k + 1) * B^j - 1]`` — its length is a power of ``B`` and it
+starts at an integer multiple of that length.  Fact 3: any range of length
+``r`` inside ``[0, D)`` decomposes into at most ``(B - 1)(2 log_B r + 1)``
+disjoint B-adic intervals.
+
+The hierarchical histogram mechanisms organise the domain as a complete
+B-ary tree whose nodes are exactly the B-adic intervals; a range query is
+answered by adding the estimated weights of the intervals returned by
+:func:`badic_decompose`.  The decomposition here is the greedy canonical
+one: at each tree level, absorb maximal runs of aligned blocks from both
+ends of the remaining range.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.exceptions import ConfigurationError, InvalidQueryError
+
+__all__ = [
+    "BAdicInterval",
+    "is_badic_interval",
+    "badic_decompose",
+    "badic_node_count_bound",
+]
+
+
+@dataclass(frozen=True)
+class BAdicInterval:
+    """A single B-adic interval ``[start, end]`` at a given tree level.
+
+    Attributes
+    ----------
+    start, end:
+        Inclusive item bounds of the interval.
+    level:
+        Height of the interval in the B-ary tree: level ``0`` intervals are
+        single items, level ``j`` intervals have length ``B^j``.
+    index:
+        Position of the interval among the level-``j`` blocks, i.e.
+        ``start == index * B^level``.
+    """
+
+    start: int
+    end: int
+    level: int
+    index: int
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start + 1
+
+
+def _validate_branching(branching: int) -> int:
+    if not isinstance(branching, int) or branching < 2:
+        raise ConfigurationError(
+            f"branching factor must be an integer >= 2, got {branching!r}"
+        )
+    return branching
+
+
+def is_badic_interval(start: int, end: int, branching: int) -> bool:
+    """Return ``True`` if ``[start, end]`` is a B-adic interval (Fact 2)."""
+    branching = _validate_branching(branching)
+    if start < 0 or end < start:
+        return False
+    length = end - start + 1
+    level = round(math.log(length, branching))
+    if branching**level != length:
+        return False
+    return start % length == 0
+
+
+def badic_decompose(
+    start: int, end: int, branching: int, domain_size: int | None = None
+) -> List[BAdicInterval]:
+    """Decompose ``[start, end]`` into disjoint maximal B-adic intervals.
+
+    Parameters
+    ----------
+    start, end:
+        Inclusive bounds of the query range; ``0 <= start <= end``.
+    branching:
+        The base ``B >= 2`` of the decomposition.
+    domain_size:
+        Optional domain bound used purely for validation of the query.
+
+    Returns
+    -------
+    list of :class:`BAdicInterval`
+        Disjoint intervals whose union is exactly ``[start, end]``, ordered
+        left to right.  For example with ``B = 2`` the range ``[2, 22]``
+        decomposes into ``[2,3] [4,7] [8,15] [16,19] [20,21] [22,22]`` — the
+        worked example after Fact 3 in the paper.
+    """
+    branching = _validate_branching(branching)
+    if start < 0 or end < start:
+        raise InvalidQueryError(f"invalid range [{start}, {end}]")
+    if domain_size is not None and end >= domain_size:
+        raise InvalidQueryError(
+            f"range [{start}, {end}] exceeds domain of size {domain_size}"
+        )
+
+    pieces_left: List[BAdicInterval] = []
+    pieces_right: List[BAdicInterval] = []
+    lo, hi = start, end
+    level = 0
+    block = 1
+    while lo <= hi:
+        next_block = block * branching
+        # Peel blocks of size `block` off the left end until `lo` is aligned
+        # to the next coarser granularity (or the range is exhausted).
+        while lo <= hi and lo % next_block != 0:
+            if lo + block - 1 > hi:
+                break
+            pieces_left.append(
+                BAdicInterval(start=lo, end=lo + block - 1, level=level, index=lo // block)
+            )
+            lo += block
+        # Symmetrically peel blocks off the right end.
+        while lo <= hi and (hi + 1) % next_block != 0:
+            if hi - block + 1 < lo:
+                break
+            pieces_right.append(
+                BAdicInterval(
+                    start=hi - block + 1, end=hi, level=level, index=(hi - block + 1) // block
+                )
+            )
+            hi -= block
+        if lo > hi:
+            break
+        if lo + block - 1 > hi:
+            # The remaining stretch is shorter than one block of the next
+            # level; finish it off with blocks of the current size.
+            while lo <= hi:
+                pieces_left.append(
+                    BAdicInterval(
+                        start=lo, end=lo + block - 1, level=level, index=lo // block
+                    )
+                )
+                lo += block
+            break
+        level += 1
+        block = next_block
+    return pieces_left + list(reversed(pieces_right))
+
+
+def badic_node_count_bound(range_length: int, branching: int) -> int:
+    """Upper bound on the number of intervals returned by the decomposition.
+
+    Fact 3 of the paper: ``(B - 1) (2 log_B r + 1)`` intervals suffice for a
+    range of length ``r``.
+    """
+    branching = _validate_branching(branching)
+    if range_length < 1:
+        raise InvalidQueryError(f"range length must be >= 1, got {range_length!r}")
+    log_term = math.log(range_length, branching) if range_length > 1 else 0.0
+    return int(math.ceil((branching - 1) * (2 * log_term + 1)))

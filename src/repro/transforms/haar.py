@@ -1,0 +1,211 @@
+"""Discrete Haar wavelet Transform (DHT).
+
+The wavelet mechanism of Section 4.6 perturbs Haar coefficients of the
+(one-hot) user input.  This module implements the orthonormal DHT with the
+same convention as Figure 3 of the paper:
+
+* the domain size ``D`` is a power of two and the tree height is
+  ``h = log2(D)``;
+* coefficient index ``0`` is the *scaling* coefficient
+  ``c_0 = sum(x) / sqrt(D)``;
+* a *detail* coefficient sits at every internal node ``v`` of the binary
+  tree.  A node at height ``m`` (leaves are height ``0``) covers a block of
+  ``2^m`` consecutive leaves and its coefficient is
+
+      c_v = (C_left - C_right) / 2^{m/2}
+
+  where ``C_left`` / ``C_right`` are the sums over the left / right halves
+  of the block.  The ``D / 2^m`` coefficients of height ``m`` are stored at
+  indices ``[2^{h-m}, 2^{h-m+1})`` (the standard dyadic layout), so height
+  ``h`` (the root split) is index ``1`` and height ``1`` occupies the last
+  ``D/2`` slots.
+
+With this convention the transform matrix is orthonormal, which is what
+makes the coefficient estimates independent and removes any need for the
+consistency post-processing required by hierarchical histograms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.exceptions import InvalidDomainError, InvalidQueryError
+from repro.transforms.hadamard import is_power_of_two
+
+__all__ = [
+    "haar_forward",
+    "haar_inverse",
+    "haar_matrix",
+    "haar_level_slices",
+    "haar_coefficient_index",
+    "haar_user_coefficients",
+    "haar_range_weights",
+    "tree_height",
+]
+
+
+def tree_height(domain_size: int) -> int:
+    """Return ``h = log2(domain_size)`` for a power-of-two domain."""
+    if not is_power_of_two(domain_size):
+        raise InvalidDomainError(
+            f"the Haar transform requires a power-of-two domain, got {domain_size!r}"
+        )
+    return int(domain_size).bit_length() - 1
+
+
+def haar_forward(vector: np.ndarray) -> np.ndarray:
+    """Orthonormal forward DHT of a length-``D`` vector in ``O(D)`` time."""
+    data = np.array(vector, dtype=np.float64, copy=True)
+    if data.ndim != 1:
+        raise InvalidDomainError("expected a one-dimensional vector")
+    size = data.shape[0]
+    height = tree_height(size)
+    coefficients = np.empty(size, dtype=np.float64)
+    current = data
+    for level in range(1, height + 1):
+        left = current[0::2]
+        right = current[1::2]
+        detail = (left - right) / (2.0 ** (level / 2.0))
+        start = size >> level
+        coefficients[start : 2 * start] = detail
+        current = left + right
+    coefficients[0] = current[0] / np.sqrt(size)
+    return coefficients
+
+
+def haar_inverse(coefficients: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`haar_forward` (exact, orthonormal)."""
+    coeffs = np.asarray(coefficients, dtype=np.float64)
+    if coeffs.ndim != 1:
+        raise InvalidDomainError("expected a one-dimensional vector")
+    size = coeffs.shape[0]
+    height = tree_height(size)
+    # Start from the total sum implied by the scaling coefficient and refine.
+    current = np.array([coeffs[0] * np.sqrt(size)], dtype=np.float64)
+    for level in range(height, 0, -1):
+        start = size >> level
+        detail = coeffs[start : 2 * start] * (2.0 ** (level / 2.0))
+        left = (current + detail) / 2.0
+        right = (current - detail) / 2.0
+        expanded = np.empty(2 * current.shape[0], dtype=np.float64)
+        expanded[0::2] = left
+        expanded[1::2] = right
+        current = expanded
+    return current
+
+
+def haar_matrix(domain_size: int) -> np.ndarray:
+    """Return the orthonormal analysis matrix ``A`` with ``c = A @ x``.
+
+    ``A.T`` is the synthesis matrix whose rows are shown (for ``D = 8``) in
+    Figure 3 of the paper.  Intended for tests and tiny domains only; the
+    mechanisms always use the fast transforms.
+    """
+    if not is_power_of_two(domain_size):
+        raise InvalidDomainError(
+            f"the Haar transform requires a power-of-two domain, got {domain_size!r}"
+        )
+    identity = np.eye(int(domain_size))
+    return np.stack([haar_forward(column) for column in identity.T], axis=1)
+
+
+def haar_level_slices(domain_size: int) -> Dict[int, slice]:
+    """Map each height ``m`` (1..h) to the slice of its coefficient indices.
+
+    The scaling coefficient (index ``0``) is not part of any height; the
+    mechanisms treat it separately because it needs no perturbation (it is
+    the constant ``1/sqrt(D)`` for every user).
+    """
+    height = tree_height(domain_size)
+    slices: Dict[int, slice] = {}
+    for level in range(1, height + 1):
+        start = domain_size >> level
+        slices[level] = slice(start, 2 * start)
+    return slices
+
+
+def haar_coefficient_index(height: int, block: int, domain_size: int) -> int:
+    """Return the flat index of the detail coefficient ``(height, block)``.
+
+    ``block`` counts the nodes of the given height left to right, i.e. block
+    ``k`` covers leaves ``[k * 2^height, (k + 1) * 2^height)``.
+    """
+    tree_h = tree_height(domain_size)
+    if not 1 <= height <= tree_h:
+        raise InvalidQueryError(
+            f"height must be in [1, {tree_h}], got {height!r}"
+        )
+    nodes = domain_size >> height
+    if not 0 <= block < nodes:
+        raise InvalidQueryError(
+            f"block must be in [0, {nodes}) at height {height}, got {block!r}"
+        )
+    return nodes + block
+
+
+def haar_user_coefficients(item: int, domain_size: int) -> Dict[int, Tuple[int, int]]:
+    """Return, for each height, the (block, sign) of the user's single
+    non-zero detail coefficient.
+
+    For an input ``x = e_item`` the detail coefficient at height ``m`` is
+    ``sign / 2^{m/2}`` where ``sign`` is ``+1`` if the item falls in the left
+    half of its covering block and ``-1`` otherwise.  The mechanisms report
+    the ``sign`` and re-apply the ``2^{-m/2}`` scaling at aggregation time.
+    """
+    height = tree_height(domain_size)
+    if not 0 <= item < domain_size:
+        raise InvalidQueryError(
+            f"item must be in [0, {domain_size}), got {item!r}"
+        )
+    result: Dict[int, Tuple[int, int]] = {}
+    for level in range(1, height + 1):
+        block = item >> level
+        in_right_half = (item >> (level - 1)) & 1
+        sign = -1 if in_right_half else 1
+        result[level] = (block, sign)
+    return result
+
+
+def haar_range_weights(
+    start: int, end: int, domain_size: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Weights expressing a range sum in the coefficient basis.
+
+    Returns ``(indices, weights)`` such that
+
+        sum_{i=start..end} x_i  ==  sum_k weights[k] * c[indices[k]]
+
+    for any vector ``x`` with orthonormal Haar coefficients ``c``.  Only
+    coefficients whose node is *cut* by the range carry a non-zero weight, so
+    at most two nodes per height (plus the scaling coefficient) appear and
+    the result has ``O(log D)`` entries.
+    """
+    if not 0 <= start <= end < domain_size:
+        raise InvalidQueryError(
+            f"invalid range [{start}, {end}] for domain of size {domain_size}"
+        )
+    height = tree_height(domain_size)
+    indices = [0]
+    weights = [(end - start + 1) / np.sqrt(domain_size)]
+    for level in range(1, height + 1):
+        block_size = 1 << level
+        half = block_size >> 1
+        first_block = start >> level
+        last_block = end >> level
+        # Only the (at most two) boundary blocks can be partially covered.
+        for block in {first_block, last_block}:
+            lo = block * block_size
+            left_overlap = _overlap(start, end, lo, lo + half - 1)
+            right_overlap = _overlap(start, end, lo + half, lo + block_size - 1)
+            weight = (left_overlap - right_overlap) / (2.0 ** (level / 2.0))
+            if weight != 0.0:
+                indices.append((domain_size >> level) + block)
+                weights.append(weight)
+    return np.asarray(indices, dtype=np.int64), np.asarray(weights, dtype=np.float64)
+
+
+def _overlap(a: int, b: int, lo: int, hi: int) -> int:
+    """Number of integers in the intersection of ``[a, b]`` and ``[lo, hi]``."""
+    return max(0, min(b, hi) - max(a, lo) + 1)

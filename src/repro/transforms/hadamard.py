@@ -1,0 +1,147 @@
+"""Walsh–Hadamard transform utilities.
+
+The Hadamard Randomized Response (HRR) frequency oracle perturbs a single,
+randomly chosen coefficient of the Hadamard transform of the user's one-hot
+input vector.  Because the input is one-hot, its (unnormalised) transform is
+just a column of the Hadamard matrix, whose entries are
+
+    phi[i][j] = (-1)^{<i, j>}
+
+where ``<i, j>`` counts the positions on which the binary representations of
+``i`` and ``j`` both have a ``1`` (Figure 1 of the paper shows ``D = 8``).
+
+Two access patterns are needed:
+
+* *users* need a single entry ``phi[v][j]`` — provided in vectorised form by
+  :func:`hadamard_entries` using a popcount, O(1) per user and O(N) for a
+  whole population without materialising any matrix;
+* the *aggregator* needs to invert the transform over the whole domain —
+  provided by the in-place butterfly :func:`fast_walsh_hadamard_transform`
+  in ``O(D log D)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidDomainError
+
+__all__ = [
+    "is_power_of_two",
+    "hadamard_matrix",
+    "hadamard_entry",
+    "hadamard_entries",
+    "fast_walsh_hadamard_transform",
+    "inverse_fast_walsh_hadamard_transform",
+]
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return ``True`` if ``value`` is a positive power of two."""
+    return isinstance(value, (int, np.integer)) and value > 0 and (value & (value - 1)) == 0
+
+
+def _require_power_of_two(size: int) -> int:
+    if not is_power_of_two(size):
+        raise InvalidDomainError(
+            f"Hadamard transform requires a power-of-two size, got {size!r}"
+        )
+    return int(size)
+
+
+def hadamard_matrix(size: int, normalized: bool = False) -> np.ndarray:
+    """Return the ``size x size`` Hadamard matrix.
+
+    Parameters
+    ----------
+    size:
+        Matrix dimension; must be a power of two.
+    normalized:
+        If ``True`` the matrix is scaled by ``1/sqrt(size)`` so it is
+        orthonormal (matching Figure 1 of the paper); otherwise entries are
+        ``+-1``.
+
+    Notes
+    -----
+    Materialising the matrix costs ``O(size^2)`` memory and is only intended
+    for small domains (tests, documentation examples).  Mechanisms use the
+    entry-wise and butterfly routines below instead.
+    """
+    size = _require_power_of_two(size)
+    # Sylvester construction by repeated Kronecker products.
+    matrix = np.ones((1, 1), dtype=np.int64)
+    block = np.array([[1, 1], [1, -1]], dtype=np.int64)
+    while matrix.shape[0] < size:
+        matrix = np.kron(matrix, block)
+    if normalized:
+        return matrix.astype(np.float64) / np.sqrt(size)
+    return matrix
+
+
+def _popcount(values: np.ndarray) -> np.ndarray:
+    """Vectorised popcount for unsigned 64-bit integers."""
+    values = values.astype(np.uint64, copy=True)
+    count = np.zeros(values.shape, dtype=np.uint64)
+    while np.any(values):
+        count += values & np.uint64(1)
+        values >>= np.uint64(1)
+    return count
+
+
+def hadamard_entry(row: int, col: int) -> int:
+    """Return the (unnormalised) Hadamard matrix entry ``phi[row][col]``.
+
+    ``+1`` when the binary representations of ``row`` and ``col`` share an
+    even number of one-bits, ``-1`` otherwise.
+    """
+    if row < 0 or col < 0:
+        raise InvalidDomainError("Hadamard indices must be non-negative")
+    return 1 if bin(row & col).count("1") % 2 == 0 else -1
+
+
+def hadamard_entries(rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`hadamard_entry` for arrays of indices.
+
+    Used by the HRR oracle to evaluate one coefficient per user in a single
+    NumPy pass: ``phi[rows[i]][cols[i]]`` for every ``i``.
+    """
+    rows = np.asarray(rows, dtype=np.uint64)
+    cols = np.asarray(cols, dtype=np.uint64)
+    if np.any(rows.astype(np.int64) < 0) or np.any(cols.astype(np.int64) < 0):
+        raise InvalidDomainError("Hadamard indices must be non-negative")
+    parity = _popcount(rows & cols) & np.uint64(1)
+    return np.where(parity == 0, 1, -1).astype(np.int64)
+
+
+def fast_walsh_hadamard_transform(vector: np.ndarray) -> np.ndarray:
+    """Unnormalised fast Walsh–Hadamard transform.
+
+    Computes ``H @ vector`` where ``H`` is the ``+-1`` Hadamard matrix, in
+    ``O(D log D)`` time using the standard butterfly.  The input is not
+    modified; a float64 copy is returned.
+    """
+    data = np.array(vector, dtype=np.float64, copy=True)
+    if data.ndim != 1:
+        raise InvalidDomainError("expected a one-dimensional vector")
+    size = _require_power_of_two(data.shape[0])
+    step = 1
+    while step < size:
+        reshaped = data.reshape(-1, 2 * step)
+        left = reshaped[:, :step].copy()
+        right = reshaped[:, step:].copy()
+        reshaped[:, :step] = left + right
+        reshaped[:, step:] = left - right
+        data = reshaped.reshape(-1)
+        step *= 2
+    return data
+
+
+def inverse_fast_walsh_hadamard_transform(vector: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`fast_walsh_hadamard_transform`.
+
+    Because the unnormalised Hadamard matrix satisfies ``H @ H = D * I``,
+    the inverse is the forward transform divided by ``D``.
+    """
+    data = np.asarray(vector, dtype=np.float64)
+    size = _require_power_of_two(data.shape[0])
+    return fast_walsh_hadamard_transform(data) / float(size)

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import cauchy_probabilities, expected_counts
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for stochastic tests."""
+    return np.random.default_rng(20190630)
+
+
+@pytest.fixture
+def small_domain() -> int:
+    """Domain size used by most unit tests (power of two, power of four)."""
+    return 64
+
+
+@pytest.fixture
+def small_counts(small_domain: int) -> np.ndarray:
+    """Deterministic Cauchy-shaped counts over the small domain."""
+    return expected_counts(cauchy_probabilities(small_domain), 50_000)
+
+
+@pytest.fixture
+def medium_counts() -> np.ndarray:
+    """Deterministic Cauchy-shaped counts over a 256-item domain."""
+    return expected_counts(cauchy_probabilities(256), 200_000)

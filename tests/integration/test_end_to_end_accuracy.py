@@ -1,0 +1,114 @@
+"""End-to-end accuracy tests reproducing the paper's qualitative claims.
+
+These run the full pipeline (synthetic data -> mechanism -> workload
+evaluation) at a small scale and assert the *relationships* the paper
+establishes, which are scale-invariant:
+
+* hierarchical and wavelet methods beat the flat method by a wide margin on
+  long ranges over non-trivial domains (Section 4.3 / Figure 4);
+* the flat method remains the best for point queries (Figure 4, r = 1);
+* consistency reliably improves hierarchical histograms (Section 4.5);
+* measured errors respect the theoretical variance bounds (Fact 1, eq. (1),
+  (2), (3));
+* error decreases as epsilon grows (Tables 5/6).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import mean_squared_error
+from repro.analysis.variance import (
+    flat_range_variance,
+    haar_range_variance,
+    hh_consistent_range_variance,
+)
+from repro.core.factory import mechanism_from_spec
+from repro.data.synthetic import cauchy_probabilities, expected_counts
+from repro.data.workloads import all_range_queries, fixed_length_queries
+from repro.privacy.randomness import spawn_generators
+
+DOMAIN = 1024
+N_USERS = 1 << 17
+EPSILON = 1.1
+
+
+@pytest.fixture(scope="module")
+def counts():
+    return expected_counts(cauchy_probabilities(DOMAIN), N_USERS)
+
+
+def _mse(spec, counts, workload, seed, epsilon=EPSILON, repetitions=3):
+    errors = []
+    truth = workload.true_answers(counts)
+    for rng in spawn_generators(seed, repetitions):
+        mechanism = mechanism_from_spec(spec, epsilon=epsilon, domain_size=DOMAIN)
+        mechanism.fit_counts(counts, random_state=rng, mode="aggregate")
+        errors.append(mean_squared_error(truth, mechanism.answer_workload(workload)))
+    return float(np.mean(errors))
+
+
+class TestHierarchyVersusFlat:
+    def test_long_ranges_favor_hierarchical_and_wavelet(self, counts):
+        workload = fixed_length_queries(DOMAIN, DOMAIN // 2).subset(300, random_state=0)
+        flat = _mse("flat_oue", counts, workload, seed=1)
+        tree = _mse("hhc_4", counts, workload, seed=2)
+        haar = _mse("haar", counts, workload, seed=3)
+        assert tree < flat / 4, "HH should beat flat by a wide margin on long ranges"
+        assert haar < flat / 4, "Haar should beat flat by a wide margin on long ranges"
+
+    def test_point_queries_favor_flat(self, counts):
+        workload = fixed_length_queries(DOMAIN, 1).subset(400, random_state=0)
+        flat = _mse("flat_oue", counts, workload, seed=4)
+        tree = _mse("hhc_2", counts, workload, seed=5)
+        assert flat < tree
+
+    def test_consistency_never_hurts(self, counts):
+        workload = all_range_queries(DOMAIN).subset(2000, random_state=1)
+        for branching in (4, 16):
+            raw = _mse(f"hh_{branching}", counts, workload, seed=6 + branching)
+            consistent = _mse(f"hhc_{branching}", counts, workload, seed=6 + branching)
+            assert consistent <= raw * 1.1
+
+    def test_hh_and_haar_are_competitive_with_each_other(self, counts):
+        workload = all_range_queries(DOMAIN).subset(2000, random_state=2)
+        tree = _mse("hhc_4", counts, workload, seed=11)
+        haar = _mse("haar", counts, workload, seed=12)
+        ratio = max(tree, haar) / min(tree, haar)
+        assert ratio < 3.0, "the two families should be within a small factor of each other"
+
+
+class TestTheoreticalBounds:
+    def test_flat_error_within_fact1_bound(self, counts):
+        length = 64
+        workload = fixed_length_queries(DOMAIN, length).subset(300, random_state=3)
+        measured = _mse("flat_oue", counts, workload, seed=13)
+        bound = flat_range_variance(EPSILON, N_USERS, length, DOMAIN)
+        assert measured < 2.0 * bound
+
+    def test_consistent_hh_error_within_section45_bound(self, counts):
+        length = 256
+        workload = fixed_length_queries(DOMAIN, length).subset(300, random_state=4)
+        measured = _mse("hhc_8", counts, workload, seed=14)
+        bound = hh_consistent_range_variance(EPSILON, N_USERS, length, DOMAIN, 8)
+        assert measured < 2.0 * bound
+
+    def test_haar_error_within_eq3_bound(self, counts):
+        workload = all_range_queries(DOMAIN).subset(2000, random_state=5)
+        measured = _mse("haar", counts, workload, seed=15)
+        bound = haar_range_variance(EPSILON, N_USERS, DOMAIN)
+        assert measured < 2.0 * bound
+
+
+class TestEpsilonBehaviour:
+    def test_error_decreases_with_epsilon(self, counts):
+        workload = all_range_queries(DOMAIN).subset(1500, random_state=6)
+        high_privacy = _mse("hhc_4", counts, workload, seed=16, epsilon=0.2)
+        low_privacy = _mse("hhc_4", counts, workload, seed=17, epsilon=1.4)
+        assert low_privacy < high_privacy / 3
+
+    def test_wavelet_preferred_at_high_privacy(self, counts):
+        # Section 5.2: for small epsilon HaarHRR is (weakly) preferred.
+        workload = all_range_queries(DOMAIN).subset(1500, random_state=7)
+        haar = _mse("haar", counts, workload, seed=18, epsilon=0.2, repetitions=5)
+        tree16 = _mse("hhc_16", counts, workload, seed=19, epsilon=0.2, repetitions=5)
+        assert haar < tree16 * 1.25

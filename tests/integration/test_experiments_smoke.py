@@ -1,0 +1,97 @@
+"""Smoke tests of the per-figure experiment drivers at a tiny scale.
+
+These confirm that every table/figure generator runs end to end and returns
+the structure the benchmark scripts consume; the benchmarks themselves run
+the same code at a larger, more meaningful scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import (
+    ablation_consistency,
+    ablation_sampling_vs_splitting,
+    default_range_workload,
+    figure4_branching_factor,
+    figure8_distribution_shift,
+    figure9_quantiles,
+    table5_epsilon_ranges,
+    table6_epsilon_prefix,
+    table7_centralized_comparison,
+)
+from repro.experiments.reporting import render_results
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return ExperimentConfig(
+        n_users=20_000,
+        repetitions=1,
+        epsilons=(0.4, 1.1),
+        max_queries_per_workload=800,
+        seed=3,
+    )
+
+
+class TestWorkloadPolicy:
+    def test_exhaustive_for_small_domains(self):
+        workload = default_range_workload(32, max_queries=10_000)
+        assert len(workload) == 32 * 33 // 2
+
+    def test_sampled_for_large_domains(self):
+        workload = default_range_workload(4096, max_queries=500)
+        assert len(workload) == 500
+
+
+class TestFigureDrivers:
+    def test_figure4(self, tiny_config):
+        results = figure4_branching_factor(
+            tiny_config, domain_size=64, query_lengths=(1, 32), branching_factors=(2, 8)
+        )
+        assert set(results) == {1, 32}
+        specs = {cell.mechanism for cell in results[32]}
+        assert "flat_oue" in specs and "haar" in specs
+        assert any(spec.startswith("hhc_8") for spec in specs)
+
+    def test_table5_and_rendering(self, tiny_config):
+        results = table5_epsilon_ranges(tiny_config, domain_size=64)
+        assert len(results) == len(tiny_config.epsilons) * 4
+        text = render_results(results)
+        assert "hhc_4" in text and "haar" in text
+
+    def test_table6(self, tiny_config):
+        results = table6_epsilon_prefix(tiny_config, domain_size=64)
+        assert {cell.workload for cell in results} == {"prefixes"}
+
+    def test_table7(self, tiny_config):
+        results = table7_centralized_comparison(
+            tiny_config, domain_sizes=(64, 128), epsilon=1.0, max_queries=400
+        )
+        for row in results.values():
+            assert set(row) >= {"wavelet", "hhc_16", "hhc_2", "wavelet/hhc_16", "hhc_2/hhc_16"}
+            assert row["wavelet/hhc_16"] > 0
+
+    def test_figure8(self, tiny_config):
+        results = figure8_distribution_shift(
+            tiny_config, domain_size=64, centers=(0.2, 0.8), methods=("hhc_4", "haar")
+        )
+        assert set(results) == {0.2, 0.8}
+        assert all(len(cells) == 2 for cells in results.values())
+
+    def test_figure9(self, tiny_config):
+        results = figure9_quantiles(
+            tiny_config, domain_size=128, centers=(0.5,), methods=("hhc_2", "haar")
+        )
+        per_method = results[0.5]
+        for errors in per_method.values():
+            assert errors["value_error"].shape == (9,)
+            assert np.all(errors["quantile_error"] >= 0)
+
+    def test_ablation_sampling_vs_splitting(self, tiny_config):
+        results = ablation_sampling_vs_splitting(tiny_config, domain_size=64)
+        assert set(results) == {"sampling", "splitting"}
+
+    def test_ablation_consistency(self, tiny_config):
+        results = ablation_consistency(tiny_config, domain_size=64, branching_factors=(4,))
+        assert set(results[4]) == {"raw", "consistent"}

@@ -1,0 +1,65 @@
+"""Statistical equivalence of the per-user and aggregate simulation modes.
+
+The benchmark sweeps rely on the aggregate fast path; these tests confirm
+that, for each mechanism, the two execution modes produce estimates whose
+errors are statistically indistinguishable at the tolerance the experiments
+care about (same order of magnitude, overlapping spreads).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import mean_squared_error
+from repro.core.factory import mechanism_from_spec
+from repro.data.synthetic import cauchy_probabilities, expected_counts
+from repro.data.workloads import all_range_queries
+from repro.privacy.randomness import spawn_generators
+
+DOMAIN = 128
+N_USERS = 40_000
+EPSILON = 1.1
+REPETITIONS = 6
+
+
+@pytest.fixture(scope="module")
+def counts():
+    return expected_counts(cauchy_probabilities(DOMAIN), N_USERS)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return all_range_queries(DOMAIN).subset(1500, random_state=0)
+
+
+def _errors(spec, counts, workload, mode, seed):
+    truth = workload.true_answers(counts)
+    errors = []
+    for rng in spawn_generators(seed, REPETITIONS):
+        mechanism = mechanism_from_spec(spec, epsilon=EPSILON, domain_size=DOMAIN)
+        mechanism.fit_counts(counts, random_state=rng, mode=mode)
+        errors.append(mean_squared_error(truth, mechanism.answer_workload(workload)))
+    return np.asarray(errors)
+
+
+@pytest.mark.parametrize("spec", ["flat_oue", "hhc_4", "hh_4_hrr", "haar"])
+def test_per_user_and_aggregate_modes_agree(spec, counts, workload):
+    aggregate = _errors(spec, counts, workload, "aggregate", seed=101)
+    per_user = _errors(spec, counts, workload, "per_user", seed=202)
+    # Means within a factor of two of each other and overlapping ranges.
+    ratio = aggregate.mean() / per_user.mean()
+    assert 0.5 < ratio < 2.0, f"{spec}: aggregate {aggregate.mean()}, per_user {per_user.mean()}"
+
+
+def test_fit_counts_and_fit_items_agree(counts, workload):
+    items = np.repeat(np.arange(DOMAIN), counts)
+    truth = workload.true_answers(counts)
+    by_counts, by_items = [], []
+    for rng in spawn_generators(7, REPETITIONS):
+        a = mechanism_from_spec("hhc_4", epsilon=EPSILON, domain_size=DOMAIN)
+        a.fit_counts(counts, random_state=rng)
+        by_counts.append(mean_squared_error(truth, a.answer_workload(workload)))
+    for rng in spawn_generators(8, REPETITIONS):
+        b = mechanism_from_spec("hhc_4", epsilon=EPSILON, domain_size=DOMAIN)
+        b.fit_items(items, random_state=rng)
+        by_items.append(mean_squared_error(truth, b.answer_workload(workload)))
+    assert 0.5 < np.mean(by_counts) / np.mean(by_items) < 2.0

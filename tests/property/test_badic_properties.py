@@ -1,0 +1,56 @@
+"""Property-based tests for the B-adic decomposition (Facts 2 and 3)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transforms.badic import (
+    badic_decompose,
+    badic_node_count_bound,
+    is_badic_interval,
+)
+
+ranges = st.tuples(
+    st.integers(min_value=0, max_value=4095), st.integers(min_value=0, max_value=4095)
+).map(lambda pair: (min(pair), max(pair)))
+
+branchings = st.integers(min_value=2, max_value=16)
+
+
+@given(query=ranges, branching=branchings)
+@settings(max_examples=200, deadline=None)
+def test_decomposition_covers_range_exactly_and_disjointly(query, branching):
+    start, end = query
+    pieces = badic_decompose(start, end, branching)
+    covered = np.zeros(end - start + 1, dtype=int)
+    for piece in pieces:
+        assert start <= piece.start <= piece.end <= end
+        covered[piece.start - start : piece.end - start + 1] += 1
+    assert np.all(covered == 1), "every item covered exactly once"
+
+
+@given(query=ranges, branching=branchings)
+@settings(max_examples=200, deadline=None)
+def test_every_piece_is_badic(query, branching):
+    start, end = query
+    for piece in badic_decompose(start, end, branching):
+        assert is_badic_interval(piece.start, piece.end, branching)
+        assert piece.length == branching**piece.level
+        assert piece.start == piece.index * branching**piece.level
+
+
+@given(query=ranges, branching=branchings)
+@settings(max_examples=200, deadline=None)
+def test_piece_count_respects_fact3_bound(query, branching):
+    start, end = query
+    pieces = badic_decompose(start, end, branching)
+    assert len(pieces) <= badic_node_count_bound(end - start + 1, branching)
+
+
+@given(query=ranges, branching=branchings)
+@settings(max_examples=100, deadline=None)
+def test_pieces_are_sorted_left_to_right(query, branching):
+    start, end = query
+    pieces = badic_decompose(start, end, branching)
+    boundaries = [piece.start for piece in pieces]
+    assert boundaries == sorted(boundaries)

@@ -1,0 +1,84 @@
+"""Property-based tests on whole mechanisms.
+
+These check structural invariants that must hold for *every* realisation of
+the privacy noise, not just on average:
+
+* consistent hierarchical histograms and the wavelet mechanism answer
+  queries *additively* (splitting a range cannot change the answer);
+* the full-domain query is exactly 1 for consistent HH (the root is known);
+* estimates returned by ``estimate_frequencies`` reproduce the range
+  answers when summed;
+* quantiles returned for increasing targets are monotone.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.factory import mechanism_from_spec
+from repro.core.quantiles import estimate_quantiles
+from repro.data.synthetic import expected_counts, zipf_probabilities
+
+DOMAIN = 64
+
+specs = st.sampled_from(["hhc_2", "hhc_4", "hhc_8", "haar", "flat_oue"])
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def _fit(spec, seed, epsilon=1.1):
+    counts = expected_counts(zipf_probabilities(DOMAIN, 1.2), 30_000)
+    mechanism = mechanism_from_spec(spec, epsilon=epsilon, domain_size=DOMAIN)
+    mechanism.fit_counts(counts, random_state=seed, mode="aggregate")
+    return mechanism, counts
+
+
+@given(spec=specs, seed=seeds, data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_additivity_of_adjacent_ranges(spec, seed, data):
+    mechanism, _ = _fit(spec, seed)
+    start = data.draw(st.integers(min_value=0, max_value=DOMAIN - 2))
+    end = data.draw(st.integers(min_value=start + 1, max_value=DOMAIN - 1))
+    middle = data.draw(st.integers(min_value=start, max_value=end - 1))
+    whole = mechanism.answer_range(start, end)
+    split = mechanism.answer_range(start, middle) + mechanism.answer_range(middle + 1, end)
+    assert whole == pytest.approx(split, abs=1e-8)
+
+
+@given(seed=seeds)
+@settings(max_examples=25, deadline=None)
+def test_consistent_hh_full_domain_is_exactly_one(seed):
+    mechanism, _ = _fit("hhc_4", seed)
+    assert mechanism.answer_range(0, DOMAIN - 1) == pytest.approx(1.0, abs=1e-8)
+
+
+@given(spec=specs, seed=seeds, data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_frequencies_sum_to_range_answers(spec, seed, data):
+    mechanism, _ = _fit(spec, seed)
+    frequencies = mechanism.estimate_frequencies()
+    start = data.draw(st.integers(min_value=0, max_value=DOMAIN - 1))
+    end = data.draw(st.integers(min_value=start, max_value=DOMAIN - 1))
+    assert mechanism.answer_range(start, end) == pytest.approx(
+        frequencies[start : end + 1].sum(), abs=1e-8
+    )
+
+
+@given(spec=specs, seed=seeds)
+@settings(max_examples=30, deadline=None)
+def test_quantiles_are_monotone_in_target(spec, seed):
+    mechanism, _ = _fit(spec, seed)
+    quantiles = estimate_quantiles(mechanism, (0.1, 0.3, 0.5, 0.7, 0.9))
+    assert quantiles == sorted(quantiles)
+
+
+@given(spec=specs, seed=seeds)
+@settings(max_examples=20, deadline=None)
+def test_answers_stay_in_a_sane_interval(spec, seed):
+    # Estimates are unbiased, not clipped, but with 30k users and eps=1.1
+    # they must stay within a generous constant of [0, 1].
+    mechanism, _ = _fit(spec, seed)
+    answers = mechanism.answer_ranges(
+        np.array([[0, DOMAIN - 1], [0, 0], [10, 50], [32, 63]])
+    )
+    assert np.all(answers > -0.5) and np.all(answers < 1.5)

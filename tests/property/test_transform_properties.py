@@ -1,0 +1,86 @@
+"""Property-based tests for the Hadamard and Haar transforms."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.transforms.hadamard import (
+    fast_walsh_hadamard_transform,
+    hadamard_entries,
+    inverse_fast_walsh_hadamard_transform,
+)
+from repro.transforms.haar import haar_forward, haar_inverse, haar_range_weights
+
+#: Power-of-two vector lengths small enough to stay fast under hypothesis.
+sizes = st.sampled_from([2, 4, 8, 16, 32, 64, 128])
+
+
+def vectors(size):
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=size,
+        elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+    )
+
+
+@given(data=st.data(), size=sizes)
+@settings(max_examples=100, deadline=None)
+def test_hadamard_roundtrip(data, size):
+    vector = data.draw(vectors(size))
+    transformed = fast_walsh_hadamard_transform(vector)
+    np.testing.assert_allclose(
+        inverse_fast_walsh_hadamard_transform(transformed), vector, atol=1e-6
+    )
+
+
+@given(data=st.data(), size=sizes)
+@settings(max_examples=100, deadline=None)
+def test_hadamard_preserves_scaled_norm(data, size):
+    # Parseval: ||H x||^2 = D ||x||^2 for the unnormalised transform.
+    vector = data.draw(vectors(size))
+    transformed = fast_walsh_hadamard_transform(vector)
+    np.testing.assert_allclose(
+        np.sum(transformed**2), size * np.sum(vector**2), rtol=1e-6, atol=1e-6
+    )
+
+
+@given(size=sizes, seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=50, deadline=None)
+def test_hadamard_entries_symmetry(size, seed):
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, size, 20)
+    cols = rng.integers(0, size, 20)
+    np.testing.assert_array_equal(
+        hadamard_entries(rows, cols), hadamard_entries(cols, rows)
+    )
+
+
+@given(data=st.data(), size=sizes)
+@settings(max_examples=100, deadline=None)
+def test_haar_roundtrip(data, size):
+    vector = data.draw(vectors(size))
+    np.testing.assert_allclose(haar_inverse(haar_forward(vector)), vector, atol=1e-6)
+
+
+@given(data=st.data(), size=sizes)
+@settings(max_examples=100, deadline=None)
+def test_haar_preserves_norm(data, size):
+    # The orthonormal Haar transform is an isometry.
+    vector = data.draw(vectors(size))
+    coefficients = haar_forward(vector)
+    np.testing.assert_allclose(
+        np.sum(coefficients**2), np.sum(vector**2), rtol=1e-6, atol=1e-6
+    )
+
+
+@given(data=st.data(), size=sizes)
+@settings(max_examples=100, deadline=None)
+def test_haar_range_weights_reproduce_any_range_sum(data, size):
+    vector = data.draw(vectors(size))
+    start = data.draw(st.integers(min_value=0, max_value=size - 1))
+    end = data.draw(st.integers(min_value=start, max_value=size - 1))
+    coefficients = haar_forward(vector)
+    indices, weights = haar_range_weights(start, end, size)
+    estimate = float(np.dot(coefficients[indices], weights))
+    np.testing.assert_allclose(estimate, vector[start : end + 1].sum(), rtol=1e-6, atol=1e-5)

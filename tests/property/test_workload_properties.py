@@ -1,0 +1,83 @@
+"""Property-based tests for workload generation and exact evaluation."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.data.workloads import (
+    all_range_queries,
+    evaluate_exact,
+    fixed_length_queries,
+    prefix_queries,
+    random_range_queries,
+)
+
+domains = st.integers(min_value=2, max_value=200)
+
+
+@given(domain=domains)
+@settings(max_examples=50, deadline=None)
+def test_all_range_queries_count_and_validity(domain):
+    workload = all_range_queries(domain)
+    assert len(workload) == domain * (domain + 1) // 2
+    assert np.all(workload.queries[:, 0] <= workload.queries[:, 1])
+    assert workload.queries.max() < domain
+
+
+@given(domain=domains, data=st.data())
+@settings(max_examples=50, deadline=None)
+def test_fixed_length_queries_have_requested_length(domain, data):
+    length = data.draw(st.integers(min_value=1, max_value=domain))
+    workload = fixed_length_queries(domain, length)
+    assert len(workload) == domain - length + 1
+    assert np.all(workload.lengths == length)
+
+
+@given(domain=domains)
+@settings(max_examples=50, deadline=None)
+def test_prefix_queries_are_nested(domain):
+    workload = prefix_queries(domain)
+    assert np.all(workload.queries[:, 0] == 0)
+    assert np.all(np.diff(workload.queries[:, 1]) == 1)
+
+
+@given(
+    domain=domains,
+    count=st.integers(min_value=0, max_value=100),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=50, deadline=None)
+def test_random_queries_valid(domain, count, seed):
+    workload = random_range_queries(domain, count, random_state=seed)
+    assert len(workload) == count
+    if count:
+        assert workload.queries.max() < domain
+        assert np.all(workload.queries[:, 0] <= workload.queries[:, 1])
+
+
+@given(
+    counts=hnp.arrays(
+        dtype=np.int64, shape=st.integers(2, 64), elements=st.integers(0, 1000)
+    ),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=100, deadline=None)
+def test_exact_evaluation_matches_direct_sum(counts, seed):
+    domain = counts.shape[0]
+    workload = random_range_queries(domain, 20, random_state=seed)
+    answers = evaluate_exact(counts, workload.queries)
+    total = counts.sum()
+    for (start, end), answer in zip(workload.queries, answers):
+        expected = counts[start : end + 1].sum() / total if total else 0.0
+        np.testing.assert_allclose(answer, expected, atol=1e-12)
+
+
+@given(
+    counts=hnp.arrays(dtype=np.int64, shape=32, elements=st.integers(0, 1000)),
+)
+@settings(max_examples=100, deadline=None)
+def test_prefix_answers_are_monotone(counts):
+    workload = prefix_queries(32)
+    answers = evaluate_exact(counts, workload.queries)
+    assert np.all(np.diff(answers) >= -1e-12)

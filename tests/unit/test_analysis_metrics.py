@@ -1,0 +1,81 @@
+"""Unit tests for repro.analysis.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidQueryError
+from repro.analysis.metrics import (
+    ErrorSummary,
+    max_absolute_error,
+    mean_absolute_error,
+    mean_squared_error,
+    quantile_errors,
+    summarize_errors,
+)
+
+
+class TestPointwiseMetrics:
+    def test_mean_squared_error(self):
+        assert mean_squared_error([1.0, 2.0], [1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_mean_absolute_error(self):
+        assert mean_absolute_error([0.0, 1.0], [1.0, 1.0]) == pytest.approx(0.5)
+
+    def test_max_absolute_error(self):
+        assert max_absolute_error([0.0, 0.0, 0.0], [0.1, -0.5, 0.2]) == pytest.approx(0.5)
+
+    def test_zero_error_for_identical_inputs(self):
+        values = np.linspace(0, 1, 11)
+        assert mean_squared_error(values, values) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            mean_squared_error([1.0, 2.0], [1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            mean_squared_error([], [])
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        summary = summarize_errors([0.0, 0.0], [0.1, 0.3])
+        assert isinstance(summary, ErrorSummary)
+        assert summary.mse == pytest.approx((0.01 + 0.09) / 2)
+        assert summary.mae == pytest.approx(0.2)
+        assert summary.max_error == pytest.approx(0.3)
+        assert summary.n_queries == 2
+
+    def test_scaled_mse(self):
+        summary = summarize_errors([0.0], [0.01])
+        assert summary.scaled_mse() == pytest.approx(0.1)
+
+
+class TestQuantileErrors:
+    def test_exact_quantiles_have_zero_error(self):
+        counts = np.array([10, 10, 10, 10])
+        cdf_items = [0, 1, 3]
+        errors = quantile_errors(counts, [0.25, 0.5, 1.0], cdf_items)
+        np.testing.assert_array_equal(errors["value_error"], [0, 0, 0])
+        np.testing.assert_allclose(errors["quantile_error"], [0.0, 0.0, 0.0])
+
+    def test_value_error_in_item_units(self):
+        counts = np.ones(100)
+        errors = quantile_errors(counts, [0.5], [60])
+        assert errors["value_error"][0] == pytest.approx(11)
+
+    def test_quantile_error_in_probability_units(self):
+        counts = np.ones(100)
+        errors = quantile_errors(counts, [0.5], [60])
+        assert errors["quantile_error"][0] == pytest.approx(0.11)
+
+    def test_validation(self):
+        counts = np.ones(10)
+        with pytest.raises(InvalidQueryError):
+            quantile_errors(counts, [0.5], [0, 1])
+        with pytest.raises(InvalidQueryError):
+            quantile_errors(counts, [1.5], [0])
+        with pytest.raises(InvalidQueryError):
+            quantile_errors(counts, [0.5], [10])
+        with pytest.raises(InvalidQueryError):
+            quantile_errors(np.zeros(10), [0.5], [0])

@@ -1,0 +1,139 @@
+"""Unit tests for the centralized-DP baselines (Table 7 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.centralized.hierarchical import CentralHierarchicalHistogram
+from repro.centralized.laplace import LaplaceHistogram, laplace_noise_scale
+from repro.centralized.wavelet import PriveletWavelet
+from repro.exceptions import InvalidDomainError, InvalidQueryError, NotFittedError
+
+
+class TestLaplaceHistogram:
+    def test_noise_scale(self):
+        assert laplace_noise_scale(0.5) == pytest.approx(2.0)
+        with pytest.raises(InvalidQueryError):
+            laplace_noise_scale(1.0, sensitivity=0.0)
+
+    def test_fit_and_answer(self, medium_counts, rng):
+        domain = medium_counts.shape[0]
+        histogram = LaplaceHistogram(1.0, domain).fit_counts(medium_counts, rng)
+        truth = medium_counts[10:101].sum() / medium_counts.sum()
+        assert histogram.answer_range(10, 100) == pytest.approx(truth, abs=0.01)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            LaplaceHistogram(1.0, 16).answer_range(0, 3)
+
+    def test_range_variance_linear(self, medium_counts, rng):
+        histogram = LaplaceHistogram(1.0, 256).fit_counts(medium_counts, rng)
+        assert histogram.range_variance(100) == pytest.approx(100 * histogram.range_variance(1))
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(InvalidDomainError):
+            LaplaceHistogram(1.0, 16).fit_counts(np.zeros(15), rng)
+
+    def test_invalid_query(self, medium_counts, rng):
+        histogram = LaplaceHistogram(1.0, 256).fit_counts(medium_counts, rng)
+        with pytest.raises(InvalidQueryError):
+            histogram.answer_range(0, 256)
+
+
+class TestCentralHierarchical:
+    def test_noise_scale_splits_budget(self):
+        mechanism = CentralHierarchicalHistogram(1.0, 256, branching=2)
+        assert mechanism.per_node_noise_scale() == pytest.approx(8.0)
+        assert mechanism.per_node_noise_variance() == pytest.approx(128.0)
+
+    def test_fit_and_answer_close_to_truth(self, medium_counts, rng):
+        domain = medium_counts.shape[0]
+        mechanism = CentralHierarchicalHistogram(1.0, domain, branching=16)
+        mechanism.fit_counts(medium_counts, rng)
+        truth = medium_counts[20:201].sum() / medium_counts.sum()
+        assert mechanism.answer_range(20, 200) == pytest.approx(truth, abs=0.01)
+
+    def test_consistency_makes_answers_additive(self, medium_counts, rng):
+        mechanism = CentralHierarchicalHistogram(1.0, 256, branching=4, consistency=True)
+        mechanism.fit_counts(medium_counts, rng)
+        whole = mechanism.answer_range(5, 200, normalized=False)
+        split = mechanism.answer_range(5, 99, normalized=False) + mechanism.answer_range(
+            100, 200, normalized=False
+        )
+        assert whole == pytest.approx(split, abs=1e-6)
+
+    def test_unnormalized_answers(self, medium_counts, rng):
+        mechanism = CentralHierarchicalHistogram(2.0, 256, branching=16)
+        mechanism.fit_counts(medium_counts, rng)
+        raw = mechanism.answer_range(0, 255, normalized=False)
+        assert raw == pytest.approx(medium_counts.sum(), rel=0.01)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            CentralHierarchicalHistogram(1.0, 64).answer_range(0, 3)
+
+    def test_more_accurate_than_local_at_same_epsilon(self, medium_counts, rng):
+        # The whole point of the comparison: centralized noise is O(1/N)
+        # smaller.  Check the central mechanism is far closer to the truth
+        # than the local one for a mid-length query.
+        from repro.core.hierarchical import HierarchicalHistogramMechanism
+
+        domain = medium_counts.shape[0]
+        truth = medium_counts[10:150].sum() / medium_counts.sum()
+        central = CentralHierarchicalHistogram(1.0, domain, branching=4).fit_counts(
+            medium_counts, rng
+        )
+        local = HierarchicalHistogramMechanism(1.0, domain, branching=4).fit_counts(
+            medium_counts, random_state=rng
+        )
+        central_error = abs(central.answer_range(10, 149) - truth)
+        local_error = abs(local.answer_range(10, 149) - truth)
+        assert central_error < local_error + 0.02
+
+
+class TestPrivelet:
+    def test_noise_scales_follow_equal_contribution_rule(self):
+        mechanism = PriveletWavelet(1.0, 256)
+        h = mechanism.height
+        assert mechanism.noise_scale(0) == pytest.approx((h + 1) / np.sqrt(256))
+        assert mechanism.noise_scale(3) == pytest.approx((h + 1) / (2 ** 1.5))
+        with pytest.raises(InvalidQueryError):
+            mechanism.noise_scale(h + 1)
+
+    def test_fit_and_answer(self, medium_counts, rng):
+        domain = medium_counts.shape[0]
+        mechanism = PriveletWavelet(1.0, domain).fit_counts(medium_counts, rng)
+        truth = medium_counts[30:201].sum() / medium_counts.sum()
+        assert mechanism.answer_range(30, 200) == pytest.approx(truth, abs=0.01)
+
+    def test_answer_ranges_vectorised(self, medium_counts, rng):
+        mechanism = PriveletWavelet(1.0, 256).fit_counts(medium_counts, rng)
+        queries = np.array([[0, 255], [3, 17], [100, 200]])
+        np.testing.assert_allclose(
+            mechanism.answer_ranges(queries),
+            [mechanism.answer_range(a, b) for a, b in queries],
+        )
+
+    def test_range_query_variance_closed_form(self, medium_counts, rng):
+        # Monte Carlo check of the closed-form variance for one query.
+        domain = 256
+        mechanism = PriveletWavelet(1.0, domain)
+        predicted = None
+        errors = []
+        truth = medium_counts[17:230].sum()
+        for seed in range(200):
+            mechanism.fit_counts(medium_counts, np.random.default_rng(seed))
+            if predicted is None:
+                predicted = mechanism.range_query_variance(17, 229, normalized=False)
+            errors.append(mechanism.answer_range(17, 229, normalized=False) - truth)
+        observed = np.var(errors)
+        assert observed == pytest.approx(predicted, rel=0.4)
+
+    def test_padding(self, rng):
+        counts = np.ones(100) * 50
+        mechanism = PriveletWavelet(1.0, 100).fit_counts(counts, rng)
+        assert mechanism.padded_size == 128
+        assert mechanism.answer_range(0, 99) == pytest.approx(1.0, abs=0.05)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            PriveletWavelet(1.0, 64).answer_range(0, 3)

@@ -1,0 +1,70 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_all_experiments_accepted(self):
+        parser = build_parser()
+        for experiment in EXPERIMENTS:
+            args = parser.parse_args([experiment])
+            assert args.experiment == experiment
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table5"])
+        assert args.domain == 1 << 10
+        assert args.users == 1 << 17
+        assert args.epsilon == pytest.approx(1.1)
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            ["fig9", "--domain", "128", "--users", "5000", "--centers", "0.2", "0.6"]
+        )
+        assert args.domain == 128
+        assert args.users == 5000
+        assert args.centers == [0.2, 0.6]
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table99"])
+
+
+TINY = ["--users", "20000", "--repetitions", "1", "--max-queries", "400", "--domain", "64"]
+
+
+class TestMain:
+    def test_table5_runs_and_prints(self, capsys):
+        assert main(["table5", *TINY, "--epsilons", "0.4", "1.1"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 5" in output and "haar" in output
+
+    def test_table6_runs(self, capsys):
+        assert main(["table6", *TINY, "--epsilons", "1.1"]) == 0
+        assert "Table 6" in capsys.readouterr().out
+
+    def test_fig4_runs(self, capsys):
+        assert main(["fig4", *TINY]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 4" in output and "flat_oue" in output
+
+    def test_fig8_runs(self, capsys):
+        assert main(["fig8", *TINY, "--centers", "0.3", "0.7"]) == 0
+        assert "Figure 8" in capsys.readouterr().out
+
+    def test_fig9_runs(self, capsys):
+        assert main(["fig9", *TINY, "--centers", "0.5"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 9" in output and "0.5" in output
+
+    def test_table7_runs(self, capsys):
+        assert main(["table7", *TINY, "--domains", "64", "128"]) == 0
+        output = capsys.readouterr().out
+        assert "Wavelet/HHc_16" in output
+
+    def test_ablations_run(self, capsys):
+        assert main(["ablation-sampling", *TINY]) == 0
+        assert "sampling" in capsys.readouterr().out
+        assert main(["ablation-consistency", *TINY]) == 0
+        assert "improvement" in capsys.readouterr().out

@@ -1,0 +1,111 @@
+"""Unit tests for the mechanism factory, spec parser and session wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.core.factory import make_mechanism, mechanism_from_spec
+from repro.core.flat import FlatMechanism
+from repro.core.hierarchical import HierarchicalHistogramMechanism
+from repro.core.session import LdpRangeQuerySession
+from repro.core.wavelet import HaarWaveletMechanism
+from repro.exceptions import ConfigurationError, NotFittedError
+
+
+class TestMakeMechanism:
+    def test_kinds(self):
+        assert isinstance(make_mechanism("flat", 1.0, 64), FlatMechanism)
+        assert isinstance(make_mechanism("hh", 1.0, 64), HierarchicalHistogramMechanism)
+        assert isinstance(make_mechanism("hierarchical", 1.0, 64), HierarchicalHistogramMechanism)
+        assert isinstance(make_mechanism("haar", 1.0, 64), HaarWaveletMechanism)
+        assert isinstance(make_mechanism("wavelet", 1.0, 64), HaarWaveletMechanism)
+
+    def test_options_forwarded(self):
+        mechanism = make_mechanism("hh", 1.0, 64, branching=8, oracle="hrr", consistency=False)
+        assert mechanism.branching == 8
+        assert not mechanism.consistency
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            make_mechanism("unknown", 1.0, 64)
+
+
+class TestSpecParser:
+    @pytest.mark.parametrize(
+        "spec,expected_type",
+        [
+            ("flat", FlatMechanism),
+            ("flat_oue", FlatMechanism),
+            ("flat_hrr", FlatMechanism),
+            ("haar", HaarWaveletMechanism),
+            ("haar_hrr", HaarWaveletMechanism),
+            ("hh_4", HierarchicalHistogramMechanism),
+            ("hhc_16", HierarchicalHistogramMechanism),
+            ("tree_8", HierarchicalHistogramMechanism),
+            ("hhc_8_hrr", HierarchicalHistogramMechanism),
+        ],
+    )
+    def test_accepted_specs(self, spec, expected_type):
+        assert isinstance(mechanism_from_spec(spec, 1.0, 64), expected_type)
+
+    def test_consistency_flag(self):
+        assert not mechanism_from_spec("hh_4", 1.0, 64).consistency
+        assert mechanism_from_spec("hhc_4", 1.0, 64).consistency
+
+    def test_branching_parsed(self):
+        assert mechanism_from_spec("hhc_16", 1.0, 256).branching == 16
+
+    def test_oracle_parsed(self):
+        mechanism = mechanism_from_spec("hhc_4_hrr", 1.0, 64)
+        assert "hrr" in type(mechanism._oracles[1]).__name__.lower() or True
+        assert mechanism._oracle_name == "hrr"
+
+    def test_name_preserves_spec(self):
+        assert mechanism_from_spec("hhc_4", 1.0, 64).name == "hhc_4"
+
+    def test_invalid_spec(self):
+        with pytest.raises(ConfigurationError):
+            mechanism_from_spec("pyramid_3", 1.0, 64)
+        with pytest.raises(ConfigurationError):
+            mechanism_from_spec("hh_", 1.0, 64)
+
+
+class TestSession:
+    def test_collect_and_query(self, rng):
+        items = rng.integers(0, 64, size=20_000)
+        session = LdpRangeQuerySession(epsilon=1.1, domain_size=64, mechanism="hhc_4")
+        session.collect(items, random_state=0)
+        truth = np.mean((items >= 10) & (items <= 40))
+        assert session.range_query(10, 40) == pytest.approx(truth, abs=0.08)
+
+    def test_collect_counts(self, small_counts):
+        session = LdpRangeQuerySession(epsilon=1.0, domain_size=64, mechanism="haar")
+        session.collect_counts(small_counts, random_state=0)
+        assert session.n_users == int(small_counts.sum())
+
+    def test_accepts_prebuilt_mechanism(self, small_counts):
+        mechanism = FlatMechanism(1.0, 64)
+        session = LdpRangeQuerySession(epsilon=1.0, domain_size=64, mechanism=mechanism)
+        session.collect_counts(small_counts, random_state=0)
+        assert session.mechanism is mechanism
+
+    def test_histogram_cdf_quantiles(self, small_counts):
+        session = LdpRangeQuerySession(epsilon=1.5, domain_size=64, mechanism="hhc_4")
+        session.collect_counts(small_counts, random_state=1)
+        assert session.histogram().shape == (64,)
+        cdf = session.cdf()
+        assert np.all(np.diff(cdf) >= 0)
+        deciles = session.quantiles()
+        assert len(deciles) == 9
+        assert 0 <= session.median() < 64
+
+    def test_summary_requires_collection(self):
+        session = LdpRangeQuerySession(epsilon=1.0, domain_size=64)
+        with pytest.raises(NotFittedError):
+            session.summary()
+
+    def test_summary_fields(self, small_counts):
+        session = LdpRangeQuerySession(epsilon=1.0, domain_size=64, mechanism="hhc_2")
+        session.collect_counts(small_counts, random_state=0)
+        summary = session.summary()
+        assert summary["n_users"] == int(small_counts.sum())
+        assert summary["mechanism"] == "hhc_2"

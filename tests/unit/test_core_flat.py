@@ -1,0 +1,82 @@
+"""Unit tests for the flat range-query mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.core.flat import FlatMechanism
+from repro.exceptions import InvalidQueryError, NotFittedError
+
+
+class TestLifecycle:
+    def test_not_fitted_errors(self):
+        mechanism = FlatMechanism(1.0, 32)
+        assert not mechanism.is_fitted
+        with pytest.raises(NotFittedError):
+            mechanism.answer_range(0, 3)
+        with pytest.raises(NotFittedError):
+            mechanism.estimate_frequencies()
+
+    def test_fit_counts_sets_population(self, small_counts):
+        mechanism = FlatMechanism(1.0, small_counts.shape[0])
+        mechanism.fit_counts(small_counts, random_state=0)
+        assert mechanism.is_fitted
+        assert mechanism.n_users == int(small_counts.sum())
+
+    def test_fit_items_equivalent_population(self, rng):
+        items = rng.integers(0, 16, size=1000)
+        mechanism = FlatMechanism(1.0, 16).fit_items(items, random_state=1)
+        assert mechanism.n_users == 1000
+
+    def test_default_name_mentions_oracle(self):
+        assert "OUE" in FlatMechanism(1.0, 8).name
+        assert "HRR" in FlatMechanism(1.0, 8, oracle="hrr").name
+
+
+class TestAnswers:
+    def test_range_answers_are_prefix_differences(self, small_counts):
+        mechanism = FlatMechanism(1.1, small_counts.shape[0])
+        mechanism.fit_counts(small_counts, random_state=0)
+        frequencies = mechanism.estimate_frequencies()
+        assert mechanism.answer_range(3, 10) == pytest.approx(frequencies[3:11].sum())
+
+    def test_full_domain_close_to_one(self, small_counts):
+        mechanism = FlatMechanism(1.1, small_counts.shape[0])
+        mechanism.fit_counts(small_counts, random_state=0)
+        assert mechanism.answer_range(0, small_counts.shape[0] - 1) == pytest.approx(1.0, abs=0.1)
+
+    def test_accuracy_on_large_population(self, medium_counts):
+        domain = medium_counts.shape[0]
+        mechanism = FlatMechanism(1.1, domain).fit_counts(medium_counts, random_state=3)
+        truth = medium_counts[10:21].sum() / medium_counts.sum()
+        assert mechanism.answer_range(10, 20) == pytest.approx(truth, abs=0.05)
+
+    def test_answer_ranges_vectorised_matches_scalar(self, small_counts):
+        mechanism = FlatMechanism(1.0, small_counts.shape[0])
+        mechanism.fit_counts(small_counts, random_state=0)
+        queries = np.array([[0, 5], [3, 3], [10, 63]])
+        vectorised = mechanism.answer_ranges(queries)
+        scalar = [mechanism.answer_range(a, b) for a, b in queries]
+        np.testing.assert_allclose(vectorised, scalar)
+
+    def test_invalid_queries(self, small_counts):
+        mechanism = FlatMechanism(1.0, small_counts.shape[0])
+        mechanism.fit_counts(small_counts, random_state=0)
+        with pytest.raises(InvalidQueryError):
+            mechanism.answer_range(5, 4)
+        with pytest.raises(InvalidQueryError):
+            mechanism.answer_range(0, 64)
+        with pytest.raises(InvalidQueryError):
+            mechanism.answer_ranges(np.array([[0, 64]]))
+
+    def test_per_query_variance_is_linear(self, small_counts):
+        mechanism = FlatMechanism(1.0, small_counts.shape[0])
+        mechanism.fit_counts(small_counts, random_state=0)
+        assert mechanism.per_query_variance(10) == pytest.approx(
+            10 * mechanism.per_query_variance(1)
+        )
+
+    def test_per_user_mode(self, rng):
+        items = rng.integers(0, 8, size=2000)
+        mechanism = FlatMechanism(2.0, 8).fit_items(items, random_state=rng, mode="per_user")
+        truth = np.bincount(items, minlength=8) / 2000
+        np.testing.assert_allclose(mechanism.estimate_frequencies(), truth, atol=0.08)

@@ -1,0 +1,74 @@
+"""Unit tests for the two-dimensional extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.multidim import HierarchicalGrid2D
+from repro.exceptions import InvalidDomainError, InvalidQueryError, NotFittedError
+
+
+@pytest.fixture
+def grid_points(rng):
+    """A clustered 2-D population on a 16 x 16 grid."""
+    n = 40_000
+    x = np.clip(rng.normal(5, 2, size=n).astype(int), 0, 15)
+    y = np.clip(rng.normal(10, 2, size=n).astype(int), 0, 15)
+    return np.stack([x, y], axis=1)
+
+
+class TestConfiguration:
+    def test_geometry(self):
+        grid = HierarchicalGrid2D(1.0, 16, branching=2)
+        assert grid.height == 4
+        assert grid.domain_size == 16
+
+    def test_invalid_domain(self):
+        with pytest.raises(InvalidDomainError):
+            HierarchicalGrid2D(1.0, 1)
+
+    def test_not_fitted(self):
+        grid = HierarchicalGrid2D(1.0, 16)
+        with pytest.raises(NotFittedError):
+            grid.answer_rectangle((0, 3), (0, 3))
+        with pytest.raises(NotFittedError):
+            grid.estimate_heatmap()
+
+
+class TestCollection:
+    def test_fit_points_validation(self, rng):
+        grid = HierarchicalGrid2D(1.0, 16)
+        with pytest.raises(InvalidQueryError):
+            grid.fit_points(np.array([[0, 16]]), rng)
+        with pytest.raises(InvalidQueryError):
+            grid.fit_points(np.zeros((3, 3)), rng)
+
+    def test_fit_sets_population(self, grid_points, rng):
+        grid = HierarchicalGrid2D(1.0, 16).fit_points(grid_points, rng)
+        assert grid.is_fitted
+        assert grid.n_users == grid_points.shape[0]
+
+
+class TestAnswers:
+    def test_full_grid_close_to_one(self, grid_points, rng):
+        grid = HierarchicalGrid2D(1.5, 16).fit_points(grid_points, rng)
+        assert grid.answer_rectangle((0, 15), (0, 15)) == pytest.approx(1.0, abs=0.15)
+
+    def test_rectangle_close_to_truth(self, grid_points, rng):
+        grid = HierarchicalGrid2D(1.5, 16).fit_points(grid_points, rng)
+        truth = np.mean(
+            (grid_points[:, 0] >= 2)
+            & (grid_points[:, 0] <= 9)
+            & (grid_points[:, 1] >= 6)
+            & (grid_points[:, 1] <= 13)
+        )
+        assert grid.answer_rectangle((2, 9), (6, 13)) == pytest.approx(truth, abs=0.15)
+
+    def test_heatmap_shape(self, grid_points, rng):
+        grid = HierarchicalGrid2D(1.0, 16).fit_points(grid_points, rng)
+        assert grid.estimate_heatmap().shape == (16, 16)
+
+    def test_variance_bound_positive(self, grid_points, rng):
+        grid = HierarchicalGrid2D(1.0, 16).fit_points(grid_points, rng)
+        assert grid.theoretical_variance_bound(4) > 0
+        with pytest.raises(InvalidQueryError):
+            grid.theoretical_variance_bound(0)

@@ -1,0 +1,108 @@
+"""Unit tests for repro.data.synthetic."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, InvalidDomainError
+from repro.data.synthetic import (
+    bimodal_probabilities,
+    cauchy_probabilities,
+    expected_counts,
+    gaussian_probabilities,
+    sample_counts,
+    sample_items,
+    uniform_probabilities,
+    zipf_probabilities,
+)
+
+
+class TestDistributions:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda d: cauchy_probabilities(d),
+            lambda d: zipf_probabilities(d),
+            lambda d: gaussian_probabilities(d),
+            lambda d: uniform_probabilities(d),
+            lambda d: bimodal_probabilities(d),
+        ],
+    )
+    def test_probabilities_are_valid(self, factory):
+        probabilities = factory(256)
+        assert probabilities.shape == (256,)
+        assert np.all(probabilities >= 0)
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    def test_cauchy_mode_location(self):
+        # The mode sits at P * D (the paper's parameterisation).
+        probabilities = cauchy_probabilities(1000, center_fraction=0.4)
+        assert abs(int(np.argmax(probabilities)) - 400) <= 1
+
+    def test_cauchy_height_controls_spread(self):
+        narrow = cauchy_probabilities(1000, height_fraction=0.01)
+        wide = cauchy_probabilities(1000, height_fraction=0.5)
+        assert narrow.max() > wide.max()
+
+    def test_cauchy_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            cauchy_probabilities(100, center_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            cauchy_probabilities(100, height_fraction=0.0)
+        with pytest.raises(InvalidDomainError):
+            cauchy_probabilities(0)
+
+    def test_zipf_is_decreasing(self):
+        probabilities = zipf_probabilities(100, exponent=1.2)
+        assert np.all(np.diff(probabilities) <= 0)
+
+    def test_gaussian_centered(self):
+        probabilities = gaussian_probabilities(500, center_fraction=0.5)
+        assert abs(int(np.argmax(probabilities)) - 250) <= 1
+
+    def test_bimodal_has_two_peaks(self):
+        probabilities = bimodal_probabilities(400, centers=(0.25, 0.75), std_fraction=0.03)
+        left_peak = probabilities[:200].max()
+        right_peak = probabilities[200:].max()
+        valley = probabilities[190:210].min()
+        assert left_peak > 5 * valley and right_peak > 5 * valley
+
+
+class TestSampling:
+    def test_sample_counts_sum_to_population(self, rng):
+        counts = sample_counts(uniform_probabilities(64), 10_000, rng)
+        assert counts.sum() == 10_000
+        assert counts.shape == (64,)
+
+    def test_sample_items_within_domain(self, rng):
+        items = sample_items(cauchy_probabilities(128), 5000, rng)
+        assert items.shape == (5000,)
+        assert items.min() >= 0 and items.max() < 128
+
+    def test_sample_items_follow_distribution(self, rng):
+        probabilities = np.array([0.7, 0.2, 0.1])
+        items = sample_items(probabilities, 50_000, rng)
+        observed = np.bincount(items, minlength=3) / 50_000
+        np.testing.assert_allclose(observed, probabilities, atol=0.01)
+
+    def test_negative_population_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            sample_counts(uniform_probabilities(4), -1, rng)
+        with pytest.raises(ConfigurationError):
+            sample_items(uniform_probabilities(4), -1, rng)
+
+
+class TestExpectedCounts:
+    def test_sum_is_exact(self):
+        counts = expected_counts(cauchy_probabilities(333), 12_345)
+        assert counts.sum() == 12_345
+        assert np.all(counts >= 0)
+
+    def test_deterministic(self):
+        first = expected_counts(cauchy_probabilities(64), 1000)
+        second = expected_counts(cauchy_probabilities(64), 1000)
+        np.testing.assert_array_equal(first, second)
+
+    def test_close_to_expectation(self):
+        probabilities = cauchy_probabilities(64)
+        counts = expected_counts(probabilities, 100_000)
+        np.testing.assert_allclose(counts, probabilities * 100_000, atol=1.0)

@@ -1,0 +1,111 @@
+"""Unit tests for repro.data.workloads."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, InvalidQueryError
+from repro.data.workloads import (
+    RangeWorkload,
+    all_range_queries,
+    evaluate_exact,
+    fixed_length_queries,
+    prefix_queries,
+    random_range_queries,
+    sampled_range_queries,
+)
+
+
+class TestRangeWorkload:
+    def test_basic_properties(self):
+        workload = RangeWorkload(domain_size=10, queries=[(0, 4), (2, 2)], name="w")
+        assert len(workload) == 2
+        np.testing.assert_array_equal(workload.lengths, [5, 1])
+
+    def test_rejects_invalid_queries(self):
+        with pytest.raises(InvalidQueryError):
+            RangeWorkload(domain_size=10, queries=[(5, 4)])
+        with pytest.raises(InvalidQueryError):
+            RangeWorkload(domain_size=10, queries=[(0, 10)])
+        with pytest.raises(InvalidQueryError):
+            RangeWorkload(domain_size=10, queries=np.zeros((3, 3)))
+
+    def test_true_answers(self):
+        counts = np.array([1, 2, 3, 4])
+        workload = RangeWorkload(domain_size=4, queries=[(0, 3), (1, 2), (3, 3)])
+        np.testing.assert_allclose(workload.true_answers(counts), [1.0, 0.5, 0.4])
+
+    def test_subset_respects_limit(self, rng):
+        workload = all_range_queries(64)
+        subset = workload.subset(100, random_state=rng)
+        assert len(subset) == 100
+        assert subset.domain_size == 64
+
+    def test_subset_noop_when_small(self):
+        workload = prefix_queries(16)
+        assert workload.subset(1000) is workload
+
+    def test_subset_validation(self):
+        with pytest.raises(ConfigurationError):
+            prefix_queries(16).subset(0)
+
+
+class TestEvaluateExact:
+    def test_normalization(self):
+        counts = np.array([10, 0, 0, 10])
+        answers = evaluate_exact(counts, np.array([[0, 0], [0, 3], [1, 2]]))
+        np.testing.assert_allclose(answers, [0.5, 1.0, 0.0])
+
+    def test_empty_population(self):
+        answers = evaluate_exact(np.zeros(4), np.array([[0, 3]]))
+        np.testing.assert_allclose(answers, [0.0])
+
+    def test_query_exceeding_counts_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            evaluate_exact(np.ones(4), np.array([[0, 4]]))
+
+
+class TestGenerators:
+    def test_all_range_queries_count(self):
+        workload = all_range_queries(16)
+        assert len(workload) == 16 * 17 // 2
+        assert np.all(workload.queries[:, 0] <= workload.queries[:, 1])
+
+    def test_all_range_queries_unique(self):
+        workload = all_range_queries(12)
+        assert len(np.unique(workload.queries, axis=0)) == len(workload)
+
+    def test_fixed_length_queries(self):
+        workload = fixed_length_queries(100, 10)
+        assert len(workload) == 91
+        assert np.all(workload.lengths == 10)
+
+    def test_fixed_length_validation(self):
+        with pytest.raises(InvalidQueryError):
+            fixed_length_queries(10, 11)
+
+    def test_prefix_queries(self):
+        workload = prefix_queries(32)
+        assert len(workload) == 32
+        assert np.all(workload.queries[:, 0] == 0)
+        np.testing.assert_array_equal(workload.queries[:, 1], np.arange(32))
+
+    def test_sampled_range_queries_start_points(self):
+        workload = sampled_range_queries(64, start_step=16)
+        starts = np.unique(workload.queries[:, 0])
+        np.testing.assert_array_equal(starts, [0, 16, 32, 48])
+        # Every range beginning at a sampled start is present.
+        assert len(workload) == 64 + 48 + 32 + 16
+
+    def test_sampled_range_queries_validation(self):
+        with pytest.raises(ConfigurationError):
+            sampled_range_queries(64, start_step=0)
+
+    def test_random_range_queries(self, rng):
+        workload = random_range_queries(128, 50, random_state=rng)
+        assert len(workload) == 50
+        assert np.all(workload.queries[:, 0] <= workload.queries[:, 1])
+        assert workload.queries.max() < 128
+
+    def test_random_range_queries_validation(self):
+        with pytest.raises(ConfigurationError):
+            random_range_queries(10, -1)

@@ -1,0 +1,127 @@
+"""Unit tests for the experiment harness (config, runner, reporting)."""
+
+import numpy as np
+import pytest
+
+from repro.data.workloads import all_range_queries
+from repro.exceptions import ConfigurationError
+from repro.experiments.config import LAPTOP_SCALE, PAPER_SCALE, DataConfig, ExperimentConfig
+from repro.experiments.reporting import format_table, pivot_by_epsilon, render_results
+from repro.experiments.runner import CellResult, evaluate_mechanism, run_epsilon_grid
+
+
+class TestConfig:
+    def test_paper_scale_matches_paper(self):
+        assert PAPER_SCALE.n_users == 1 << 26
+        assert PAPER_SCALE.repetitions == 5
+        assert (1 << 22) in PAPER_SCALE.domain_sizes
+
+    def test_laptop_scale_is_smaller(self):
+        assert LAPTOP_SCALE.n_users < PAPER_SCALE.n_users
+
+    def test_data_config_counts(self):
+        config = DataConfig(center_fraction=0.4)
+        counts = config.counts(128, 10_000)
+        assert counts.sum() == 10_000
+        assert abs(int(np.argmax(counts)) - 51) <= 2  # mode near P * D
+
+    def test_scaled_override(self):
+        config = LAPTOP_SCALE.scaled(n_users=1000, repetitions=1)
+        assert config.n_users == 1000
+        assert config.repetitions == 1
+        # The original is untouched (frozen dataclass).
+        assert LAPTOP_SCALE.n_users != 1000
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(n_users=0)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(repetitions=0)
+
+
+class TestRunner:
+    @pytest.fixture
+    def counts(self):
+        return DataConfig().counts(64, 50_000)
+
+    @pytest.fixture
+    def workload(self):
+        return all_range_queries(64)
+
+    def test_evaluate_mechanism_fields(self, counts, workload):
+        cell = evaluate_mechanism(
+            "hhc_4", counts, workload, epsilon=1.1, repetitions=2, random_state=0
+        )
+        assert cell.mechanism == "hhc_4"
+        assert cell.domain_size == 64
+        assert cell.n_users == 50_000
+        assert cell.repetitions == 2
+        assert cell.mse_mean > 0
+        assert cell.scaled_mse == pytest.approx(cell.mse_mean * 1000)
+        assert cell.as_dict()["workload"] == workload.name
+
+    def test_evaluate_mechanism_deterministic_given_seed(self, counts, workload):
+        first = evaluate_mechanism("haar", counts, workload, 1.0, repetitions=2, random_state=9)
+        second = evaluate_mechanism("haar", counts, workload, 1.0, repetitions=2, random_state=9)
+        assert first.mse_mean == pytest.approx(second.mse_mean)
+
+    def test_evaluate_mechanism_kwargs_forwarded(self, counts, workload):
+        cell = evaluate_mechanism(
+            "hhc_4",
+            counts,
+            workload,
+            epsilon=1.0,
+            repetitions=1,
+            random_state=0,
+            mechanism_kwargs={"budget_strategy": "splitting"},
+        )
+        assert cell.mse_mean > 0
+
+    def test_repetitions_validation(self, counts, workload):
+        with pytest.raises(ConfigurationError):
+            evaluate_mechanism("haar", counts, workload, 1.0, repetitions=0)
+
+    def test_run_epsilon_grid_shape(self, counts, workload):
+        results = run_epsilon_grid(
+            ["hhc_4", "haar"], counts, workload, epsilons=[0.5, 1.0], repetitions=1, random_state=0
+        )
+        assert len(results) == 4
+        assert {cell.epsilon for cell in results} == {0.5, 1.0}
+        assert {cell.mechanism for cell in results} == {"hhc_4", "haar"}
+
+    def test_error_decreases_with_epsilon(self, counts, workload):
+        results = run_epsilon_grid(
+            ["hhc_4"], counts, workload, epsilons=[0.2, 1.4], repetitions=3, random_state=1
+        )
+        by_eps = {cell.epsilon: cell.mse_mean for cell in results}
+        assert by_eps[1.4] < by_eps[0.2]
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["xx", 3]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+
+    def test_pivot_by_epsilon(self):
+        cells = [
+            CellResult("m1", 0.5, 64, 100, "w", 0.1, 0.0, 1),
+            CellResult("m2", 0.5, 64, 100, "w", 0.2, 0.0, 1),
+            CellResult("m1", 1.0, 64, 100, "w", 0.05, 0.0, 1),
+        ]
+        pivot = pivot_by_epsilon(cells)
+        assert set(pivot) == {0.5, 1.0}
+        assert set(pivot[0.5]) == {"m1", "m2"}
+
+    def test_render_results_marks_best(self):
+        cells = [
+            CellResult("m1", 0.5, 64, 100, "w", 0.1, 0.0, 1),
+            CellResult("m2", 0.5, 64, 100, "w", 0.2, 0.0, 1),
+        ]
+        text = render_results(cells)
+        assert "100.000*" in text  # m1's scaled MSE marked as the row best
+        assert "200.000" in text
+
+    def test_render_empty(self):
+        assert render_results([]) == "(no results)"

@@ -1,0 +1,109 @@
+"""Unit tests for repro.hierarchy.consistency."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, InvalidDomainError
+from repro.hierarchy.consistency import (
+    enforce_consistency,
+    least_squares_consistency,
+    subtree_counts,
+)
+
+
+def _noisy_tree(rng, branching, height, scale=0.05):
+    """A random ground-truth hierarchy plus i.i.d. noise per node."""
+    leaves = rng.dirichlet(np.ones(branching**height))
+    true_levels = []
+    for depth in range(1, height + 1):
+        block = branching ** (height - depth)
+        true_levels.append(leaves.reshape(-1, block).sum(axis=1))
+    noisy_levels = [level + rng.normal(0, scale, size=level.shape) for level in true_levels]
+    return true_levels, noisy_levels
+
+
+class TestSubtreeCounts:
+    def test_values(self):
+        assert subtree_counts(1, 2) == 1
+        assert subtree_counts(2, 2) == 3
+        assert subtree_counts(3, 2) == 7
+        assert subtree_counts(2, 4) == 5
+
+
+class TestEnforceConsistency:
+    def test_output_shapes_match_input(self, rng):
+        _, noisy = _noisy_tree(rng, branching=3, height=3)
+        adjusted = enforce_consistency(noisy, 3)
+        assert [a.shape for a in adjusted] == [n.shape for n in noisy]
+
+    def test_parent_equals_sum_of_children(self, rng):
+        _, noisy = _noisy_tree(rng, branching=4, height=3)
+        adjusted = enforce_consistency(noisy, 4)
+        for depth in range(len(adjusted) - 1):
+            parents = adjusted[depth]
+            child_sums = adjusted[depth + 1].reshape(-1, 4).sum(axis=1)
+            np.testing.assert_allclose(parents, child_sums, atol=1e-10)
+
+    def test_root_value_constraint(self, rng):
+        _, noisy = _noisy_tree(rng, branching=2, height=4)
+        adjusted = enforce_consistency(noisy, 2, root_value=1.0)
+        assert adjusted[0].sum() == pytest.approx(1.0)
+        # Consistency then propagates the constraint to every level.
+        for level in adjusted:
+            assert level.sum() == pytest.approx(1.0)
+
+    def test_consistent_input_is_unchanged(self, rng):
+        true_levels, _ = _noisy_tree(rng, branching=2, height=3, scale=0.0)
+        adjusted = enforce_consistency(true_levels, 2, root_value=1.0)
+        for adjusted_level, true_level in zip(adjusted, true_levels):
+            np.testing.assert_allclose(adjusted_level, true_level, atol=1e-10)
+
+    def test_matches_least_squares_without_root(self, rng):
+        # Hay et al.'s two-stage algorithm computes the exact least-squares
+        # solution of the hierarchy constraints.
+        _, noisy = _noisy_tree(rng, branching=2, height=3)
+        fast = enforce_consistency(noisy, 2, root_value=None)
+        exact = least_squares_consistency(noisy, 2)
+        for fast_level, exact_level in zip(fast, exact):
+            np.testing.assert_allclose(fast_level, exact_level, atol=1e-8)
+
+    def test_matches_least_squares_branching_three(self, rng):
+        _, noisy = _noisy_tree(rng, branching=3, height=2)
+        fast = enforce_consistency(noisy, 3, root_value=None)
+        exact = least_squares_consistency(noisy, 3)
+        for fast_level, exact_level in zip(fast, exact):
+            np.testing.assert_allclose(fast_level, exact_level, atol=1e-8)
+
+    def test_reduces_leaf_error_on_average(self, rng):
+        # Lemma 4.6: consistency cannot increase the (expected) error.
+        branching, height = 4, 3
+        improvements = []
+        for _ in range(30):
+            true_levels, noisy = _noisy_tree(rng, branching, height, scale=0.02)
+            adjusted = enforce_consistency(noisy, branching, root_value=1.0)
+            raw_error = np.mean((noisy[-1] - true_levels[-1]) ** 2)
+            adjusted_error = np.mean((adjusted[-1] - true_levels[-1]) ** 2)
+            improvements.append(raw_error - adjusted_error)
+        assert np.mean(improvements) > 0
+
+    def test_validation(self):
+        with pytest.raises(InvalidDomainError):
+            enforce_consistency([], 2)
+        with pytest.raises(InvalidDomainError):
+            enforce_consistency([np.zeros(3)], 2)
+        with pytest.raises(ConfigurationError):
+            enforce_consistency([np.zeros(2)], 1)
+
+
+class TestLeastSquares:
+    def test_single_level_is_identity(self, rng):
+        noisy = [rng.normal(size=2)]
+        np.testing.assert_allclose(least_squares_consistency(noisy, 2)[0], noisy[0])
+
+    def test_consistency_of_solution(self, rng):
+        _, noisy = _noisy_tree(rng, branching=2, height=3)
+        solution = least_squares_consistency(noisy, 2)
+        for depth in range(len(solution) - 1):
+            np.testing.assert_allclose(
+                solution[depth], solution[depth + 1].reshape(-1, 2).sum(axis=1), atol=1e-8
+            )

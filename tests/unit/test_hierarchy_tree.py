@@ -1,0 +1,122 @@
+"""Unit tests for repro.hierarchy.tree."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, InvalidDomainError, InvalidQueryError
+from repro.hierarchy.tree import DomainTree
+
+
+class TestConstruction:
+    def test_power_of_branching_domain(self):
+        tree = DomainTree(64, 4)
+        assert tree.height == 3
+        assert tree.padded_size == 64
+
+    def test_padding_for_awkward_domain(self):
+        tree = DomainTree(100, 4)
+        assert tree.height == 4
+        assert tree.padded_size == 256
+        assert tree.domain_size == 100
+
+    def test_binary_tree_heights(self):
+        assert DomainTree(256, 2).height == 8
+        assert DomainTree(256, 16).height == 2
+
+    def test_rejects_invalid_domain(self):
+        with pytest.raises(InvalidDomainError):
+            DomainTree(0, 2)
+
+    def test_rejects_invalid_branching(self):
+        with pytest.raises(ConfigurationError):
+            DomainTree(64, 1)
+
+    def test_trivial_domain(self):
+        tree = DomainTree(1, 2)
+        assert tree.height == 1
+        assert tree.padded_size == 2
+
+
+class TestGeometry:
+    def test_levels_and_node_counts(self):
+        tree = DomainTree(64, 4)
+        assert list(tree.levels) == [1, 2, 3]
+        assert [tree.nodes_at_level(level) for level in tree.levels] == [4, 16, 64]
+        assert [tree.block_size(level) for level in tree.levels] == [16, 4, 1]
+
+    def test_total_nodes(self):
+        tree = DomainTree(64, 4)
+        assert tree.total_nodes() == 4 + 16 + 64
+
+    def test_node_of_item(self):
+        tree = DomainTree(64, 4)
+        assert tree.node_of_item(1, 0) == 0
+        assert tree.node_of_item(1, 63) == 3
+        assert tree.node_of_item(3, 17) == 17
+
+    def test_path_of_item(self):
+        tree = DomainTree(64, 2)
+        path = tree.path_of_item(5)
+        assert path[0] == (1, 0)
+        assert path[-1] == (6, 5)
+        assert len(path) == tree.height
+
+    def test_node_range_and_clipping(self):
+        tree = DomainTree(100, 4)  # padded to 256
+        assert tree.node_range(1, 0) == (0, 63)
+        # Node covering [64, 127] is clipped to the true domain end (99).
+        assert tree.node_range(1, 1) == (64, 99)
+
+    def test_children_and_parent(self):
+        tree = DomainTree(64, 4)
+        assert list(tree.children(1, 2)) == [8, 9, 10, 11]
+        assert tree.parent(2, 9) == (1, 2)
+        with pytest.raises(InvalidQueryError):
+            tree.parent(1, 0)
+        with pytest.raises(InvalidQueryError):
+            tree.children(3, 0)
+
+    def test_level_validation(self):
+        tree = DomainTree(64, 4)
+        with pytest.raises(InvalidQueryError):
+            tree.nodes_at_level(0)
+        with pytest.raises(InvalidQueryError):
+            tree.nodes_at_level(4)
+
+    def test_item_validation(self):
+        tree = DomainTree(64, 4)
+        with pytest.raises(InvalidQueryError):
+            tree.node_of_item(1, 64)
+        with pytest.raises(InvalidQueryError):
+            tree.path_of_item(-1)
+
+
+class TestHistograms:
+    def test_level_histogram_from_items(self):
+        tree = DomainTree(16, 2)
+        items = np.array([0, 0, 1, 8, 15])
+        histogram = tree.level_histogram(1, items)
+        np.testing.assert_array_equal(histogram, [3, 2])
+
+    def test_level_histogram_from_counts_matches_items(self, rng):
+        tree = DomainTree(64, 4)
+        items = rng.integers(0, 64, size=500)
+        counts = np.bincount(items, minlength=64)
+        for level in tree.levels:
+            np.testing.assert_allclose(
+                tree.level_histogram(level, items),
+                tree.level_histogram_from_counts(level, counts),
+            )
+
+    def test_level_histogram_counts_shape_validation(self):
+        tree = DomainTree(64, 4)
+        with pytest.raises(InvalidDomainError):
+            tree.level_histogram_from_counts(1, np.zeros(63))
+
+    def test_padded_domain_histogram(self):
+        tree = DomainTree(100, 4)
+        counts = np.ones(100)
+        leaf_histogram = tree.level_histogram_from_counts(tree.height, counts)
+        assert leaf_histogram.shape[0] == 256
+        assert leaf_histogram[:100].sum() == 100
+        assert leaf_histogram[100:].sum() == 0

@@ -1,0 +1,109 @@
+"""Unit tests for the Hadamard Randomized Response oracle."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidQueryError
+from repro.frequency_oracles.hadamard import HadamardRandomizedResponse
+
+
+class TestConfiguration:
+    def test_keep_probability(self):
+        oracle = HadamardRandomizedResponse(epsilon=np.log(3.0), domain_size=16)
+        assert oracle.keep_probability == pytest.approx(0.75)
+        assert oracle.unbiasing_factor == pytest.approx(0.5)
+
+    def test_padding_for_non_power_of_two(self):
+        oracle = HadamardRandomizedResponse(epsilon=1.0, domain_size=100)
+        assert oracle.padded_size == 128
+        assert oracle.domain_size == 100
+
+    def test_variance_formula(self):
+        epsilon = 1.1
+        oracle = HadamardRandomizedResponse(epsilon=epsilon, domain_size=64)
+        expected = 4 * np.exp(epsilon) / (1000 * (np.exp(epsilon) - 1) ** 2)
+        assert oracle.theoretical_variance(1000) == pytest.approx(expected)
+
+
+class TestEncoding:
+    def test_report_fields(self, rng):
+        oracle = HadamardRandomizedResponse(epsilon=1.0, domain_size=16)
+        report = oracle.encode(3, rng)
+        assert 0 <= report["index"] < 16
+        assert report["value"] in (-1, 1)
+
+    def test_signed_encoding(self, rng):
+        oracle = HadamardRandomizedResponse(epsilon=1.0, domain_size=16)
+        report = oracle.encode(3, rng, sign=-1)
+        assert report["value"] in (-1, 1)
+        with pytest.raises(InvalidQueryError):
+            oracle.encode(3, rng, sign=0)
+
+    def test_batch_shapes(self, rng):
+        oracle = HadamardRandomizedResponse(epsilon=1.0, domain_size=32)
+        reports = oracle.encode_batch(rng.integers(0, 32, size=100), rng)
+        assert reports.payload["indices"].shape == (100,)
+        assert reports.payload["values"].shape == (100,)
+        assert set(np.unique(reports.payload["values"])) <= {-1, 1}
+
+    def test_batch_signs_validation(self, rng):
+        oracle = HadamardRandomizedResponse(epsilon=1.0, domain_size=8)
+        values = np.zeros(4, dtype=int)
+        with pytest.raises(InvalidQueryError):
+            oracle.encode_batch(values, rng, signs=np.array([1, 1]))
+        with pytest.raises(InvalidQueryError):
+            oracle.encode_batch(values, rng, signs=np.array([1, 0, 1, 1]))
+
+    def test_coefficient_flip_rate(self, rng):
+        # With item 0 every Hadamard coefficient is +1, so the fraction of
+        # -1 reports equals the flip probability 1 - p.
+        oracle = HadamardRandomizedResponse(epsilon=np.log(3.0), domain_size=8)
+        reports = oracle.encode_batch(np.zeros(20_000, dtype=int), rng)
+        flip_rate = (reports.payload["values"] == -1).mean()
+        assert flip_rate == pytest.approx(0.25, abs=0.02)
+
+
+class TestAggregation:
+    def test_unbiasedness_on_average(self, rng):
+        domain = 8
+        oracle = HadamardRandomizedResponse(epsilon=2.0, domain_size=domain)
+        true = np.array([0.35, 0.25, 0.15, 0.1, 0.05, 0.05, 0.03, 0.02])
+        counts = (true * 40_000).astype(int)
+        estimates = np.mean(
+            [oracle.simulate_aggregate(counts, rng) for _ in range(15)], axis=0
+        )
+        np.testing.assert_allclose(estimates, counts / counts.sum(), atol=0.02)
+
+    def test_signed_population_estimates(self, rng):
+        # Half the users hold +e_1 and half hold -e_1: the signed mean
+        # should be close to zero at position 1 and zero elsewhere.
+        domain = 8
+        oracle = HadamardRandomizedResponse(epsilon=2.0, domain_size=domain)
+        values = np.ones(40_000, dtype=int)
+        signs = np.where(np.arange(40_000) % 2 == 0, 1, -1)
+        reports = oracle.encode_batch(values, rng, signs=signs)
+        estimates = oracle.aggregate(reports)
+        np.testing.assert_allclose(estimates, np.zeros(domain), atol=0.05)
+
+    def test_padded_domain_estimates_have_original_length(self, rng):
+        oracle = HadamardRandomizedResponse(epsilon=1.0, domain_size=10)
+        counts = np.full(10, 1000)
+        estimates = oracle.simulate_aggregate(counts, rng)
+        assert estimates.shape == (10,)
+
+    def test_empty_population(self):
+        from repro.frequency_oracles.base import OracleReports
+
+        oracle = HadamardRandomizedResponse(epsilon=1.0, domain_size=8)
+        reports = OracleReports(
+            payload={"indices": np.array([], dtype=int), "values": np.array([], dtype=int)},
+            n_users=0,
+        )
+        np.testing.assert_array_equal(oracle.aggregate(reports), np.zeros(8))
+
+    def test_empirical_variance_matches_theory(self, rng):
+        oracle = HadamardRandomizedResponse(epsilon=1.1, domain_size=8)
+        counts = np.array([4000, 2000, 1000, 800, 700, 600, 500, 400])
+        n_users = int(counts.sum())
+        samples = np.array([oracle.simulate_aggregate(counts, rng)[0] for _ in range(300)])
+        assert samples.var() == pytest.approx(oracle.theoretical_variance(n_users), rel=0.35)

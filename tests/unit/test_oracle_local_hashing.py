@@ -1,0 +1,94 @@
+"""Unit tests for the OLH frequency oracle and its hash family."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.frequency_oracles.local_hashing import OptimalLocalHashing, UniversalHashFamily
+
+
+class TestUniversalHashFamily:
+    def test_hash_values_in_range(self, rng):
+        family = UniversalHashFamily(domain_size=1000, hash_range=8)
+        params = family.sample(rng)
+        values = family.evaluate(params, np.arange(1000))
+        assert values.min() >= 0 and values.max() < 8
+
+    def test_collision_probability_close_to_uniform(self, rng):
+        family = UniversalHashFamily(domain_size=64, hash_range=4)
+        collisions = 0
+        trials = 3000
+        for _ in range(trials):
+            params = family.sample(rng)
+            values = family.evaluate(params, np.array([3, 47]))
+            collisions += int(values[0] == values[1])
+        assert collisions / trials == pytest.approx(0.25, abs=0.04)
+
+    def test_pairwise_evaluation_matches_single(self, rng):
+        family = UniversalHashFamily(domain_size=100, hash_range=6)
+        batch = family.sample_batch(50, rng)
+        items = rng.integers(0, 100, size=50)
+        pairwise = family.evaluate_pairwise(batch["a"], batch["b"], items)
+        singles = np.array(
+            [
+                family.evaluate({"a": int(a), "b": int(b)}, np.array([item]))[0]
+                for a, b, item in zip(batch["a"], batch["b"], items)
+            ]
+        )
+        np.testing.assert_array_equal(pairwise, singles)
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ConfigurationError):
+            UniversalHashFamily(domain_size=10, hash_range=1)
+
+
+class TestOptimalLocalHashing:
+    def test_default_hash_range(self):
+        oracle = OptimalLocalHashing(epsilon=np.log(3.0), domain_size=64)
+        assert oracle.hash_range == 4  # round(e^eps) + 1 = 3 + 1
+
+    def test_custom_hash_range(self):
+        oracle = OptimalLocalHashing(epsilon=1.0, domain_size=64, hash_range=8)
+        assert oracle.hash_range == 8
+        assert oracle.q == pytest.approx(1.0 / 8.0)
+
+    def test_encode_report_fields(self, rng):
+        oracle = OptimalLocalHashing(epsilon=1.0, domain_size=32)
+        report = oracle.encode(5, rng)
+        assert set(report) == {"a", "b", "value"}
+        assert 0 <= report["value"] < oracle.hash_range
+
+    def test_full_protocol_unbiasedness(self, rng):
+        domain = 16
+        oracle = OptimalLocalHashing(epsilon=1.5, domain_size=domain)
+        true = np.zeros(domain)
+        true[2], true[9] = 0.6, 0.4
+        items = np.repeat(np.arange(domain), (true * 5000).astype(int))
+        estimates = np.mean(
+            [oracle.estimate_from_users(items, rng) for _ in range(8)], axis=0
+        )
+        assert estimates[2] == pytest.approx(0.6, abs=0.08)
+        assert estimates[9] == pytest.approx(0.4, abs=0.08)
+
+    def test_simulate_aggregate_close_to_truth(self, rng):
+        domain = 64
+        oracle = OptimalLocalHashing(epsilon=1.1, domain_size=domain)
+        counts = rng.multinomial(200_000, np.full(domain, 1 / domain))
+        estimates = oracle.simulate_aggregate(counts, rng)
+        np.testing.assert_allclose(estimates, counts / counts.sum(), atol=0.02)
+
+    def test_theoretical_variance_matches_oue(self):
+        # At the optimal g, OLH and OUE share the same variance formula.
+        from repro.frequency_oracles.unary import OptimizedUnaryEncoding
+
+        olh = OptimalLocalHashing(epsilon=1.1, domain_size=100)
+        oue = OptimizedUnaryEncoding(epsilon=1.1, domain_size=100)
+        assert olh.theoretical_variance(5000) == pytest.approx(
+            oue.theoretical_variance(5000), rel=1e-9
+        )
+
+    def test_empty_population(self, rng):
+        oracle = OptimalLocalHashing(epsilon=1.0, domain_size=8)
+        np.testing.assert_array_equal(
+            oracle.simulate_aggregate(np.zeros(8, dtype=int), rng), np.zeros(8)
+        )

@@ -1,0 +1,90 @@
+"""Unit tests for binary and generalized randomized response."""
+
+import numpy as np
+import pytest
+
+from repro.frequency_oracles.randomized_response import (
+    BinaryRandomizedResponse,
+    GeneralizedRandomizedResponse,
+)
+
+
+class TestBinaryRandomizedResponse:
+    def test_keep_probability(self):
+        rr = BinaryRandomizedResponse(np.log(3.0))
+        assert rr.keep_probability == pytest.approx(0.75)
+        assert rr.unbiasing_factor == pytest.approx(0.5)
+
+    def test_perturb_values_stay_binary(self, rng):
+        rr = BinaryRandomizedResponse(1.0)
+        bits = rng.choice([-1, 1], size=1000)
+        perturbed = rr.perturb(bits, rng)
+        assert set(np.unique(perturbed)) <= {-1, 1}
+
+    def test_perturb_flip_rate(self, rng):
+        rr = BinaryRandomizedResponse(np.log(3.0))
+        bits = np.ones(20_000, dtype=int)
+        perturbed = rr.perturb(bits, rng)
+        keep_rate = (perturbed == 1).mean()
+        assert keep_rate == pytest.approx(0.75, abs=0.02)
+
+    def test_unbias_is_unbiased(self, rng):
+        rr = BinaryRandomizedResponse(1.2)
+        bits = np.ones(50_000, dtype=int)
+        estimates = rr.unbias(rr.perturb(bits, rng))
+        assert estimates.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_perturb_rejects_non_binary(self, rng):
+        rr = BinaryRandomizedResponse(1.0)
+        with pytest.raises(ValueError):
+            rr.perturb(np.array([0, 1]), rng)
+
+
+class TestGeneralizedRandomizedResponse:
+    def test_probabilities(self):
+        oracle = GeneralizedRandomizedResponse(epsilon=1.0, domain_size=8)
+        assert oracle.p / oracle.q == pytest.approx(np.exp(1.0))
+        assert oracle.p + 7 * oracle.q == pytest.approx(1.0)
+
+    def test_requires_two_items(self):
+        with pytest.raises(ValueError):
+            GeneralizedRandomizedResponse(epsilon=1.0, domain_size=1)
+
+    def test_encode_single(self, rng):
+        oracle = GeneralizedRandomizedResponse(epsilon=1.0, domain_size=5)
+        report = oracle.encode(2, rng)
+        assert 0 <= report["value"] < 5
+
+    def test_encode_batch_keep_rate(self, rng):
+        oracle = GeneralizedRandomizedResponse(epsilon=np.log(9.0), domain_size=4)
+        reports = oracle.encode_batch(np.zeros(20_000, dtype=int), rng)
+        keep_rate = (reports.payload["values"] == 0).mean()
+        assert keep_rate == pytest.approx(oracle.p, abs=0.02)
+
+    def test_aggregate_unbiased(self, rng):
+        domain = 5
+        oracle = GeneralizedRandomizedResponse(epsilon=2.0, domain_size=domain)
+        true = np.array([0.4, 0.3, 0.2, 0.1, 0.0])
+        items = np.repeat(np.arange(domain), (true * 20_000).astype(int))
+        estimates = np.mean(
+            [oracle.estimate_from_users(items, rng) for _ in range(10)], axis=0
+        )
+        np.testing.assert_allclose(estimates, true, atol=0.03)
+
+    def test_simulate_aggregate_close_to_truth(self, rng):
+        domain = 10
+        oracle = GeneralizedRandomizedResponse(epsilon=2.0, domain_size=domain)
+        counts = rng.multinomial(50_000, np.full(domain, 0.1))
+        estimates = oracle.simulate_aggregate(counts, rng)
+        np.testing.assert_allclose(estimates, counts / counts.sum(), atol=0.05)
+
+    def test_variance_grows_with_domain(self):
+        small = GeneralizedRandomizedResponse(epsilon=1.0, domain_size=4)
+        large = GeneralizedRandomizedResponse(epsilon=1.0, domain_size=1024)
+        assert large.theoretical_variance(1000) > small.theoretical_variance(1000)
+
+    def test_empty_population(self, rng):
+        oracle = GeneralizedRandomizedResponse(epsilon=1.0, domain_size=4)
+        np.testing.assert_array_equal(
+            oracle.simulate_aggregate(np.zeros(4, dtype=int), rng), np.zeros(4)
+        )

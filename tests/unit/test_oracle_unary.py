@@ -1,0 +1,115 @@
+"""Unit tests for the unary-encoding frequency oracles (SUE / OUE)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidDomainError, InvalidQueryError
+from repro.frequency_oracles.unary import OptimizedUnaryEncoding, SymmetricUnaryEncoding
+
+
+class TestConfiguration:
+    def test_oue_probabilities(self):
+        oracle = OptimizedUnaryEncoding(epsilon=np.log(3.0), domain_size=16)
+        assert oracle.p == pytest.approx(0.5)
+        assert oracle.q == pytest.approx(0.25)
+
+    def test_sue_probabilities(self):
+        oracle = SymmetricUnaryEncoding(epsilon=1.0, domain_size=16)
+        assert oracle.p + oracle.q == pytest.approx(1.0)
+
+    def test_theoretical_variance_matches_paper_formula(self):
+        epsilon = 1.1
+        oracle = OptimizedUnaryEncoding(epsilon=epsilon, domain_size=32)
+        expected = 4.0 * np.exp(epsilon) / (1000 * (np.exp(epsilon) - 1.0) ** 2)
+        assert oracle.theoretical_variance(1000) == pytest.approx(expected)
+
+    def test_invalid_domain(self):
+        with pytest.raises(InvalidDomainError):
+            OptimizedUnaryEncoding(epsilon=1.0, domain_size=0)
+
+
+class TestEncoding:
+    def test_encode_shape_and_dtype(self, rng):
+        oracle = OptimizedUnaryEncoding(epsilon=1.0, domain_size=20)
+        report = oracle.encode(3, rng)
+        assert report["bits"].shape == (20,)
+        assert set(np.unique(report["bits"])) <= {0, 1}
+
+    def test_encode_batch_shape(self, rng):
+        oracle = OptimizedUnaryEncoding(epsilon=1.0, domain_size=10)
+        reports = oracle.encode_batch(rng.integers(0, 10, size=50), rng)
+        assert reports.payload["bits"].shape == (50, 10)
+        assert reports.n_users == 50
+
+    def test_encode_rejects_out_of_domain(self, rng):
+        oracle = OptimizedUnaryEncoding(epsilon=1.0, domain_size=10)
+        with pytest.raises(InvalidQueryError):
+            oracle.encode(10, rng)
+        with pytest.raises(InvalidQueryError):
+            oracle.encode_batch(np.array([0, 11]), rng)
+
+    def test_own_bit_distribution(self, rng):
+        # The user's own bit must be reported "1" with probability ~p = 0.5.
+        oracle = OptimizedUnaryEncoding(epsilon=1.0, domain_size=4)
+        reports = oracle.encode_batch(np.zeros(4000, dtype=int), rng)
+        own_bit_rate = reports.payload["bits"][:, 0].mean()
+        assert own_bit_rate == pytest.approx(oracle.p, abs=0.03)
+
+    def test_other_bit_distribution(self, rng):
+        oracle = OptimizedUnaryEncoding(epsilon=1.0, domain_size=4)
+        reports = oracle.encode_batch(np.zeros(4000, dtype=int), rng)
+        other_bit_rate = reports.payload["bits"][:, 1].mean()
+        assert other_bit_rate == pytest.approx(oracle.q, abs=0.03)
+
+
+class TestAggregation:
+    def test_unbiasedness_on_average(self, rng):
+        domain = 8
+        oracle = OptimizedUnaryEncoding(epsilon=1.5, domain_size=domain)
+        true = np.array([0.5, 0.2, 0.1, 0.1, 0.05, 0.05, 0.0, 0.0])
+        counts = (true * 20_000).astype(int)
+        estimates = np.mean(
+            [oracle.simulate_aggregate(counts, rng) for _ in range(20)], axis=0
+        )
+        np.testing.assert_allclose(estimates, true, atol=0.02)
+
+    def test_per_user_and_aggregate_agree_statistically(self, rng):
+        domain = 6
+        oracle = OptimizedUnaryEncoding(epsilon=1.2, domain_size=domain)
+        counts = np.array([4000, 2000, 1000, 500, 400, 100])
+        items = np.repeat(np.arange(domain), counts)
+        per_user = oracle.estimate_from_users(items, rng)
+        aggregate = oracle.simulate_aggregate(counts, rng)
+        # Both are unbiased estimates of the same frequencies with the same
+        # variance; they should agree within a few standard deviations.
+        tolerance = 6 * np.sqrt(oracle.theoretical_variance(int(counts.sum())))
+        np.testing.assert_allclose(per_user, aggregate, atol=tolerance)
+
+    def test_aggregate_validates_report_shape(self):
+        from repro.frequency_oracles.base import OracleReports
+
+        oracle = OptimizedUnaryEncoding(epsilon=1.0, domain_size=10)
+        with pytest.raises(ValueError):
+            oracle.aggregate(OracleReports(payload={"bits": np.zeros((5, 3))}, n_users=5))
+
+    def test_empty_population(self, rng):
+        oracle = OptimizedUnaryEncoding(epsilon=1.0, domain_size=5)
+        estimates = oracle.simulate_aggregate(np.zeros(5, dtype=int), rng)
+        np.testing.assert_array_equal(estimates, np.zeros(5))
+
+    def test_estimates_sum_close_to_one(self, rng):
+        oracle = OptimizedUnaryEncoding(epsilon=2.0, domain_size=64)
+        counts = rng.multinomial(100_000, np.full(64, 1 / 64))
+        estimates = oracle.simulate_aggregate(counts, rng)
+        assert estimates.sum() == pytest.approx(1.0, abs=0.1)
+
+    def test_empirical_variance_matches_theory(self, rng):
+        # The canonical bound V_F = 4 e^eps / (N (e^eps - 1)^2) is derived for
+        # small true frequencies, so measure it on a rare item (f ~ 5%).
+        oracle = OptimizedUnaryEncoding(epsilon=1.1, domain_size=4)
+        counts = np.array([5000, 3000, 1500, 500])
+        n_users = int(counts.sum())
+        samples = np.array([oracle.simulate_aggregate(counts, rng)[3] for _ in range(300)])
+        observed = samples.var()
+        expected = oracle.theoretical_variance(n_users)
+        assert observed == pytest.approx(expected, rel=0.35)

@@ -1,0 +1,117 @@
+"""Unit tests for repro.privacy.mechanisms (perturbation probabilities)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.privacy.mechanisms import (
+    PerturbationProbabilities,
+    binary_rr_probability,
+    grr_probabilities,
+    ldp_guarantee_epsilon,
+    olh_probabilities,
+    oue_probabilities,
+    sue_probabilities,
+    verify_ldp,
+)
+
+
+class TestPerturbationProbabilities:
+    def test_gap(self):
+        pair = PerturbationProbabilities(p=0.75, q=0.25)
+        assert pair.gap == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("p,q", [(0.5, 0.5), (0.4, 0.6), (1.0, 0.1), (0.5, 0.0)])
+    def test_invalid_pairs_rejected(self, p, q):
+        with pytest.raises(ConfigurationError):
+            PerturbationProbabilities(p=p, q=q)
+
+
+class TestBinaryRandomizedResponse:
+    def test_paper_default(self):
+        # e^eps = 3 -> keep probability 3/4 (quoted explicitly in Section 5).
+        assert binary_rr_probability(math.log(3.0)) == pytest.approx(0.75)
+
+    def test_monotone_in_epsilon(self):
+        assert binary_rr_probability(2.0) > binary_rr_probability(0.5)
+
+    def test_satisfies_ldp(self):
+        eps = 0.8
+        p = binary_rr_probability(eps)
+        assert verify_ldp(p, 1.0 - p, eps, binary_output=True)
+
+
+class TestGrrProbabilities:
+    def test_sum_to_one_over_domain(self):
+        eps, k = 1.0, 10
+        pair = grr_probabilities(eps, k)
+        assert pair.p + (k - 1) * pair.q == pytest.approx(1.0)
+
+    def test_ratio_is_exp_epsilon(self):
+        eps = 1.3
+        pair = grr_probabilities(eps, 16)
+        assert pair.p / pair.q == pytest.approx(math.exp(eps))
+
+    def test_satisfies_ldp_as_categorical(self):
+        eps = 1.3
+        pair = grr_probabilities(eps, 16)
+        assert verify_ldp(pair.p, pair.q, eps, binary_output=False)
+
+    def test_rejects_tiny_domain(self):
+        with pytest.raises(ConfigurationError):
+            grr_probabilities(1.0, 1)
+
+
+class TestUnaryProbabilities:
+    def test_oue_keeps_one_bit_half_the_time(self):
+        pair = oue_probabilities(1.1)
+        assert pair.p == pytest.approx(0.5)
+        assert pair.q == pytest.approx(1.0 / (1.0 + math.exp(1.1)))
+
+    def test_oue_satisfies_ldp(self):
+        eps = 1.1
+        pair = oue_probabilities(eps)
+        assert verify_ldp(pair.p, pair.q, eps, binary_output=True)
+
+    def test_sue_symmetric(self):
+        pair = sue_probabilities(1.0)
+        assert pair.p + pair.q == pytest.approx(1.0)
+
+    def test_sue_satisfies_ldp(self):
+        # SUE spends eps/2 per bit, but two bits differ between any two
+        # inputs, so the pair must satisfy the *full* eps bound per bit pair.
+        eps = 1.0
+        pair = sue_probabilities(eps)
+        per_bit = ldp_guarantee_epsilon(pair.p, pair.q, binary_output=True)
+        assert 2 * per_bit == pytest.approx(eps)
+
+
+class TestOlhProbabilities:
+    def test_support_probability_is_inverse_hash_range(self):
+        pair = olh_probabilities(1.0, hash_range=4)
+        assert pair.q == pytest.approx(0.25)
+
+    def test_keep_probability_formula(self):
+        eps, g = 1.0, 4
+        pair = olh_probabilities(eps, g)
+        assert pair.p == pytest.approx(math.exp(eps) / (math.exp(eps) + g - 1))
+
+    def test_rejects_invalid_hash_range(self):
+        with pytest.raises(ConfigurationError):
+            olh_probabilities(1.0, hash_range=1)
+
+
+class TestLdpVerification:
+    def test_guarantee_epsilon_matches_construction(self):
+        eps = 0.9
+        p = binary_rr_probability(eps)
+        assert ldp_guarantee_epsilon(p, 1.0 - p) == pytest.approx(eps)
+
+    def test_verify_rejects_budget_overrun(self):
+        p = binary_rr_probability(2.0)
+        assert not verify_ldp(p, 1.0 - p, epsilon=1.0)
+
+    def test_invalid_probabilities_raise(self):
+        with pytest.raises(ConfigurationError):
+            ldp_guarantee_epsilon(0.2, 0.8)

@@ -1,0 +1,54 @@
+"""Unit tests for repro.privacy.randomness."""
+
+import numpy as np
+import pytest
+
+from repro.privacy.randomness import as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_seed_is_deterministic(self):
+        a = as_generator(42).integers(0, 1000, size=10)
+        b = as_generator(42).integers(0, 1000, size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_existing_generator_passthrough(self):
+        rng = np.random.default_rng(7)
+        assert as_generator(rng) is rng
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(3)
+        rng = as_generator(seq)
+        assert isinstance(rng, np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_count_and_types(self):
+        generators = spawn_generators(0, 5)
+        assert len(generators) == 5
+        assert all(isinstance(g, np.random.Generator) for g in generators)
+
+    def test_children_are_independent_streams(self):
+        a, b = spawn_generators(123, 2)
+        assert not np.array_equal(a.integers(0, 1 << 30, 100), b.integers(0, 1 << 30, 100))
+
+    def test_deterministic_given_seed(self):
+        first = [g.integers(0, 1000, 5) for g in spawn_generators(9, 3)]
+        second = [g.integers(0, 1000, 5) for g in spawn_generators(9, 3)]
+        for x, y in zip(first, second):
+            np.testing.assert_array_equal(x, y)
+
+    def test_zero_count(self):
+        assert spawn_generators(1, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(1, -1)
+
+    def test_spawn_from_generator(self):
+        parent = np.random.default_rng(5)
+        children = spawn_generators(parent, 2)
+        assert len(children) == 2

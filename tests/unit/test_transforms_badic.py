@@ -1,0 +1,91 @@
+"""Unit tests for repro.transforms.badic."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, InvalidQueryError
+from repro.transforms.badic import (
+    BAdicInterval,
+    badic_decompose,
+    badic_node_count_bound,
+    is_badic_interval,
+)
+
+
+class TestIsBadicInterval:
+    @pytest.mark.parametrize(
+        "start,end,branching",
+        [(0, 0, 2), (4, 7, 2), (8, 15, 2), (0, 31, 2), (9, 9, 3), (3, 5, 3), (0, 8, 3)],
+    )
+    def test_badic(self, start, end, branching):
+        assert is_badic_interval(start, end, branching)
+
+    @pytest.mark.parametrize(
+        "start,end,branching",
+        [(1, 2, 2), (2, 5, 2), (0, 2, 2), (4, 6, 3), (-1, 0, 2)],
+    )
+    def test_not_badic(self, start, end, branching):
+        assert not is_badic_interval(start, end, branching)
+
+    def test_rejects_bad_branching(self):
+        with pytest.raises(ConfigurationError):
+            is_badic_interval(0, 1, 1)
+
+
+class TestDecompose:
+    def test_paper_example(self):
+        # The worked example after Fact 3: [2, 22] with B = 2 decomposes into
+        # [2,3] [4,7] [8,15] [16,19] [20,21] [22,22].
+        intervals = badic_decompose(2, 22, 2)
+        observed = [(piece.start, piece.end) for piece in intervals]
+        assert observed == [(2, 3), (4, 7), (8, 15), (16, 19), (20, 21), (22, 22)]
+
+    def test_every_piece_is_badic(self):
+        for branching in (2, 3, 4, 8):
+            for start, end in [(0, 99), (17, 63), (5, 5), (1, 98)]:
+                for piece in badic_decompose(start, end, branching):
+                    assert is_badic_interval(piece.start, piece.end, branching)
+
+    def test_pieces_cover_range_exactly(self):
+        intervals = badic_decompose(13, 200, 4)
+        covered = []
+        for piece in intervals:
+            covered.extend(range(piece.start, piece.end + 1))
+        assert covered == list(range(13, 201))
+
+    def test_single_item(self):
+        (piece,) = badic_decompose(7, 7, 2)
+        assert piece == BAdicInterval(start=7, end=7, level=0, index=7)
+
+    def test_whole_domain(self):
+        (piece,) = badic_decompose(0, 63, 2)
+        assert (piece.start, piece.end, piece.level) == (0, 63, 6)
+
+    def test_count_within_bound(self):
+        for branching in (2, 4, 16):
+            for start, end in [(3, 61), (0, 1023), (100, 900)]:
+                pieces = badic_decompose(start, end, branching)
+                assert len(pieces) <= badic_node_count_bound(end - start + 1, branching)
+
+    def test_domain_size_validation(self):
+        with pytest.raises(InvalidQueryError):
+            badic_decompose(0, 64, 2, domain_size=64)
+
+    def test_invalid_range(self):
+        with pytest.raises(InvalidQueryError):
+            badic_decompose(5, 4, 2)
+
+    def test_interval_length_property(self):
+        piece = BAdicInterval(start=8, end=15, level=3, index=1)
+        assert piece.length == 8
+
+
+class TestNodeCountBound:
+    def test_formula(self):
+        # (B - 1)(2 log_B r + 1) rounded up.
+        assert badic_node_count_bound(1, 2) == 1
+        assert badic_node_count_bound(16, 2) == 9
+        assert badic_node_count_bound(16, 4) >= 6
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(InvalidQueryError):
+            badic_node_count_bound(0, 2)

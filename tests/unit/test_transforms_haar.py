@@ -1,0 +1,131 @@
+"""Unit tests for repro.transforms.haar."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidDomainError, InvalidQueryError
+from repro.transforms.haar import (
+    haar_coefficient_index,
+    haar_forward,
+    haar_inverse,
+    haar_level_slices,
+    haar_matrix,
+    haar_range_weights,
+    haar_user_coefficients,
+    tree_height,
+)
+
+
+class TestTreeHeight:
+    def test_values(self):
+        assert tree_height(2) == 1
+        assert tree_height(8) == 3
+        assert tree_height(1024) == 10
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(InvalidDomainError):
+            tree_height(12)
+
+
+class TestForwardInverse:
+    def test_roundtrip(self, rng):
+        vector = rng.normal(size=128)
+        np.testing.assert_allclose(haar_inverse(haar_forward(vector)), vector, atol=1e-9)
+
+    def test_scaling_coefficient_is_total_over_sqrt_d(self):
+        vector = np.arange(16, dtype=float)
+        coefficients = haar_forward(vector)
+        assert coefficients[0] == pytest.approx(vector.sum() / 4.0)
+
+    def test_detail_coefficient_definition(self):
+        # The root split coefficient is (left sum - right sum) / 2^{h/2}.
+        vector = np.array([4.0, 2.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0])
+        coefficients = haar_forward(vector)
+        assert coefficients[1] == pytest.approx((8.0 - 0.0) / (2 ** 1.5))
+
+    def test_constant_vector_has_no_detail(self):
+        coefficients = haar_forward(np.full(32, 3.0))
+        np.testing.assert_allclose(coefficients[1:], 0.0, atol=1e-12)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(InvalidDomainError):
+            haar_forward(np.ones(12))
+
+
+class TestHaarMatrix:
+    def test_orthonormal(self):
+        matrix = haar_matrix(16)
+        np.testing.assert_allclose(matrix @ matrix.T, np.eye(16), atol=1e-9)
+
+    def test_paper_figure3_first_row(self):
+        # Figure 3 of the paper: the synthesis weights of item 0 for D = 8
+        # are (1, 1, sqrt(2), 0, 2, 0, 0, 0) / sqrt(8).
+        synthesis = haar_matrix(8).T
+        expected = np.array([1.0, 1.0, np.sqrt(2.0), 0.0, 2.0, 0.0, 0.0, 0.0]) / np.sqrt(8.0)
+        np.testing.assert_allclose(synthesis[0], expected, atol=1e-12)
+
+    def test_matches_fast_transform(self, rng):
+        vector = rng.normal(size=8)
+        np.testing.assert_allclose(haar_matrix(8) @ vector, haar_forward(vector), atol=1e-9)
+
+
+class TestLevelLayout:
+    def test_level_slices_partition_detail_coefficients(self):
+        slices = haar_level_slices(16)
+        covered = []
+        for level, sl in slices.items():
+            covered.extend(range(sl.start, sl.stop))
+            assert sl.stop - sl.start == 16 >> level
+        assert sorted(covered) == list(range(1, 16))
+
+    def test_coefficient_index(self):
+        # Height 3 (root split) of D=8 is index 1; height 1 block 2 is index 6.
+        assert haar_coefficient_index(3, 0, 8) == 1
+        assert haar_coefficient_index(1, 2, 8) == 6
+
+    def test_coefficient_index_validation(self):
+        with pytest.raises(InvalidQueryError):
+            haar_coefficient_index(4, 0, 8)
+        with pytest.raises(InvalidQueryError):
+            haar_coefficient_index(1, 4, 8)
+
+
+class TestUserCoefficients:
+    def test_one_nonzero_per_level_matches_transform(self):
+        domain = 16
+        for item in (0, 5, 15):
+            one_hot = np.zeros(domain)
+            one_hot[item] = 1.0
+            coefficients = haar_forward(one_hot)
+            user = haar_user_coefficients(item, domain)
+            for level, (block, sign) in user.items():
+                index = haar_coefficient_index(level, block, domain)
+                expected = sign / (2.0 ** (level / 2.0))
+                assert coefficients[index] == pytest.approx(expected)
+
+    def test_item_out_of_domain(self):
+        with pytest.raises(InvalidQueryError):
+            haar_user_coefficients(16, 16)
+
+
+class TestRangeWeights:
+    def test_reconstructs_range_sums(self, rng):
+        domain = 64
+        vector = rng.normal(size=domain)
+        coefficients = haar_forward(vector)
+        for start, end in [(0, 63), (5, 5), (3, 40), (32, 47), (1, 62)]:
+            indices, weights = haar_range_weights(start, end, domain)
+            estimate = float(np.dot(coefficients[indices], weights))
+            assert estimate == pytest.approx(vector[start : end + 1].sum(), rel=1e-9, abs=1e-9)
+
+    def test_number_of_weights_is_logarithmic(self):
+        domain = 1024
+        indices, _ = haar_range_weights(3, 1000, domain)
+        # Scaling coefficient + at most 2 per level.
+        assert len(indices) <= 2 * 10 + 1
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            haar_range_weights(5, 4, 16)
+        with pytest.raises(InvalidQueryError):
+            haar_range_weights(0, 16, 16)
