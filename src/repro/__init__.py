@@ -36,6 +36,7 @@ from repro.exceptions import (
     ReproError,
 )
 from repro.privacy.budget import PrivacyBudget
+from repro.streaming import ShardedCollector
 
 __version__ = "1.0.0"
 
@@ -48,6 +49,7 @@ __all__ = [
     "HaarWaveletMechanism",
     "HierarchicalGrid2D",
     "LdpRangeQuerySession",
+    "ShardedCollector",
     "make_mechanism",
     "mechanism_from_spec",
     # Quantiles

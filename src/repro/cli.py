@@ -14,6 +14,7 @@ Examples
     python -m repro fig9   --domain 4096 --centers 0.1 0.5
     python -m repro table7 --domains 256 1024
     python -m repro ablation-consistency --domain 1024
+    python -m repro streaming --domain 1024 --shards 1 4 16 --batches 32
 """
 
 from __future__ import annotations
@@ -46,6 +47,7 @@ EXPERIMENTS = (
     "fig9",
     "ablation-sampling",
     "ablation-consistency",
+    "streaming",
 )
 
 
@@ -84,6 +86,25 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=None,
         help="Cauchy centers P (fig8/fig9)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        nargs="+",
+        default=None,
+        help="shard counts for the streaming demo (default 1 2 4 8)",
+    )
+    parser.add_argument(
+        "--batches",
+        type=int,
+        default=16,
+        help="number of arrival batches the population is split into (streaming)",
+    )
+    parser.add_argument(
+        "--mechanism",
+        type=str,
+        default="hhc_4",
+        help="mechanism spec collected by the streaming demo",
     )
     return parser
 
@@ -202,6 +223,38 @@ def _run_ablation_consistency(config: ExperimentConfig, args: argparse.Namespace
     )
 
 
+def _run_streaming(config: ExperimentConfig, args: argparse.Namespace) -> str:
+    """Sharded/streaming collection vs. one-shot, at matched accuracy."""
+    from repro.data.synthetic import cauchy_probabilities, sample_items
+    from repro.data.workloads import random_range_queries
+    from repro.streaming import one_shot_vs_sharded
+
+    domain = args.domain
+    items = sample_items(
+        cauchy_probabilities(domain), config.n_users, random_state=config.seed
+    )
+    workload = random_range_queries(
+        domain,
+        min(config.max_queries_per_workload, 4000),
+        random_state=config.seed,
+        name="streaming-demo",
+    )
+    rows = one_shot_vs_sharded(
+        args.mechanism,
+        epsilon=config.epsilon,
+        items=items,
+        workload=workload,
+        shard_counts=args.shards or (1, 2, 4, 8),
+        seed=config.seed,
+        batches_for=lambda n_shards: int(args.batches),
+    )
+    return (
+        f"Streaming | {args.mechanism} | D = {domain} | N = {config.n_users} | "
+        "estimates are shard-count invariant in distribution\n"
+        + format_table(["collection", "shards", "batches", "mse x1000", "seconds"], rows)
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
@@ -217,6 +270,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "fig9": _run_fig9,
         "ablation-sampling": _run_ablation_sampling,
         "ablation-consistency": _run_ablation_consistency,
+        "streaming": _run_streaming,
     }
     print(runners[args.experiment](config, args))
     return 0

@@ -3,10 +3,15 @@
 A mechanism's lifecycle has two phases:
 
 1. **Collection** — the private inputs of ``N`` users are turned into noisy
-   aggregate state.  Two entry points exist: :meth:`fit_items` (an array of
-   individual user items, supporting both ``per_user`` and ``aggregate``
-   simulation) and :meth:`fit_counts` (exact per-item counts, ``aggregate``
-   simulation only).
+   aggregate state.  Two one-shot entry points exist: :meth:`fit_items` (an
+   array of individual user items, supporting both ``per_user`` and
+   ``aggregate`` simulation) and :meth:`fit_counts` (exact per-item counts,
+   ``aggregate`` simulation only).  Mechanisms backed by mergeable oracle
+   accumulators additionally support *incremental* collection
+   (:meth:`partial_fit`, callable any number of times) and *shard
+   combination* (:meth:`merge_from`, folding another instance's accumulated
+   state into this one) — the substrate of
+   :class:`repro.streaming.ShardedCollector`.
 2. **Query answering** — once fitted, :meth:`answer_range`,
    :meth:`answer_prefix`, :meth:`estimate_frequencies`, :meth:`estimate_cdf`
    and :meth:`quantile` are available.  All answers are *fractions of the
@@ -114,16 +119,88 @@ class RangeQueryMechanism(abc.ABC):
             ``"aggregate"`` samples the aggregator's view directly (much
             faster, statistically equivalent — see the oracle docstrings).
         """
-        items = np.asarray(items)
-        if items.ndim != 1:
-            raise InvalidQueryError("items must be a one-dimensional array")
-        if items.size and (items.min() < 0 or items.max() >= self._domain_size):
-            raise InvalidQueryError(f"items must be in [0, {self._domain_size})")
+        items = self._validate_items(items)
         self._check_mode(mode)
         rng = as_generator(random_state)
-        counts = np.bincount(items.astype(np.int64), minlength=self._domain_size)
-        self._collect(items=items.astype(np.int64), counts=counts, rng=rng, mode=mode)
+        counts = np.bincount(items, minlength=self._domain_size)
+        self._collect(items=items, counts=counts, rng=rng, mode=mode)
         self._n_users = int(items.shape[0])
+        return self
+
+    def partial_fit(
+        self,
+        items: np.ndarray,
+        random_state: RandomState = None,
+        mode: str = "aggregate",
+    ) -> "RangeQueryMechanism":
+        """Collect one additional batch of users, keeping earlier batches.
+
+        Each call accumulates the batch's sufficient statistics on top of
+        whatever has been collected so far (by previous :meth:`partial_fit`
+        calls, a one-shot :meth:`fit_items` / :meth:`fit_counts`, or
+        :meth:`merge_from`), then refreshes the queryable estimates.  The
+        final state follows the same distribution as a one-shot fit of the
+        concatenated population.  Every user must still appear in exactly
+        one batch for the privacy accounting to hold.
+
+        Pass a shared :class:`numpy.random.Generator` (or distinct seeds)
+        across batches: repeating the same integer seed replays the same
+        randomness for every batch, so the noise adds coherently instead of
+        cancelling.
+
+        Raises :class:`~repro.exceptions.ConfigurationError` for mechanisms
+        without accumulator support.
+        """
+        items = self._validate_items(items)
+        self._check_mode(mode)
+        rng = as_generator(random_state)
+        counts = np.bincount(items, minlength=self._domain_size)
+        self._partial_collect(items=items, counts=counts, rng=rng, mode=mode)
+        self._n_users = (self._n_users or 0) + int(items.shape[0])
+        return self
+
+    def merge_from(
+        self, other: "RangeQueryMechanism", refresh: bool = True
+    ) -> "RangeQueryMechanism":
+        """Fold another (identically configured) instance's state into this one.
+
+        The other mechanism must be fitted; this one may be fresh or already
+        hold accumulated state.  After the merge, this mechanism answers
+        queries as if it had collected both populations itself — the shard
+        reduction step of distributed collection.
+
+        Parameters
+        ----------
+        other:
+            The fitted source mechanism whose state is folded in.
+        refresh:
+            Rebuild the queryable estimates after merging (the default).
+            When folding many shards, pass ``False`` for all but the last
+            merge so the reconstruction (consistency, prefix sums, inverse
+            transforms) runs once instead of once per shard; until a
+            refreshing merge or :meth:`partial_fit` runs, query answers
+            reflect only the state before the unrefreshed merges.
+
+        Raises :class:`~repro.exceptions.ConfigurationError` when the
+        configurations differ or the mechanism has no accumulator support,
+        and :class:`~repro.exceptions.NotFittedError` when ``other`` has not
+        collected anything.
+        """
+        if type(other) is not type(self):
+            raise ConfigurationError(
+                f"cannot merge a {type(other).__name__} into a {type(self).__name__}"
+            )
+        if self._merge_signature() != other._merge_signature():
+            raise ConfigurationError(
+                "cannot merge differently configured mechanisms: "
+                f"{self._merge_signature()} != {other._merge_signature()}"
+            )
+        if not other.is_fitted:
+            raise NotFittedError("merge_from requires a fitted source mechanism")
+        self._merge_state(other)
+        self._n_users = (self._n_users or 0) + int(other._n_users)
+        if refresh:
+            self._refresh_estimates()
         return self
 
     def fit_counts(
@@ -164,8 +241,51 @@ class RangeQueryMechanism(abc.ABC):
         """Store the mechanism's aggregate state for the given population.
 
         ``items`` is guaranteed to be present when ``mode == "per_user"``;
-        ``counts`` is always present.
+        ``counts`` is always present.  One-shot semantics: any previously
+        accumulated state is discarded.
         """
+
+    def _partial_collect(
+        self,
+        items: np.ndarray,
+        counts: np.ndarray,
+        rng: np.random.Generator,
+        mode: str,
+    ) -> None:
+        """Accumulate one batch on top of the existing state (streaming hook).
+
+        Mechanisms backed by oracle accumulators override this; the default
+        refuses so that one-shot-only mechanisms keep a precise error.
+        """
+        raise ConfigurationError(
+            f"{self.name} does not support incremental collection"
+        )
+
+    def _merge_state(self, other: "RangeQueryMechanism") -> None:
+        """Fold ``other``'s accumulated statistics into this mechanism's.
+
+        Called by :meth:`merge_from` after the configuration check; ``self``
+        may be unfitted (treat as empty).  Must only update the sufficient
+        statistics — :meth:`merge_from` decides when to
+        :meth:`_refresh_estimates`.  Default refuses.
+        """
+        raise ConfigurationError(f"{self.name} does not support state merging")
+
+    def _refresh_estimates(self) -> None:
+        """Rebuild the queryable estimates from the accumulated statistics.
+
+        Implemented by every mechanism that implements :meth:`_merge_state`.
+        """
+        raise ConfigurationError(f"{self.name} does not support state merging")
+
+    def _merge_signature(self) -> tuple:
+        """Configuration fingerprint deciding :meth:`merge_from` compatibility.
+
+        Subclasses extend the tuple with every parameter that changes the
+        interpretation of their sufficient statistics (oracle configuration,
+        tree geometry, ...).
+        """
+        return (type(self).__name__, float(self.epsilon), int(self._domain_size))
 
     # ------------------------------------------------------------------
     # Query answering
@@ -214,27 +334,27 @@ class RangeQueryMechanism(abc.ABC):
         return np.cumsum(frequencies)
 
     def quantile(self, phi: float) -> int:
-        """Estimate the ``phi``-quantile by binary search over prefix queries.
+        """Estimate the ``phi``-quantile from the monotone CDF (Section 4.7).
 
-        This follows Section 4.7: the returned item ``j`` is the smallest
-        item whose estimated prefix fraction reaches ``phi``.
+        The returned item ``j`` is the smallest item whose estimated
+        cumulative mass reaches ``phi``.  The raw noisy prefix estimates can
+        be locally decreasing, which would make a naive binary search
+        disagree with the batched CDF path for the same target; both paths
+        therefore share the monotone-CDF reconstruction of
+        :func:`repro.core.quantiles.estimate_quantiles` and always agree.
         """
-        self._require_fitted()
-        if not 0.0 <= float(phi) <= 1.0:
-            raise InvalidQueryError(f"phi must be in [0, 1], got {phi!r}")
-        target = float(phi)
-        lo, hi = 0, self._domain_size - 1
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if self.answer_prefix(mid) < target:
-                lo = mid + 1
-            else:
-                hi = mid
-        return int(lo)
+        return self.quantiles((phi,))[0]
 
     def quantiles(self, phis: Sequence[float]) -> List[int]:
-        """Estimate several quantiles (e.g. the deciles of Section 5.5)."""
-        return [self.quantile(phi) for phi in phis]
+        """Estimate several quantiles (e.g. the deciles of Section 5.5).
+
+        All quantiles are answered from a single monotone CDF
+        reconstruction, so a batch costs no more than one quantile.
+        """
+        from repro.core.quantiles import estimate_quantiles
+
+        self._require_fitted()
+        return estimate_quantiles(self, phis)
 
     @abc.abstractmethod
     def _answer_range(self, start: int, end: int) -> float:
@@ -248,6 +368,29 @@ class RangeQueryMechanism(abc.ABC):
             raise NotFittedError(
                 f"{self.name} has not collected any reports yet; call fit_items/fit_counts"
             )
+
+    def _validate_items(self, items: np.ndarray) -> np.ndarray:
+        """Validate a per-user item array and return it as ``int64``.
+
+        Non-integer dtypes are rejected outright: silently truncating a
+        float array via ``astype`` would map item 2.9 to 2 without any
+        error, corrupting the collected distribution.
+        """
+        items = np.asarray(items)
+        if items.ndim != 1:
+            raise InvalidQueryError("items must be a one-dimensional array")
+        if (
+            items.size
+            and not np.issubdtype(items.dtype, np.integer)
+            and items.dtype != np.bool_  # bools cast to 0/1 without loss
+        ):
+            raise InvalidQueryError(
+                f"items must have an integer dtype, got {items.dtype}; "
+                "round or cast explicitly before collection"
+            )
+        if items.size and (items.min() < 0 or items.max() >= self._domain_size):
+            raise InvalidQueryError(f"items must be in [0, {self._domain_size})")
+        return items.astype(np.int64)
 
     def _check_range(self, start: int, end: int) -> tuple:
         if not 0 <= start <= end < self._domain_size:

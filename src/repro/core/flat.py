@@ -16,6 +16,8 @@ from typing import Optional
 import numpy as np
 
 from repro.core.base import RangeQueryMechanism
+from repro.exceptions import InvalidQueryError
+from repro.frequency_oracles.accumulators import OracleAccumulator
 from repro.frequency_oracles.registry import make_oracle
 
 __all__ = ["FlatMechanism"]
@@ -47,6 +49,7 @@ class FlatMechanism(RangeQueryMechanism):
     ) -> None:
         super().__init__(epsilon, domain_size, name=name or f"Flat{oracle.upper()}")
         self._oracle = make_oracle(oracle, epsilon=epsilon, domain_size=domain_size, **oracle_kwargs)
+        self._accumulator: Optional[OracleAccumulator] = None
         self._frequencies: Optional[np.ndarray] = None
         self._prefix: Optional[np.ndarray] = None
 
@@ -65,12 +68,45 @@ class FlatMechanism(RangeQueryMechanism):
         rng: np.random.Generator,
         mode: str,
     ) -> None:
+        self._accumulator = self._oracle.accumulator()
+        self._accumulate_batch(items, counts, rng, mode)
+        self._refresh_estimates()
+
+    def _partial_collect(
+        self,
+        items: np.ndarray,
+        counts: np.ndarray,
+        rng: np.random.Generator,
+        mode: str,
+    ) -> None:
+        if self._accumulator is None:
+            self._accumulator = self._oracle.accumulator()
+        self._accumulate_batch(items, counts, rng, mode)
+        self._refresh_estimates()
+
+    def _accumulate_batch(
+        self,
+        items: Optional[np.ndarray],
+        counts: np.ndarray,
+        rng: np.random.Generator,
+        mode: str,
+    ) -> None:
         if mode == "per_user":
-            estimates = self._oracle.estimate_from_users(items, rng)
+            self._accumulator.add(self._oracle.encode_batch(items, rng))
         else:
-            estimates = self._oracle.simulate_aggregate(counts, rng)
-        self._frequencies = np.asarray(estimates, dtype=np.float64)
+            self._accumulator.add_counts(counts, rng)
+
+    def _refresh_estimates(self) -> None:
+        self._frequencies = np.asarray(self._accumulator.estimate(), dtype=np.float64)
         self._prefix = np.concatenate([[0.0], np.cumsum(self._frequencies)])
+
+    def _merge_state(self, other: "FlatMechanism") -> None:
+        if self._accumulator is None:
+            self._accumulator = self._oracle.accumulator()
+        self._accumulator.merge(other._accumulator)
+
+    def _merge_signature(self) -> tuple:
+        return super()._merge_signature() + (self._oracle.merge_signature(),)
 
     # ------------------------------------------------------------------
     # Query answering
@@ -88,7 +124,7 @@ class FlatMechanism(RangeQueryMechanism):
         self._require_fitted()
         queries = np.asarray(queries, dtype=np.int64)
         if queries.ndim != 2 or queries.shape[1] != 2:
-            raise ValueError("queries must be an (n, 2) array")
+            raise InvalidQueryError("queries must be an (n, 2) array")
         if queries.size and (
             queries.min() < 0
             or queries[:, 1].max() >= self._domain_size

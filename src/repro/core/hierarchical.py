@@ -30,9 +30,10 @@ import numpy as np
 
 from repro.core.base import RangeQueryMechanism
 from repro.exceptions import ConfigurationError, InvalidQueryError
+from repro.frequency_oracles.accumulators import OracleAccumulator
 from repro.frequency_oracles.registry import make_oracle
 from repro.hierarchy.consistency import enforce_consistency
-from repro.hierarchy.decomposition import decompose_to_runs
+from repro.hierarchy.decomposition import batched_range_sums, decompose_to_runs
 from repro.hierarchy.tree import DomainTree
 
 __all__ = ["HierarchicalHistogramMechanism"]
@@ -107,6 +108,7 @@ class HierarchicalHistogramMechanism(RangeQueryMechanism):
             )
             for level in self._tree.levels
         }
+        self._accumulators: Optional[Dict[int, OracleAccumulator]] = None
         self._raw_levels: Optional[List[np.ndarray]] = None
         self._levels: Optional[List[np.ndarray]] = None
         self._level_prefix: Optional[Dict[int, np.ndarray]] = None
@@ -169,6 +171,12 @@ class HierarchicalHistogramMechanism(RangeQueryMechanism):
     # ------------------------------------------------------------------
     # Collection
     # ------------------------------------------------------------------
+    def _reset_accumulators(self) -> None:
+        self._accumulators = {
+            level: self._oracles[level].accumulator() for level in self._tree.levels
+        }
+        self._level_user_counts = np.zeros(self._tree.height, dtype=np.int64)
+
     def _collect(
         self,
         items: Optional[np.ndarray],
@@ -176,57 +184,85 @@ class HierarchicalHistogramMechanism(RangeQueryMechanism):
         rng: np.random.Generator,
         mode: str,
     ) -> None:
-        if self._budget_strategy == "splitting":
-            raw = self._collect_splitting(items, counts, rng, mode)
-        elif mode == "per_user":
-            raw = self._collect_sampling_per_user(items, rng)
-        else:
-            raw = self._collect_sampling_aggregate(counts, rng)
-        self._raw_levels = raw
-        if self._consistency:
-            self._levels = enforce_consistency(raw, self.branching, root_value=1.0)
-        else:
-            self._levels = [level.copy() for level in raw]
-        self._level_prefix = {
-            level: np.concatenate([[0.0], np.cumsum(self._levels[level - 1])])
-            for level in self._tree.levels
-        }
+        self._reset_accumulators()
+        self._accumulate_batch(items, counts, rng, mode)
+        self._refresh_estimates()
 
-    def _collect_sampling_per_user(
+    def _partial_collect(
+        self,
+        items: np.ndarray,
+        counts: np.ndarray,
+        rng: np.random.Generator,
+        mode: str,
+    ) -> None:
+        if self._accumulators is None:
+            self._reset_accumulators()
+        self._accumulate_batch(items, counts, rng, mode)
+        self._refresh_estimates()
+
+    def _merge_state(self, other: "HierarchicalHistogramMechanism") -> None:
+        if self._accumulators is None:
+            self._reset_accumulators()
+        for level in self._tree.levels:
+            self._accumulators[level].merge(other._accumulators[level])
+        self._level_user_counts += other._level_user_counts
+
+    def _merge_signature(self) -> tuple:
+        return super()._merge_signature() + (
+            self._oracle_name,
+            self.branching,
+            self._consistency,
+            self._budget_strategy,
+            tuple(np.round(self._level_probabilities, 12)),
+            tuple(sorted(self._oracle_kwargs.items())),
+        )
+
+    def _accumulate_batch(
+        self,
+        items: Optional[np.ndarray],
+        counts: np.ndarray,
+        rng: np.random.Generator,
+        mode: str,
+    ) -> None:
+        if self._budget_strategy == "splitting":
+            self._accumulate_splitting(items, counts, rng, mode)
+        elif mode == "per_user":
+            self._accumulate_sampling_per_user(items, rng)
+        else:
+            self._accumulate_sampling_aggregate(counts, rng)
+
+    def _accumulate_sampling_per_user(
         self, items: np.ndarray, rng: np.random.Generator
-    ) -> List[np.ndarray]:
+    ) -> None:
         """Each user samples one level and runs the real local protocol."""
         height = self._tree.height
         n_users = items.shape[0]
         assignments = rng.choice(height, size=n_users, p=self._level_probabilities)
-        self._level_user_counts = np.bincount(assignments, minlength=height)
-        estimates: List[np.ndarray] = []
+        self._level_user_counts += np.bincount(assignments, minlength=height)
         for level in self._tree.levels:
             level_items = items[assignments == level - 1]
+            if level_items.size == 0:
+                continue
             nodes = self._tree.nodes_of_items(level, level_items)
             oracle = self._oracles[level]
-            if level_items.size == 0:
-                estimates.append(np.zeros(self._tree.nodes_at_level(level)))
-                continue
-            estimates.append(oracle.estimate_from_users(nodes, rng))
-        return estimates
+            self._accumulators[level].add(oracle.encode_batch(nodes, rng))
 
-    def _collect_sampling_aggregate(
+    def _accumulate_sampling_aggregate(
         self, counts: np.ndarray, rng: np.random.Generator
-    ) -> List[np.ndarray]:
+    ) -> None:
         """Aggregate-mode collection: partition counts across levels exactly.
 
         Each item's count is split across the ``h`` levels with a
         multinomial (realised as sequential binomial thinning), which is the
         exact distribution of how the level-sampling protocol partitions the
-        population.  Each level's node counts then drive the oracle's fast
-        ``simulate_aggregate`` path.
+        population; multinomial splits of separate batches add up to the
+        split of the union, which is what makes this path incremental.  Each
+        level's node counts then drive the oracle accumulator's fast
+        simulated-aggregate path.
         """
         height = self._tree.height
         remaining = counts.astype(np.int64).copy()
         remaining_probability = 1.0
-        estimates: List[np.ndarray] = []
-        level_user_counts = np.zeros(height, dtype=np.int64)
         for level in self._tree.levels:
             probability = self._level_probabilities[level - 1]
             if level == height:
@@ -238,41 +274,46 @@ class HierarchicalHistogramMechanism(RangeQueryMechanism):
                 level_counts = rng.binomial(remaining, share)
                 remaining -= level_counts
                 remaining_probability -= probability
-            level_user_counts[level - 1] = int(level_counts.sum())
+            batch_users = int(level_counts.sum())
+            self._level_user_counts[level - 1] += batch_users
+            if batch_users == 0:
+                continue
             node_counts = self._tree.level_histogram_from_counts(level, level_counts)
-            oracle = self._oracles[level]
-            if level_user_counts[level - 1] == 0:
-                estimates.append(np.zeros(self._tree.nodes_at_level(level)))
-            else:
-                estimates.append(
-                    oracle.simulate_aggregate(node_counts.astype(np.int64), rng)
-                )
-        self._level_user_counts = level_user_counts
-        return estimates
+            self._accumulators[level].add_counts(node_counts.astype(np.int64), rng)
 
-    def _collect_splitting(
+    def _accumulate_splitting(
         self,
         items: Optional[np.ndarray],
         counts: np.ndarray,
         rng: np.random.Generator,
         mode: str,
-    ) -> List[np.ndarray]:
+    ) -> None:
         """Ablation path: every user reports every level with ``eps / h``."""
-        height = self._tree.height
         n_users = int(counts.sum())
-        self._level_user_counts = np.full(height, n_users, dtype=np.int64)
-        estimates: List[np.ndarray] = []
+        self._level_user_counts += n_users
         for level in self._tree.levels:
             oracle = self._oracles[level]
             if mode == "per_user":
                 nodes = self._tree.nodes_of_items(level, items)
-                estimates.append(oracle.estimate_from_users(nodes, rng))
+                self._accumulators[level].add(oracle.encode_batch(nodes, rng))
             else:
                 node_counts = self._tree.level_histogram_from_counts(level, counts)
-                estimates.append(
-                    oracle.simulate_aggregate(node_counts.astype(np.int64), rng)
-                )
-        return estimates
+                self._accumulators[level].add_counts(node_counts.astype(np.int64), rng)
+
+    def _refresh_estimates(self) -> None:
+        raw = [
+            np.asarray(self._accumulators[level].estimate(), dtype=np.float64)
+            for level in self._tree.levels
+        ]
+        self._raw_levels = raw
+        if self._consistency:
+            self._levels = enforce_consistency(raw, self.branching, root_value=1.0)
+        else:
+            self._levels = [level.copy() for level in raw]
+        self._level_prefix = {
+            level: np.concatenate([[0.0], np.cumsum(self._levels[level - 1])])
+            for level in self._tree.levels
+        }
 
     # ------------------------------------------------------------------
     # Query answering
@@ -292,20 +333,24 @@ class HierarchicalHistogramMechanism(RangeQueryMechanism):
         estimates it covers (the estimates are exactly additive), so large
         workloads are answered in O(1) per query from the leaf prefix sums.
         Without consistency the answers genuinely depend on the B-adic
-        decomposition, so the generic per-query path is used.
+        decomposition; all decompositions are evaluated together with
+        :func:`~repro.hierarchy.decomposition.batched_range_sums`, walking
+        the tree once per level for the whole workload instead of once per
+        query.
         """
         self._require_fitted()
         queries = np.asarray(queries, dtype=np.int64)
         if queries.ndim != 2 or queries.shape[1] != 2:
             raise InvalidQueryError("queries must be an (n, 2) array")
-        if not self._consistency:
-            return super().answer_ranges(queries)
         if queries.size and (
             queries.min() < 0
             or queries[:, 1].max() >= self._domain_size
             or np.any(queries[:, 0] > queries[:, 1])
         ):
+            # Fall back to the base implementation for its precise errors.
             return super().answer_ranges(queries)
+        if not self._consistency:
+            return batched_range_sums(self._tree, self._level_prefix, queries)
         leaf_prefix = self._level_prefix[self._tree.height]
         return leaf_prefix[queries[:, 1] + 1] - leaf_prefix[queries[:, 0]]
 

@@ -9,7 +9,8 @@ components by hand.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import math
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -17,7 +18,7 @@ from repro.core.base import RangeQueryMechanism
 from repro.core.factory import mechanism_from_spec
 from repro.core.quantiles import DECILES, estimate_cdf, estimate_quantiles
 from repro.data.workloads import RangeWorkload
-from repro.exceptions import NotFittedError
+from repro.exceptions import ConfigurationError, NotFittedError
 from repro.privacy.randomness import RandomState
 
 __all__ = ["LdpRangeQuerySession"]
@@ -48,6 +49,19 @@ class LdpRangeQuerySession:
         **mechanism_kwargs,
     ) -> None:
         if isinstance(mechanism, RangeQueryMechanism):
+            # A pre-built instance must agree with the session parameters,
+            # otherwise `session.epsilon` would silently misreport the
+            # privacy budget the mechanism actually spends.
+            if not math.isclose(mechanism.epsilon, float(epsilon), rel_tol=1e-9):
+                raise ConfigurationError(
+                    f"session epsilon {float(epsilon)!r} does not match the "
+                    f"mechanism's epsilon {mechanism.epsilon!r}"
+                )
+            if mechanism.domain_size != int(domain_size):
+                raise ConfigurationError(
+                    f"session domain_size {int(domain_size)!r} does not match the "
+                    f"mechanism's domain_size {mechanism.domain_size!r}"
+                )
             self._mechanism = mechanism
         else:
             self._mechanism = mechanism_from_spec(
@@ -77,6 +91,34 @@ class LdpRangeQuerySession:
     ) -> "LdpRangeQuerySession":
         """Collect a population described by exact per-item counts."""
         self._mechanism.fit_counts(counts, random_state=random_state, mode=mode)
+        return self
+
+    def collect_batch(
+        self,
+        items: np.ndarray,
+        random_state: RandomState = None,
+        mode: str = "aggregate",
+    ) -> "LdpRangeQuerySession":
+        """Collect one batch of users on top of everything collected so far.
+
+        Incremental counterpart of :meth:`collect` (each user must still
+        appear in exactly one batch); answers are queryable after every
+        batch.  See :meth:`RangeQueryMechanism.partial_fit`.
+        """
+        self._mechanism.partial_fit(items, random_state=random_state, mode=mode)
+        return self
+
+    def merge_from(
+        self, other: "Union[LdpRangeQuerySession, RangeQueryMechanism]"
+    ) -> "LdpRangeQuerySession":
+        """Fold another session's (or mechanism's) collected state into this one.
+
+        The source must wrap an identically configured, fitted mechanism —
+        typically a shard of a distributed collection (see
+        :class:`repro.streaming.ShardedCollector`).
+        """
+        source = other.mechanism if isinstance(other, LdpRangeQuerySession) else other
+        self._mechanism.merge_from(source)
         return self
 
     # ------------------------------------------------------------------

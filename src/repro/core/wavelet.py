@@ -26,13 +26,13 @@ the paper bounds the variance of *any* range query by ``log2^2(D) V_F / 2``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.core.base import RangeQueryMechanism
-from repro.exceptions import ConfigurationError
-from repro.frequency_oracles.hadamard import HadamardRandomizedResponse
+from repro.exceptions import ConfigurationError, InvalidQueryError
+from repro.frequency_oracles.hadamard import HadamardAccumulator, HadamardRandomizedResponse
 from repro.transforms.haar import haar_inverse, haar_range_weights
 from repro.transforms.hadamard import is_power_of_two
 
@@ -86,6 +86,7 @@ class HaarWaveletMechanism(RangeQueryMechanism):
             )
             for level in range(1, self._height + 1)
         }
+        self._accumulators: Optional[Dict[int, HadamardAccumulator]] = None
         self._coefficients: Optional[np.ndarray] = None
         self._frequencies: Optional[np.ndarray] = None
         self._prefix: Optional[np.ndarray] = None
@@ -136,6 +137,13 @@ class HaarWaveletMechanism(RangeQueryMechanism):
     # ------------------------------------------------------------------
     # Collection
     # ------------------------------------------------------------------
+    def _reset_accumulators(self) -> None:
+        self._accumulators = {
+            level: self._oracles[level].accumulator()
+            for level in range(1, self._height + 1)
+        }
+        self._level_user_counts = np.zeros(self._height, dtype=np.int64)
+
     def _collect(
         self,
         items: Optional[np.ndarray],
@@ -143,17 +151,56 @@ class HaarWaveletMechanism(RangeQueryMechanism):
         rng: np.random.Generator,
         mode: str,
     ) -> None:
+        self._reset_accumulators()
+        self._accumulate_batch(items, counts, rng, mode)
+        self._refresh_estimates()
+
+    def _partial_collect(
+        self,
+        items: np.ndarray,
+        counts: np.ndarray,
+        rng: np.random.Generator,
+        mode: str,
+    ) -> None:
+        if self._accumulators is None:
+            self._reset_accumulators()
+        self._accumulate_batch(items, counts, rng, mode)
+        self._refresh_estimates()
+
+    def _merge_state(self, other: "HaarWaveletMechanism") -> None:
+        if self._accumulators is None:
+            self._reset_accumulators()
+        for level in range(1, self._height + 1):
+            self._accumulators[level].merge(other._accumulators[level])
+        self._level_user_counts += other._level_user_counts
+
+    def _merge_signature(self) -> tuple:
+        return super()._merge_signature() + (
+            self._padded_size,
+            tuple(np.round(self._level_probabilities, 12)),
+        )
+
+    def _accumulate_batch(
+        self,
+        items: Optional[np.ndarray],
+        counts: np.ndarray,
+        rng: np.random.Generator,
+        mode: str,
+    ) -> None:
         if mode == "per_user":
-            level_means = self._collect_per_user(items, rng)
+            self._accumulate_per_user(items, rng)
         else:
-            level_means = self._collect_aggregate(counts, rng)
+            self._accumulate_aggregate(counts, rng)
+
+    def _refresh_estimates(self) -> None:
         coefficients = np.zeros(self._padded_size, dtype=np.float64)
         # The scaling coefficient of a probability vector over the padded
         # domain is the known constant 1/sqrt(D'); the paper hard-codes it.
         coefficients[0] = 1.0 / np.sqrt(self._padded_size)
         for level in range(1, self._height + 1):
             start = self._padded_size >> level
-            coefficients[start : 2 * start] = level_means[level - 1] / (2.0 ** (level / 2.0))
+            level_mean = self._accumulators[level].estimate()
+            coefficients[start : 2 * start] = level_mean / (2.0 ** (level / 2.0))
         self._coefficients = coefficients
         reconstructed = haar_inverse(coefficients)
         self._frequencies = reconstructed[: self._domain_size]
@@ -165,29 +212,20 @@ class HaarWaveletMechanism(RangeQueryMechanism):
         signs = np.where(((items >> (level - 1)) & 1) == 1, -1, 1)
         return blocks.astype(np.int64), signs.astype(np.int64)
 
-    def _collect_per_user(
-        self, items: np.ndarray, rng: np.random.Generator
-    ) -> List[np.ndarray]:
+    def _accumulate_per_user(self, items: np.ndarray, rng: np.random.Generator) -> None:
         """Run the real local protocol with each user sampling a level."""
         n_users = items.shape[0]
         assignments = rng.choice(self._height, size=n_users, p=self._level_probabilities)
-        self._level_user_counts = np.bincount(assignments, minlength=self._height)
-        level_means: List[np.ndarray] = []
+        self._level_user_counts += np.bincount(assignments, minlength=self._height)
         for level in range(1, self._height + 1):
             level_items = items[assignments == level - 1]
-            width = self._padded_size >> level
             if level_items.size == 0:
-                level_means.append(np.zeros(width))
                 continue
             blocks, signs = self._user_blocks_and_signs(level_items, level)
             oracle = self._oracles[level]
-            reports = oracle.encode_batch(blocks, rng, signs=signs)
-            level_means.append(oracle.aggregate(reports))
-        return level_means
+            self._accumulators[level].add(oracle.encode_batch(blocks, rng, signs=signs))
 
-    def _collect_aggregate(
-        self, counts: np.ndarray, rng: np.random.Generator
-    ) -> List[np.ndarray]:
+    def _accumulate_aggregate(self, counts: np.ndarray, rng: np.random.Generator) -> None:
         """Aggregate mode: partition the counts across levels, then run the
         exact (vectorised) HRR protocol per level.
 
@@ -199,8 +237,6 @@ class HaarWaveletMechanism(RangeQueryMechanism):
         padded_counts[: self._domain_size] = counts
         remaining = padded_counts.copy()
         remaining_probability = 1.0
-        level_means: List[np.ndarray] = []
-        level_user_counts = np.zeros(self._height, dtype=np.int64)
         for level in range(1, self._height + 1):
             probability = self._level_probabilities[level - 1]
             if level == self._height:
@@ -212,20 +248,16 @@ class HaarWaveletMechanism(RangeQueryMechanism):
                 level_counts = rng.binomial(remaining, share)
                 remaining -= level_counts
                 remaining_probability -= probability
-            level_user_counts[level - 1] = int(level_counts.sum())
-            width = self._padded_size >> level
-            if level_user_counts[level - 1] == 0:
-                level_means.append(np.zeros(width))
+            batch_users = int(level_counts.sum())
+            self._level_user_counts[level - 1] += batch_users
+            if batch_users == 0:
                 continue
             level_items = np.repeat(
                 np.arange(self._padded_size, dtype=np.int64), level_counts
             )
             blocks, signs = self._user_blocks_and_signs(level_items, level)
             oracle = self._oracles[level]
-            reports = oracle.encode_batch(blocks, rng, signs=signs)
-            level_means.append(oracle.aggregate(reports))
-        self._level_user_counts = level_user_counts
-        return level_means
+            self._accumulators[level].add(oracle.encode_batch(blocks, rng, signs=signs))
 
     # ------------------------------------------------------------------
     # Query answering
@@ -256,7 +288,7 @@ class HaarWaveletMechanism(RangeQueryMechanism):
         self._require_fitted()
         queries = np.asarray(queries, dtype=np.int64)
         if queries.ndim != 2 or queries.shape[1] != 2:
-            raise ValueError("queries must be an (n, 2) array")
+            raise InvalidQueryError("queries must be an (n, 2) array")
         if queries.size and (
             queries.min() < 0
             or queries[:, 1].max() >= self._domain_size

@@ -121,9 +121,15 @@ def run_epsilon_grid(
 
     Results come back in row-major order (epsilon outer, mechanism inner),
     matching the layout of the paper's tables.
+
+    ``specs`` and ``epsilons`` may be arbitrary iterables (including
+    generators): both are materialised exactly once at entry, so a generator
+    is never exhausted by the seed-count pass before the sweep loops run.
     """
+    specs = list(specs)
+    epsilons = list(epsilons)
     results: List[CellResult] = []
-    seeds = spawn_generators(random_state, len(list(epsilons)) * len(list(specs)))
+    seeds = spawn_generators(random_state, len(epsilons) * len(specs))
     index = 0
     for epsilon in epsilons:
         for spec in specs:

@@ -22,29 +22,46 @@ Implemented oracles:
 Each oracle also provides ``simulate_aggregate``, a statistically equivalent
 fast path that samples the aggregator's noisy view directly from the true
 per-item counts — the trick the paper itself uses to scale OUE to very large
-domains.
+domains — and ``accumulator()``, a mergeable
+:class:`~repro.frequency_oracles.accumulators.OracleAccumulator` over the
+oracle's sufficient statistic for incremental / sharded collection.
 """
 
+from repro.frequency_oracles.accumulators import OracleAccumulator
 from repro.frequency_oracles.base import FrequencyOracle, OracleReports
-from repro.frequency_oracles.hadamard import HadamardRandomizedResponse
-from repro.frequency_oracles.local_hashing import OptimalLocalHashing, UniversalHashFamily
+from repro.frequency_oracles.hadamard import HadamardAccumulator, HadamardRandomizedResponse
+from repro.frequency_oracles.local_hashing import (
+    LocalHashingAccumulator,
+    OptimalLocalHashing,
+    UniversalHashFamily,
+)
 from repro.frequency_oracles.randomized_response import (
     BinaryRandomizedResponse,
+    DirectEncodingAccumulator,
     GeneralizedRandomizedResponse,
 )
 from repro.frequency_oracles.registry import available_oracles, make_oracle
-from repro.frequency_oracles.unary import OptimizedUnaryEncoding, SymmetricUnaryEncoding
+from repro.frequency_oracles.unary import (
+    OptimizedUnaryEncoding,
+    SymmetricUnaryEncoding,
+    UnaryAccumulator,
+)
 
 __all__ = [
     "FrequencyOracle",
     "OracleReports",
+    "OracleAccumulator",
     "BinaryRandomizedResponse",
     "GeneralizedRandomizedResponse",
+    "DirectEncodingAccumulator",
     "SymmetricUnaryEncoding",
     "OptimizedUnaryEncoding",
+    "UnaryAccumulator",
     "OptimalLocalHashing",
+    "LocalHashingAccumulator",
     "UniversalHashFamily",
     "HadamardRandomizedResponse",
+    "HadamardAccumulator",
     "make_oracle",
     "available_oracles",
 ]

@@ -1,0 +1,157 @@
+"""Mergeable accumulators: the oracles' sufficient statistics.
+
+Every frequency oracle's aggregator is a *sum* over per-report
+contributions — column sums of the bit matrix for the unary encodings,
+per-item support tallies for OLH, per-symbol counts for GRR and per-index
+coefficient sums for HRR — followed by a single linear decode.  An
+:class:`OracleAccumulator` makes that structure explicit: it holds the
+running sufficient statistic, accepts report batches (or simulated
+aggregate-mode batches) incrementally with :meth:`add` / :meth:`add_counts`,
+combines with another accumulator of the same configuration via
+:meth:`merge`, and decodes the statistic into frequency estimates with
+:meth:`estimate` at any point.
+
+The laws the accumulators satisfy (and the tests verify):
+
+* **merge-linearity** — ``merge`` is associative and commutative, and the
+  merged estimate equals the user-count-weighted average of the parts'
+  estimates;
+* **one-shot equivalence** — accumulating a population in several batches
+  follows exactly the same distribution as the one-shot
+  ``aggregate`` / ``simulate_aggregate`` paths (which are themselves
+  implemented on top of the accumulators, so the one-shot path *is* a
+  single-batch accumulation).
+
+This is what makes sharded and streaming collection possible: shards
+accumulate independently and a reducer merges their statistics, with no
+report matrices ever materialised.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.privacy.randomness import RandomState, as_generator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.frequency_oracles.base import FrequencyOracle, OracleReports
+
+__all__ = ["OracleAccumulator"]
+
+
+class OracleAccumulator(abc.ABC):
+    """Mergeable aggregation state of one frequency oracle.
+
+    Obtained from :meth:`FrequencyOracle.accumulator`; concrete subclasses
+    live next to their oracle and define the sufficient statistic.  All
+    mutating methods return ``self`` so calls can be chained.
+    """
+
+    def __init__(self, oracle: "FrequencyOracle") -> None:
+        self._oracle = oracle
+        self._n_users = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def oracle(self) -> "FrequencyOracle":
+        """The oracle whose reports this accumulator aggregates."""
+        return self._oracle
+
+    @property
+    def n_users(self) -> int:
+        """Number of users accumulated so far."""
+        return self._n_users
+
+    # ------------------------------------------------------------------
+    # Accumulation
+    # ------------------------------------------------------------------
+    def add(self, reports: "OracleReports") -> "OracleAccumulator":
+        """Fold a batch of real user reports into the statistic."""
+        self._add_reports(reports)
+        self._n_users += int(reports.n_users)
+        return self
+
+    def add_items(
+        self, values: np.ndarray, random_state: RandomState = None
+    ) -> "OracleAccumulator":
+        """Encode a batch of private items and accumulate their reports."""
+        rng = as_generator(random_state)
+        return self.add(self._oracle.encode_batch(np.asarray(values), rng))
+
+    def add_counts(
+        self, true_counts: np.ndarray, random_state: RandomState = None
+    ) -> "OracleAccumulator":
+        """Accumulate a simulated aggregate-mode batch from exact counts.
+
+        Samples the statistic's increment directly, with the same
+        distribution as encoding and adding the corresponding population
+        (see each oracle's ``simulate_aggregate`` docstring for the exact
+        vs. marginal guarantees).
+        """
+        counts = self._oracle._check_counts(true_counts)
+        rng = as_generator(random_state)
+        self._add_simulated(counts, rng)
+        self._n_users += int(counts.sum())
+        return self
+
+    def merge(self, other: "OracleAccumulator") -> "OracleAccumulator":
+        """Fold another accumulator's statistic into this one.
+
+        Both accumulators must come from identically configured oracles
+        (same class, epsilon, domain and protocol parameters); otherwise a
+        :class:`~repro.exceptions.ConfigurationError` is raised and this
+        accumulator is left untouched.
+        """
+        if type(other) is not type(self):
+            raise ConfigurationError(
+                f"cannot merge {type(other).__name__} into {type(self).__name__}"
+            )
+        mine = self._oracle.merge_signature()
+        theirs = other._oracle.merge_signature()
+        if mine != theirs:
+            raise ConfigurationError(
+                f"cannot merge accumulators of differently configured oracles: "
+                f"{mine} != {theirs}"
+            )
+        self._merge_statistic(other)
+        self._n_users += other._n_users
+        return self
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def estimate(self) -> np.ndarray:
+        """Decode the statistic into unbiased per-item frequency estimates.
+
+        Returns a length-``D`` float vector (all zeros before any users have
+        been accumulated); may be called repeatedly and does not consume the
+        statistic.
+        """
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _add_reports(self, reports: "OracleReports") -> None:
+        """Fold a validated batch of reports into the statistic."""
+
+    @abc.abstractmethod
+    def _add_simulated(self, counts: np.ndarray, rng: np.random.Generator) -> None:
+        """Sample the statistic increment for an aggregate-mode batch."""
+
+    @abc.abstractmethod
+    def _merge_statistic(self, other: "OracleAccumulator") -> None:
+        """Add a compatible accumulator's statistic to this one."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(oracle={type(self._oracle).__name__}, "
+            f"n_users={self._n_users})"
+        )

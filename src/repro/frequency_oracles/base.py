@@ -7,7 +7,7 @@ estimates whose per-item variance is (asymptotically)
 ``V_F = 4 e^eps / (N (e^eps - 1)^2)`` — the quantity the range-query error
 analysis of Section 4 is expressed in.
 
-Three execution paths are exposed:
+Four execution paths are exposed:
 
 ``encode`` / ``encode_batch`` + ``aggregate``
     The real protocol: users perturb locally, the aggregator decodes.
@@ -19,6 +19,11 @@ Three execution paths are exposed:
     protocol (exactly for the unary oracles, marginally for the others — see
     each oracle's docstring), which lets experiments scale to millions of
     users without materialising per-user reports.
+``accumulator``
+    Returns a mergeable :class:`~repro.frequency_oracles.accumulators.OracleAccumulator`
+    holding the oracle's sufficient statistic, for incremental / sharded
+    collection.  ``aggregate`` and ``simulate_aggregate`` are implemented on
+    top of it, so the one-shot paths are single-batch accumulations.
 """
 
 from __future__ import annotations
@@ -29,7 +34,8 @@ from typing import Any, Dict
 
 import numpy as np
 
-from repro.exceptions import InvalidDomainError, InvalidQueryError
+from repro.exceptions import ConfigurationError, InvalidDomainError, InvalidQueryError
+from repro.frequency_oracles.accumulators import OracleAccumulator
 from repro.privacy.budget import PrivacyBudget
 from repro.privacy.randomness import RandomState, as_generator
 
@@ -136,6 +142,29 @@ class FrequencyOracle(abc.ABC):
         ``true_counts`` is a length-``D`` integer vector whose sum is the
         population size ``N``.
         """
+
+    # ------------------------------------------------------------------
+    # Incremental aggregation
+    # ------------------------------------------------------------------
+    def accumulator(self) -> OracleAccumulator:
+        """Fresh mergeable accumulator over this oracle's sufficient statistic.
+
+        Concrete oracles override this; the base implementation refuses so
+        that third-party oracles without an accumulator still work for
+        one-shot collection.
+        """
+        raise ConfigurationError(
+            f"{type(self).__name__} does not provide a mergeable accumulator"
+        )
+
+    def merge_signature(self) -> tuple:
+        """Configuration fingerprint deciding accumulator compatibility.
+
+        Two accumulators may merge only if their oracles' signatures are
+        equal.  Subclasses with extra protocol parameters (e.g. OLH's hash
+        range) extend the tuple.
+        """
+        return (type(self).__name__, float(self.epsilon), int(self._domain_size))
 
     # ------------------------------------------------------------------
     # Convenience wrappers

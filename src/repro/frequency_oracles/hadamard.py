@@ -25,6 +25,7 @@ from typing import Any, Dict, Optional
 import numpy as np
 
 from repro.exceptions import InvalidQueryError
+from repro.frequency_oracles.accumulators import OracleAccumulator
 from repro.frequency_oracles.base import FrequencyOracle, OracleReports
 from repro.privacy.mechanisms import binary_rr_probability
 from repro.privacy.randomness import RandomState, as_generator
@@ -34,7 +35,52 @@ from repro.transforms.hadamard import (
     is_power_of_two,
 )
 
-__all__ = ["HadamardRandomizedResponse"]
+__all__ = ["HadamardAccumulator", "HadamardRandomizedResponse"]
+
+
+class HadamardAccumulator(OracleAccumulator):
+    """Sufficient statistic of HRR: per-index perturbed-coefficient sums.
+
+    Each report contributes its (sign-carrying) perturbed bit to the sampled
+    Hadamard index; the length-``D'`` sum vector plus the user count fully
+    determine the decoded estimates, and sums from shards simply add.
+    """
+
+    def __init__(self, oracle: "HadamardRandomizedResponse") -> None:
+        super().__init__(oracle)
+        self._sums = np.zeros(oracle.padded_size, dtype=np.float64)
+
+    def _add_reports(self, reports: OracleReports) -> None:
+        indices = np.asarray(reports.payload["indices"], dtype=np.int64)
+        values = np.asarray(reports.payload["values"], dtype=np.float64)
+        if indices.shape != values.shape:
+            raise InvalidQueryError("indices and values must have the same shape")
+        self._sums += np.bincount(
+            indices, weights=values, minlength=self._oracle.padded_size
+        )
+
+    def _add_simulated(self, counts: np.ndarray, rng: np.random.Generator) -> None:
+        # HRR couples the sampled index with the user's item, so there is no
+        # per-item closed form; expand the counts and run the exact batched
+        # protocol (the same trick as ``simulate_aggregate``).
+        values = np.repeat(np.arange(self._oracle.domain_size, dtype=np.int64), counts)
+        reports = self._oracle.encode_batch(values, rng)
+        self._add_reports(reports)
+
+    def _merge_statistic(self, other: "HadamardAccumulator") -> None:
+        self._sums += other._sums
+
+    def estimate(self) -> np.ndarray:
+        oracle = self._oracle
+        if self._n_users == 0:
+            return np.zeros(oracle.domain_size)
+        # Each coefficient was sampled with probability 1/D', so the sum over
+        # the users that picked index j estimates N/D' * (2p-1) * C_j.
+        coefficient_estimates = (
+            self._sums * oracle.padded_size / (self._n_users * oracle.unbiasing_factor)
+        )
+        estimates = inverse_fast_walsh_hadamard_transform(coefficient_estimates)
+        return estimates[: oracle.domain_size]
 
 
 def _next_power_of_two(value: int) -> int:
@@ -130,6 +176,10 @@ class HadamardRandomizedResponse(FrequencyOracle):
     # ------------------------------------------------------------------
     # Aggregator side
     # ------------------------------------------------------------------
+    def accumulator(self) -> HadamardAccumulator:
+        """Mergeable accumulator over the per-index coefficient sums."""
+        return HadamardAccumulator(self)
+
     def aggregate(self, reports: OracleReports) -> np.ndarray:
         """Decode reports into (possibly signed) frequency estimates.
 
@@ -137,21 +187,7 @@ class HadamardRandomizedResponse(FrequencyOracle):
         population's mean (signed) indicator vector, then inverts the
         transform in ``O(D log D)``.
         """
-        indices = np.asarray(reports.payload["indices"], dtype=np.int64)
-        values = np.asarray(reports.payload["values"], dtype=np.float64)
-        n_users = reports.n_users
-        if n_users == 0:
-            return np.zeros(self._domain_size)
-        if indices.shape != values.shape:
-            raise InvalidQueryError("indices and values must have the same shape")
-        sums = np.bincount(indices, weights=values, minlength=self._padded_size)
-        # Each coefficient was sampled with probability 1/D, so the sum over
-        # the users that picked index j estimates N/D * (2p-1) * C_j.
-        coefficient_estimates = (
-            sums * self._padded_size / (n_users * self.unbiasing_factor)
-        )
-        estimates = inverse_fast_walsh_hadamard_transform(coefficient_estimates)
-        return estimates[: self._domain_size]
+        return self.accumulator().add(reports).estimate()
 
     def simulate_aggregate(
         self, true_counts: np.ndarray, random_state: RandomState = None
@@ -164,11 +200,7 @@ class HadamardRandomizedResponse(FrequencyOracle):
         exact batched protocol is run.  This is still dramatically faster
         than Python-level per-user loops and is exact, not approximate.
         """
-        counts = self._check_counts(true_counts)
-        rng = as_generator(random_state)
-        values = np.repeat(np.arange(self._domain_size, dtype=np.int64), counts)
-        reports = self.encode_batch(values, rng)
-        return self.aggregate(reports)
+        return self.accumulator().add_counts(true_counts, random_state).estimate()
 
     def theoretical_variance(self, n_users: int) -> float:
         """``4 p (1 - p) / (N (2p - 1)^2) = 4 e^eps / (N (e^eps - 1)^2)``."""

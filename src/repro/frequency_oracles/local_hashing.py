@@ -22,10 +22,11 @@ from typing import Any, Dict, Optional
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.frequency_oracles.accumulators import OracleAccumulator
 from repro.frequency_oracles.base import FrequencyOracle, OracleReports
 from repro.privacy.randomness import RandomState, as_generator
 
-__all__ = ["UniversalHashFamily", "OptimalLocalHashing"]
+__all__ = ["UniversalHashFamily", "LocalHashingAccumulator", "OptimalLocalHashing"]
 
 #: A Mersenne prime comfortably larger than any domain used in the paper
 #: (2^31 - 1); arithmetic stays inside 64-bit integers.
@@ -83,6 +84,47 @@ class UniversalHashFamily:
         b = np.asarray(b, dtype=np.int64)
         items = np.asarray(items, dtype=np.int64)
         return (((a * items + b) % _PRIME) % self.hash_range).astype(np.int64)
+
+
+class LocalHashingAccumulator(OracleAccumulator):
+    """Sufficient statistic of OLH: per-item support tallies.
+
+    A report supports item ``j`` when ``j``'s hash under that report's
+    function equals the reported symbol; the statistic is the sum of those
+    indicators over reports.  Decoding a batch is the ``O(batch * D)`` part,
+    so shards pay it locally and the reducer only adds vectors.
+    """
+
+    def __init__(self, oracle: "OptimalLocalHashing") -> None:
+        super().__init__(oracle)
+        self._support = np.zeros(oracle.domain_size, dtype=np.float64)
+
+    def _add_reports(self, reports: OracleReports) -> None:
+        oracle = self._oracle
+        a = np.asarray(reports.payload["a"], dtype=np.int64)
+        b = np.asarray(reports.payload["b"], dtype=np.int64)
+        values = np.asarray(reports.payload["values"], dtype=np.int64)
+        items = np.arange(oracle.domain_size, dtype=np.int64)
+        # Blocked over users to keep the intermediate hash matrix bounded.
+        block = max(1, int(4_000_000 // max(1, oracle.domain_size)))
+        for start in range(0, reports.n_users, block):
+            stop = min(start + block, reports.n_users)
+            hashed = (
+                (a[start:stop, None] * items[None, :] + b[start:stop, None]) % _PRIME
+            ) % oracle.hash_range
+            self._support += (hashed == values[start:stop, None]).sum(axis=0)
+
+    def _add_simulated(self, counts: np.ndarray, rng: np.random.Generator) -> None:
+        n_users = int(counts.sum())
+        self._support += rng.binomial(counts, self._oracle.p) + rng.binomial(
+            n_users - counts, self._oracle.q
+        )
+
+    def _merge_statistic(self, other: "LocalHashingAccumulator") -> None:
+        self._support += other._support
+
+    def estimate(self) -> np.ndarray:
+        return self._oracle._unbias(self._support, self._n_users)
 
 
 class OptimalLocalHashing(FrequencyOracle):
@@ -171,6 +213,13 @@ class OptimalLocalHashing(FrequencyOracle):
     # ------------------------------------------------------------------
     # Aggregator side
     # ------------------------------------------------------------------
+    def accumulator(self) -> LocalHashingAccumulator:
+        """Mergeable accumulator over the per-item support tallies."""
+        return LocalHashingAccumulator(self)
+
+    def merge_signature(self) -> tuple:
+        return super().merge_signature() + (self._hash_range,)
+
     def aggregate(self, reports: OracleReports) -> np.ndarray:
         """Decode reports by crediting the support set of every report.
 
@@ -178,18 +227,7 @@ class OptimalLocalHashing(FrequencyOracle):
         domain item with that user's hash function.  The loop is blocked over
         users to keep the intermediate matrix bounded.
         """
-        a = np.asarray(reports.payload["a"], dtype=np.int64)
-        b = np.asarray(reports.payload["b"], dtype=np.int64)
-        values = np.asarray(reports.payload["values"], dtype=np.int64)
-        n_users = reports.n_users
-        support = np.zeros(self._domain_size, dtype=np.float64)
-        items = np.arange(self._domain_size, dtype=np.int64)
-        block = max(1, int(4_000_000 // max(1, self._domain_size)))
-        for start in range(0, n_users, block):
-            stop = min(start + block, n_users)
-            hashed = ((a[start:stop, None] * items[None, :] + b[start:stop, None]) % _PRIME) % self._hash_range
-            support += (hashed == values[start:stop, None]).sum(axis=0)
-        return self._unbias(support, n_users)
+        return self.accumulator().add(reports).estimate()
 
     def simulate_aggregate(
         self, true_counts: np.ndarray, random_state: RandomState = None
@@ -203,11 +241,7 @@ class OptimalLocalHashing(FrequencyOracle):
         but per-item marginals — and hence the variance the experiments
         measure — are.
         """
-        counts = self._check_counts(true_counts)
-        rng = as_generator(random_state)
-        n_users = int(counts.sum())
-        support = rng.binomial(counts, self._p) + rng.binomial(n_users - counts, self._q)
-        return self._unbias(support.astype(np.float64), n_users)
+        return self.accumulator().add_counts(true_counts, random_state).estimate()
 
     def _unbias(self, support: np.ndarray, n_users: int) -> np.ndarray:
         if n_users == 0:

@@ -18,12 +18,17 @@ from typing import Any, Dict
 
 import numpy as np
 
+from repro.frequency_oracles.accumulators import OracleAccumulator
 from repro.frequency_oracles.base import FrequencyOracle, OracleReports
 from repro.privacy.budget import PrivacyBudget
 from repro.privacy.mechanisms import binary_rr_probability, grr_probabilities
 from repro.privacy.randomness import RandomState, as_generator
 
-__all__ = ["BinaryRandomizedResponse", "GeneralizedRandomizedResponse"]
+__all__ = [
+    "BinaryRandomizedResponse",
+    "DirectEncodingAccumulator",
+    "GeneralizedRandomizedResponse",
+]
 
 
 class BinaryRandomizedResponse:
@@ -66,6 +71,38 @@ class BinaryRandomizedResponse:
     def unbias(self, reports: np.ndarray) -> np.ndarray:
         """Turn raw ``{-1, +1}`` reports into unbiased estimates of the bit."""
         return np.asarray(reports, dtype=np.float64) / self.unbiasing_factor
+
+
+class DirectEncodingAccumulator(OracleAccumulator):
+    """Sufficient statistic of k-RR: the histogram of reported symbols."""
+
+    def __init__(self, oracle: "GeneralizedRandomizedResponse") -> None:
+        super().__init__(oracle)
+        self._noisy_counts = np.zeros(oracle.domain_size, dtype=np.float64)
+
+    def _add_reports(self, reports: OracleReports) -> None:
+        reported = np.asarray(reports.payload["values"], dtype=np.int64)
+        self._noisy_counts += np.bincount(
+            reported, minlength=self._oracle.domain_size
+        ).astype(np.float64)
+
+    def _add_simulated(self, counts: np.ndarray, rng: np.random.Generator) -> None:
+        oracle = self._oracle
+        kept = rng.binomial(counts, oracle.p)
+        liars = int((counts - kept).sum())
+        if liars:
+            lies = rng.multinomial(
+                liars, np.full(oracle.domain_size, 1.0 / oracle.domain_size)
+            )
+        else:
+            lies = np.zeros(oracle.domain_size, dtype=np.int64)
+        self._noisy_counts += kept + lies
+
+    def _merge_statistic(self, other: "DirectEncodingAccumulator") -> None:
+        self._noisy_counts += other._noisy_counts
+
+    def estimate(self) -> np.ndarray:
+        return self._oracle._unbias(self._noisy_counts, self._n_users)
 
 
 class GeneralizedRandomizedResponse(FrequencyOracle):
@@ -123,10 +160,12 @@ class GeneralizedRandomizedResponse(FrequencyOracle):
     # ------------------------------------------------------------------
     # Aggregator side
     # ------------------------------------------------------------------
+    def accumulator(self) -> DirectEncodingAccumulator:
+        """Mergeable accumulator over the reported-symbol histogram."""
+        return DirectEncodingAccumulator(self)
+
     def aggregate(self, reports: OracleReports) -> np.ndarray:
-        reported = np.asarray(reports.payload["values"], dtype=np.int64)
-        counts = np.bincount(reported, minlength=self._domain_size).astype(np.float64)
-        return self._unbias(counts, reports.n_users)
+        return self.accumulator().add(reports).estimate()
 
     def simulate_aggregate(
         self, true_counts: np.ndarray, random_state: RandomState = None
@@ -140,17 +179,7 @@ class GeneralizedRandomizedResponse(FrequencyOracle):
         (:meth:`encode_batch` + :meth:`aggregate`) is exact and is what the
         equivalence tests compare against.
         """
-        counts = self._check_counts(true_counts)
-        rng = as_generator(random_state)
-        n_users = int(counts.sum())
-        kept = rng.binomial(counts, self.p)
-        liars = int((counts - kept).sum())
-        if liars:
-            lies = rng.multinomial(liars, np.full(self._domain_size, 1.0 / self._domain_size))
-        else:
-            lies = np.zeros(self._domain_size, dtype=np.int64)
-        noisy = kept + lies
-        return self._unbias(noisy.astype(np.float64), n_users)
+        return self.accumulator().add_counts(true_counts, random_state).estimate()
 
     def _unbias(self, noisy_counts: np.ndarray, n_users: int) -> np.ndarray:
         if n_users == 0:

@@ -23,6 +23,8 @@ from typing import Any, Dict
 
 import numpy as np
 
+from repro.exceptions import InvalidQueryError
+from repro.frequency_oracles.accumulators import OracleAccumulator
 from repro.frequency_oracles.base import FrequencyOracle, OracleReports
 from repro.privacy.mechanisms import (
     PerturbationProbabilities,
@@ -31,7 +33,40 @@ from repro.privacy.mechanisms import (
 )
 from repro.privacy.randomness import RandomState, as_generator
 
-__all__ = ["SymmetricUnaryEncoding", "OptimizedUnaryEncoding"]
+__all__ = ["UnaryAccumulator", "SymmetricUnaryEncoding", "OptimizedUnaryEncoding"]
+
+
+class UnaryAccumulator(OracleAccumulator):
+    """Sufficient statistic of a unary encoding: per-item "1"-bit sums.
+
+    The noisy count of item ``j`` is the column sum of the reported bit
+    matrix; columns are independent binomial mixtures, so batch sums (and
+    merged shard sums) follow exactly the one-shot distribution.
+    """
+
+    def __init__(self, oracle: "_UnaryEncodingOracle") -> None:
+        super().__init__(oracle)
+        self._ones = np.zeros(oracle.domain_size, dtype=np.float64)
+
+    def _add_reports(self, reports: OracleReports) -> None:
+        bits = np.asarray(reports.payload["bits"])
+        if bits.ndim != 2 or bits.shape[1] != self._oracle.domain_size:
+            raise InvalidQueryError(
+                f"expected a reports matrix with {self._oracle.domain_size} columns"
+            )
+        self._ones += bits.sum(axis=0).astype(np.float64)
+
+    def _add_simulated(self, counts: np.ndarray, rng: np.random.Generator) -> None:
+        n_users = int(counts.sum())
+        self._ones += rng.binomial(counts, self._oracle.p) + rng.binomial(
+            n_users - counts, self._oracle.q
+        )
+
+    def _merge_statistic(self, other: "UnaryAccumulator") -> None:
+        self._ones += other._ones
+
+    def estimate(self) -> np.ndarray:
+        return self._oracle._unbias(self._ones, self._n_users)
 
 
 class _UnaryEncodingOracle(FrequencyOracle):
@@ -81,24 +116,18 @@ class _UnaryEncodingOracle(FrequencyOracle):
     # ------------------------------------------------------------------
     # Aggregator side
     # ------------------------------------------------------------------
+    def accumulator(self) -> UnaryAccumulator:
+        """Mergeable accumulator over the per-item "1"-bit column sums."""
+        return UnaryAccumulator(self)
+
     def aggregate(self, reports: OracleReports) -> np.ndarray:
-        bits = np.asarray(reports.payload["bits"])
-        if bits.ndim != 2 or bits.shape[1] != self._domain_size:
-            raise ValueError(
-                f"expected a reports matrix with {self._domain_size} columns"
-            )
-        ones = bits.sum(axis=0).astype(np.float64)
-        return self._unbias(ones, reports.n_users)
+        return self.accumulator().add(reports).estimate()
 
     def simulate_aggregate(
         self, true_counts: np.ndarray, random_state: RandomState = None
     ) -> np.ndarray:
         """Exact fast path: noisy count = Bino(c_j, p) + Bino(N - c_j, q)."""
-        counts = self._check_counts(true_counts)
-        rng = as_generator(random_state)
-        n_users = int(counts.sum())
-        ones = rng.binomial(counts, self.p) + rng.binomial(n_users - counts, self.q)
-        return self._unbias(ones.astype(np.float64), n_users)
+        return self.accumulator().add_counts(true_counts, random_state).estimate()
 
     def _unbias(self, ones: np.ndarray, n_users: int) -> np.ndarray:
         if n_users == 0:

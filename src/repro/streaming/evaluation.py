@@ -1,0 +1,86 @@
+"""Shared one-shot vs. sharded comparison used by the CLI demo and benchmarks.
+
+Both surfaces answer the same question — does collecting through a
+:class:`~repro.streaming.ShardedCollector` cost any accuracy compared to a
+one-shot fit? — so the sweep lives here once and each caller only formats
+the rows.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.factory import mechanism_from_spec
+from repro.data.workloads import RangeWorkload
+from repro.streaming.sharded import ShardedCollector
+
+__all__ = ["one_shot_vs_sharded"]
+
+
+def one_shot_vs_sharded(
+    spec: str,
+    epsilon: float,
+    items: np.ndarray,
+    workload: RangeWorkload,
+    shard_counts: Sequence[int],
+    seed: int,
+    batches_for: Optional[Callable[[int], int]] = None,
+) -> List[list]:
+    """Collect ``items`` one-shot and through every shard count; tabulate.
+
+    Parameters
+    ----------
+    spec, epsilon:
+        Mechanism specification and privacy budget shared by every run.
+    items:
+        The population, one integer item per user.
+    workload:
+        Queries scored against the exact answers on ``items``.
+    shard_counts:
+        Shard counts ``K`` to sweep.
+    seed:
+        Base seed; each configuration derives its own stream from it.
+    batches_for:
+        Number of arrival batches as a function of ``K`` (default ``4 K``).
+
+    Returns
+    -------
+    list of rows
+        ``[label, n_shards, n_batches, mse_x1000, seconds]`` — one row for
+        the one-shot baseline, then one per shard count.
+    """
+    domain = workload.domain_size
+    counts = np.bincount(items, minlength=domain)
+    truth = workload.true_answers(counts)
+    batches_for = batches_for or (lambda n_shards: 4 * n_shards)
+
+    def mse(mechanism) -> float:
+        estimates = mechanism.answer_workload(workload)
+        return float(np.mean((estimates - truth) ** 2))
+
+    rows: List[list] = []
+    start = time.perf_counter()
+    one_shot = mechanism_from_spec(spec, epsilon=epsilon, domain_size=domain)
+    one_shot.fit_items(items, random_state=seed)
+    rows.append(["one-shot", 1, 1, mse(one_shot) * 1000.0, time.perf_counter() - start])
+
+    for n_shards in shard_counts:
+        collector = ShardedCollector(
+            spec,
+            epsilon=epsilon,
+            domain_size=domain,
+            n_shards=n_shards,
+            random_state=seed + n_shards,
+        )
+        n_batches = max(int(batches_for(n_shards)), int(n_shards))
+        start = time.perf_counter()
+        collector.extend(np.array_split(items, n_batches))
+        merged = collector.reduce()
+        elapsed = time.perf_counter() - start
+        rows.append(
+            [f"sharded x{n_shards}", n_shards, n_batches, mse(merged) * 1000.0, elapsed]
+        )
+    return rows

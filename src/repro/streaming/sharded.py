@@ -1,0 +1,191 @@
+"""Fan report batches across simulated shards and reduce them.
+
+:class:`ShardedCollector` models the ingestion tier of a deployed LDP
+pipeline: ``K`` shards each own one mechanism instance and an independent
+random stream, report batches are routed to shards (round-robin by default,
+or explicitly by the caller), and a reduce step merges the shards'
+sufficient statistics into one queryable mechanism.  Because accumulator
+merging is exact (sums of sums), the reduced estimates follow the same
+distribution as a one-shot fit of the whole population — shard count is a
+pure throughput knob, invisible to accuracy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.core.base import RangeQueryMechanism
+from repro.core.factory import mechanism_from_spec
+from repro.core.session import LdpRangeQuerySession
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.privacy.randomness import RandomState, spawn_generators
+
+__all__ = ["ShardedCollector"]
+
+
+class ShardedCollector:
+    """Collect an LDP population across ``K`` independent shards.
+
+    Parameters
+    ----------
+    mechanism:
+        Mechanism specification string (see
+        :func:`repro.core.factory.mechanism_from_spec`); every shard gets its
+        own identically configured instance.
+    epsilon, domain_size:
+        Standard mechanism parameters, shared by all shards.
+    n_shards:
+        Number of simulated shards ``K >= 1``.
+    random_state:
+        Seed for the whole collection; each shard derives an independent
+        stream from it, so results are reproducible for a fixed seed,
+        routing and batch order.
+    mode:
+        Default simulation mode for submitted batches (``"aggregate"`` or
+        ``"per_user"``), overridable per batch.
+    mechanism_kwargs:
+        Extra keyword arguments forwarded to every shard's constructor.
+    """
+
+    def __init__(
+        self,
+        mechanism: str,
+        epsilon: float,
+        domain_size: int,
+        n_shards: int = 4,
+        random_state: RandomState = None,
+        mode: str = "aggregate",
+        **mechanism_kwargs,
+    ) -> None:
+        if not isinstance(n_shards, (int, np.integer)) or n_shards < 1:
+            raise ConfigurationError(
+                f"n_shards must be a positive integer, got {n_shards!r}"
+            )
+        self._spec = str(mechanism)
+        self._epsilon = float(epsilon)
+        self._domain_size = int(domain_size)
+        self._mechanism_kwargs = dict(mechanism_kwargs)
+        self._mode = str(mode)
+        self._shards: List[RangeQueryMechanism] = [
+            self._make_mechanism() for _ in range(int(n_shards))
+        ]
+        self._generators = spawn_generators(random_state, int(n_shards))
+        self._cursor = 0
+        self._n_batches = 0
+
+    def _make_mechanism(self) -> RangeQueryMechanism:
+        return mechanism_from_spec(
+            self._spec,
+            epsilon=self._epsilon,
+            domain_size=self._domain_size,
+            **self._mechanism_kwargs,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        """Number of shards ``K``."""
+        return len(self._shards)
+
+    @property
+    def shards(self) -> List[RangeQueryMechanism]:
+        """The per-shard mechanism instances (mutated by :meth:`submit`)."""
+        return list(self._shards)
+
+    @property
+    def n_users(self) -> int:
+        """Total number of users accumulated across all shards."""
+        return sum(shard.n_users or 0 for shard in self._shards)
+
+    @property
+    def n_batches(self) -> int:
+        """Number of batches submitted so far."""
+        return self._n_batches
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        items: np.ndarray,
+        shard: Optional[int] = None,
+        mode: Optional[str] = None,
+    ) -> int:
+        """Route one batch of users to a shard and accumulate it.
+
+        Parameters
+        ----------
+        items:
+            Integer item array, one entry per user of the batch.  Every user
+            must appear in exactly one submitted batch overall — the usual
+            one-report-per-user LDP accounting.
+        shard:
+            Target shard index; round-robin when omitted (the scheduling a
+            stateless load balancer would produce).
+        mode:
+            Override of the collector's default simulation mode.
+
+        Returns
+        -------
+        int
+            The index of the shard that absorbed the batch.
+        """
+        if shard is None:
+            shard = self._cursor
+            self._cursor = (self._cursor + 1) % len(self._shards)
+        index = int(shard)
+        if not 0 <= index < len(self._shards):
+            raise ConfigurationError(
+                f"shard index {shard!r} out of range for {len(self._shards)} shards"
+            )
+        self._shards[index].partial_fit(
+            items,
+            random_state=self._generators[index],
+            mode=self._mode if mode is None else mode,
+        )
+        self._n_batches += 1
+        return index
+
+    def extend(self, batches: Iterable[np.ndarray]) -> "ShardedCollector":
+        """Submit a stream of batches with round-robin routing."""
+        for batch in batches:
+            self.submit(batch)
+        return self
+
+    # ------------------------------------------------------------------
+    # Reduction
+    # ------------------------------------------------------------------
+    def reduce(self) -> RangeQueryMechanism:
+        """Merge all fitted shards into one fresh queryable mechanism.
+
+        The shards keep their state, so ingestion may continue and
+        :meth:`reduce` may be called again later — the streaming analytics
+        pattern of querying a live collection.
+        """
+        fitted = [shard for shard in self._shards if shard.is_fitted]
+        if not fitted:
+            raise NotFittedError("no shard has collected any reports yet")
+        reduced = self._make_mechanism()
+        # Fold the statistics of all shards first, rebuild estimates once.
+        for shard in fitted[:-1]:
+            reduced.merge_from(shard, refresh=False)
+        reduced.merge_from(fitted[-1])
+        return reduced
+
+    def session(self) -> LdpRangeQuerySession:
+        """Wrap :meth:`reduce` in a high-level analysis session."""
+        return LdpRangeQuerySession(
+            epsilon=self._epsilon,
+            domain_size=self._domain_size,
+            mechanism=self.reduce(),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedCollector(mechanism={self._spec!r}, n_shards={self.n_shards}, "
+            f"n_users={self.n_users}, n_batches={self._n_batches})"
+        )

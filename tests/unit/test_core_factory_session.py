@@ -88,6 +88,35 @@ class TestSession:
         session.collect_counts(small_counts, random_state=0)
         assert session.mechanism is mechanism
 
+    def test_prebuilt_mechanism_epsilon_mismatch_rejected(self):
+        # Regression: `session.epsilon` used to silently disagree with the
+        # budget the mechanism actually spends.
+        with pytest.raises(ConfigurationError):
+            LdpRangeQuerySession(epsilon=2.0, domain_size=64, mechanism=FlatMechanism(1.0, 64))
+
+    def test_prebuilt_mechanism_domain_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LdpRangeQuerySession(epsilon=1.0, domain_size=128, mechanism=FlatMechanism(1.0, 64))
+
+    def test_collect_batch_accumulates(self, rng):
+        items = rng.integers(0, 64, size=30_000)
+        session = LdpRangeQuerySession(epsilon=1.1, domain_size=64, mechanism="hhc_4")
+        stream = np.random.default_rng(0)
+        for batch in np.array_split(items, 3):
+            session.collect_batch(batch, random_state=stream)
+        assert session.n_users == items.size
+        truth = np.mean((items >= 10) & (items <= 40))
+        assert session.range_query(10, 40) == pytest.approx(truth, abs=0.1)
+
+    def test_merge_from_other_session(self, rng):
+        items = rng.integers(0, 64, size=40_000)
+        first = LdpRangeQuerySession(epsilon=1.0, domain_size=64, mechanism="haar")
+        second = LdpRangeQuerySession(epsilon=1.0, domain_size=64, mechanism="haar")
+        first.collect(items[:25_000], random_state=1)
+        second.collect(items[25_000:], random_state=2)
+        first.merge_from(second)
+        assert first.n_users == items.size
+
     def test_histogram_cdf_quantiles(self, small_counts):
         session = LdpRangeQuerySession(epsilon=1.5, domain_size=64, mechanism="hhc_4")
         session.collect_counts(small_counts, random_state=1)

@@ -80,3 +80,32 @@ class TestAnswers:
         mechanism = FlatMechanism(2.0, 8).fit_items(items, random_state=rng, mode="per_user")
         truth = np.bincount(items, minlength=8) / 2000
         np.testing.assert_allclose(mechanism.estimate_frequencies(), truth, atol=0.08)
+
+    def test_malformed_query_array_raises_invalid_query(self, small_counts):
+        # Regression: the prefix-sum fast path used to raise a bare
+        # ValueError, breaking the library's exception taxonomy.
+        mechanism = FlatMechanism(1.0, small_counts.shape[0])
+        mechanism.fit_counts(small_counts, random_state=0)
+        with pytest.raises(InvalidQueryError):
+            mechanism.answer_ranges(np.array([1, 2, 3]))
+        with pytest.raises(InvalidQueryError):
+            mechanism.answer_ranges(np.zeros((2, 3), dtype=np.int64))
+
+    def test_float_items_rejected(self):
+        # Regression: float arrays used to be silently truncated by
+        # astype(int64) — item 2.9 became 2 with no error.
+        mechanism = FlatMechanism(1.0, 8)
+        with pytest.raises(InvalidQueryError):
+            mechanism.fit_items(np.array([0.0, 1.5, 2.9]))
+        with pytest.raises(InvalidQueryError):
+            mechanism.fit_items(np.array([1.0, 2.0]))  # integral values, float dtype
+        # Integer dtypes of any width stay accepted.
+        mechanism.fit_items(np.array([1, 2, 3], dtype=np.int16), random_state=0)
+        assert mechanism.n_users == 3
+
+    def test_bool_items_still_accepted(self):
+        # Booleans cast to 0/1 without loss, so they keep working (e.g. a
+        # binary indicator attribute over a two-item domain).
+        mechanism = FlatMechanism(1.0, 2)
+        mechanism.fit_items(np.array([True, False, True]), random_state=0)
+        assert mechanism.n_users == 3

@@ -153,6 +153,29 @@ class TestAnswers:
             atol=1e-10,
         )
 
+    @pytest.mark.parametrize("branching,domain", [(2, 256), (3, 100), (4, 256), (7, 200)])
+    def test_batched_badic_matches_per_query_decomposition(self, rng, branching, domain):
+        # The batched evaluation must reproduce the per-query B-adic
+        # decomposition exactly, for every branching factor, padded and
+        # non-padded domains, and every query shape (single items, aligned
+        # blocks, the full domain, ...).
+        counts = rng.multinomial(50_000, np.full(domain, 1.0 / domain))
+        mechanism = HierarchicalHistogramMechanism(
+            1.0, domain, branching=branching, consistency=False
+        )
+        mechanism.fit_counts(counts, random_state=7)
+        endpoints = rng.integers(0, domain, size=(400, 2))
+        queries = np.sort(endpoints, axis=1)
+        special = np.array(
+            [[0, domain - 1], [0, 0], [domain - 1, domain - 1], [0, domain // 2]]
+        )
+        queries = np.concatenate([queries, special])
+        np.testing.assert_allclose(
+            mechanism.answer_ranges(queries),
+            [mechanism._answer_range(int(a), int(b)) for a, b in queries],
+            atol=1e-10,
+        )
+
     def test_estimate_frequencies_length(self, small_counts):
         mechanism = HierarchicalHistogramMechanism(1.0, 64, branching=4)
         mechanism.fit_counts(small_counts, random_state=0)

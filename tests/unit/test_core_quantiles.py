@@ -86,3 +86,16 @@ class TestQuantiles:
         batched = estimate_quantiles(mechanism, (0.5,))[0]
         single = mechanism.quantile(0.5)
         assert abs(batched - single) <= 3
+
+    def test_quantile_agrees_with_batched_path_under_noise(self, medium_counts):
+        # Regression: `quantile` used to binary-search the raw noisy prefix
+        # estimates, which are non-monotone at tight budgets, so its answers
+        # could disagree with `estimate_quantiles` for the same target.
+        # Both now share the monotone-CDF reconstruction and agree exactly.
+        domain = medium_counts.shape[0]
+        mechanism = FlatMechanism(0.2, domain).fit_counts(medium_counts, random_state=11)
+        raw_cdf = mechanism.estimate_cdf()
+        assert np.any(np.diff(raw_cdf) < 0)  # the budget really is noisy
+        for target in (0.1, 0.25, 0.5, 0.75, 0.9):
+            assert mechanism.quantile(target) == estimate_quantiles(mechanism, (target,))[0]
+        assert mechanism.quantiles(DECILES) == estimate_quantiles(mechanism, DECILES)

@@ -89,6 +89,23 @@ class TestRunner:
         assert {cell.epsilon for cell in results} == {0.5, 1.0}
         assert {cell.mechanism for cell in results} == {"hhc_4", "haar"}
 
+    def test_run_epsilon_grid_accepts_generators(self, counts, workload):
+        # Regression: `len(list(epsilons))` used to exhaust generator inputs
+        # before the sweep loops ran, silently returning too few results.
+        lazy = run_epsilon_grid(
+            (spec for spec in ["hhc_4", "haar"]),
+            counts,
+            workload,
+            epsilons=(eps for eps in [0.5, 1.0]),
+            repetitions=1,
+            random_state=0,
+        )
+        eager = run_epsilon_grid(
+            ["hhc_4", "haar"], counts, workload, epsilons=[0.5, 1.0], repetitions=1, random_state=0
+        )
+        assert len(lazy) == len(eager) == 4
+        assert [cell.mse_mean for cell in lazy] == [cell.mse_mean for cell in eager]
+
     def test_error_decreases_with_epsilon(self, counts, workload):
         results = run_epsilon_grid(
             ["hhc_4"], counts, workload, epsilons=[0.2, 1.4], repetitions=3, random_state=1

@@ -1,0 +1,221 @@
+"""Unit tests for the streaming subsystem (ShardedCollector + mechanism API)."""
+
+import numpy as np
+import pytest
+
+from repro.core.flat import FlatMechanism
+from repro.core.hierarchical import HierarchicalHistogramMechanism
+from repro.core.wavelet import HaarWaveletMechanism
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.streaming import ShardedCollector
+
+DOMAIN = 64
+
+
+@pytest.fixture
+def items(rng):
+    return rng.integers(0, DOMAIN, size=60_000)
+
+
+class TestPartialFit:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: FlatMechanism(1.0, DOMAIN),
+            lambda: HierarchicalHistogramMechanism(1.0, DOMAIN, branching=4),
+            lambda: HierarchicalHistogramMechanism(
+                1.0, DOMAIN, branching=4, consistency=False
+            ),
+            lambda: HierarchicalHistogramMechanism(
+                1.0, DOMAIN, branching=4, budget_strategy="splitting"
+            ),
+            lambda: HaarWaveletMechanism(1.0, DOMAIN),
+        ],
+    )
+    def test_batches_accumulate_users_and_accuracy(self, factory, items):
+        mechanism = factory()
+        stream = np.random.default_rng(3)
+        for batch in np.array_split(items, 5):
+            mechanism.partial_fit(batch, random_state=stream)
+        assert mechanism.is_fitted
+        assert mechanism.n_users == items.size
+        truth = np.mean((items >= 10) & (items <= 50))
+        assert mechanism.answer_range(10, 50) == pytest.approx(truth, abs=0.08)
+
+    def test_queryable_after_every_batch(self, items):
+        mechanism = FlatMechanism(1.0, DOMAIN)
+        stream = np.random.default_rng(1)
+        seen = 0
+        for batch in np.array_split(items, 3):
+            mechanism.partial_fit(batch, random_state=stream)
+            seen += batch.size
+            assert mechanism.n_users == seen
+            assert np.isfinite(mechanism.answer_range(0, DOMAIN - 1))
+
+    def test_partial_fit_on_top_of_one_shot(self, items):
+        mechanism = FlatMechanism(1.0, DOMAIN)
+        mechanism.fit_items(items[:30_000], random_state=0)
+        mechanism.partial_fit(items[30_000:], random_state=1)
+        assert mechanism.n_users == items.size
+
+    def test_per_user_mode(self, rng):
+        items = rng.integers(0, 16, size=20_000)
+        mechanism = HierarchicalHistogramMechanism(2.0, 16, branching=4)
+        for batch in np.array_split(items, 4):
+            mechanism.partial_fit(batch, random_state=rng, mode="per_user")
+        truth = np.mean(items <= 7)
+        assert mechanism.answer_range(0, 7) == pytest.approx(truth, abs=0.1)
+
+    def test_rejects_float_items(self):
+        mechanism = FlatMechanism(1.0, DOMAIN)
+        from repro.exceptions import InvalidQueryError
+
+        with pytest.raises(InvalidQueryError):
+            mechanism.partial_fit(np.array([1.5, 2.0]))
+
+
+class TestMergeFrom:
+    def test_merge_requires_fitted_source(self):
+        with pytest.raises(NotFittedError):
+            FlatMechanism(1.0, DOMAIN).merge_from(FlatMechanism(1.0, DOMAIN))
+
+    def test_merge_rejects_different_type(self, items):
+        target = FlatMechanism(1.0, DOMAIN)
+        source = HaarWaveletMechanism(1.0, DOMAIN).fit_items(items, random_state=0)
+        with pytest.raises(ConfigurationError):
+            target.merge_from(source)
+
+    def test_merge_rejects_mismatched_config(self, items):
+        source = HierarchicalHistogramMechanism(1.0, DOMAIN, branching=4)
+        source.fit_items(items, random_state=0)
+        for target in (
+            HierarchicalHistogramMechanism(2.0, DOMAIN, branching=4),
+            HierarchicalHistogramMechanism(1.0, DOMAIN, branching=8),
+            HierarchicalHistogramMechanism(1.0, DOMAIN, branching=4, consistency=False),
+            HierarchicalHistogramMechanism(1.0, DOMAIN, branching=4, oracle="hrr"),
+        ):
+            with pytest.raises(ConfigurationError):
+                target.merge_from(source)
+
+    def test_merge_is_weighted_combination_for_flat(self, items):
+        first = FlatMechanism(1.0, DOMAIN).fit_items(items[:40_000], random_state=1)
+        second = FlatMechanism(1.0, DOMAIN).fit_items(items[40_000:], random_state=2)
+        merged = FlatMechanism(1.0, DOMAIN).merge_from(first).merge_from(second)
+        n1, n2 = first.n_users, second.n_users
+        expected = (
+            n1 * first.estimate_frequencies() + n2 * second.estimate_frequencies()
+        ) / (n1 + n2)
+        assert merged.n_users == items.size
+        np.testing.assert_allclose(merged.estimate_frequencies(), expected, atol=1e-12)
+
+    def test_merge_into_fitted_target(self, items):
+        target = FlatMechanism(1.0, DOMAIN).fit_items(items[:20_000], random_state=1)
+        source = FlatMechanism(1.0, DOMAIN).fit_items(items[20_000:], random_state=2)
+        target.merge_from(source)
+        assert target.n_users == items.size
+
+    def test_deferred_refresh_folds_shards_once(self, items):
+        # refresh=False defers the estimate rebuild; the final refreshing
+        # merge must land on exactly the all-at-once result.
+        parts = [
+            FlatMechanism(1.0, DOMAIN).fit_items(chunk, random_state=index)
+            for index, chunk in enumerate(np.array_split(items, 3))
+        ]
+        eager = FlatMechanism(1.0, DOMAIN)
+        for part in parts:
+            eager.merge_from(part)
+        lazy = FlatMechanism(1.0, DOMAIN)
+        lazy.merge_from(parts[0], refresh=False)
+        lazy.merge_from(parts[1], refresh=False)
+        lazy.merge_from(parts[2])
+        assert lazy.n_users == eager.n_users == items.size
+        np.testing.assert_array_equal(
+            lazy.estimate_frequencies(), eager.estimate_frequencies()
+        )
+
+    def test_unsupported_mechanism_raises_configuration_error(self):
+        from repro.core.base import RangeQueryMechanism
+
+        class OneShotOnly(RangeQueryMechanism):
+            """Minimal mechanism without accumulator support."""
+
+            def _collect(self, items, counts, rng, mode):
+                self._fractions = counts / max(1, counts.sum())
+
+            def _answer_range(self, start, end):
+                return float(self._fractions[start : end + 1].sum())
+
+        a = OneShotOnly(1.0, DOMAIN).fit_counts(
+            np.ones(DOMAIN, dtype=np.int64), random_state=0
+        )
+        b = OneShotOnly(1.0, DOMAIN).fit_counts(
+            np.ones(DOMAIN, dtype=np.int64), random_state=1
+        )
+        with pytest.raises(ConfigurationError):
+            a.merge_from(b)
+        with pytest.raises(ConfigurationError):
+            a.partial_fit(np.zeros(10, dtype=np.int64))
+
+
+class TestShardedCollector:
+    def test_round_robin_routing(self, items):
+        collector = ShardedCollector("flat", 1.0, DOMAIN, n_shards=3, random_state=0)
+        targets = [collector.submit(batch) for batch in np.array_split(items, 7)]
+        assert targets == [0, 1, 2, 0, 1, 2, 0]
+        assert collector.n_batches == 7
+        assert collector.n_users == items.size
+
+    def test_explicit_shard_routing(self, items):
+        collector = ShardedCollector("flat", 1.0, DOMAIN, n_shards=4, random_state=0)
+        assert collector.submit(items, shard=2) == 2
+        assert collector.shards[2].is_fitted
+        assert not collector.shards[0].is_fitted
+
+    def test_invalid_shard_index(self, items):
+        collector = ShardedCollector("flat", 1.0, DOMAIN, n_shards=2, random_state=0)
+        with pytest.raises(ConfigurationError):
+            collector.submit(items, shard=5)
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ConfigurationError):
+            ShardedCollector("flat", 1.0, DOMAIN, n_shards=0)
+
+    def test_reduce_requires_data(self):
+        collector = ShardedCollector("flat", 1.0, DOMAIN, n_shards=2)
+        with pytest.raises(NotFittedError):
+            collector.reduce()
+
+    def test_reduce_combines_all_shards(self, items):
+        collector = ShardedCollector("hhc_4", 1.0, DOMAIN, n_shards=4, random_state=9)
+        collector.extend(np.array_split(items, 8))
+        merged = collector.reduce()
+        assert merged.n_users == items.size
+        truth = np.mean((items >= 5) & (items <= 40))
+        assert merged.answer_range(5, 40) == pytest.approx(truth, abs=0.08)
+
+    def test_reduce_is_deterministic_given_seed(self, items):
+        def run():
+            collector = ShardedCollector(
+                "haar", 1.0, DOMAIN, n_shards=3, random_state=42
+            )
+            collector.extend(np.array_split(items, 6))
+            return collector.reduce().estimate_frequencies()
+
+        np.testing.assert_array_equal(run(), run())
+
+    def test_reduce_can_be_repeated_while_streaming(self, items):
+        collector = ShardedCollector("flat", 1.0, DOMAIN, n_shards=2, random_state=1)
+        collector.submit(items[:30_000])
+        first = collector.reduce()
+        collector.submit(items[30_000:])
+        second = collector.reduce()
+        assert first.n_users == 30_000
+        assert second.n_users == items.size
+
+    def test_session_wraps_reduction(self, items):
+        collector = ShardedCollector("hhc_4", 1.1, DOMAIN, n_shards=2, random_state=3)
+        collector.extend(np.array_split(items, 4))
+        session = collector.session()
+        assert session.epsilon == pytest.approx(1.1)
+        assert session.n_users == items.size
+        assert len(session.quantiles()) == 9
