@@ -1,0 +1,150 @@
+"""Async ingestion service — throughput vs producer count and router policy.
+
+Not a paper figure: this benchmark characterises the serving tier added on
+top of the PR-1 streaming engine.  It answers three operational questions
+at benchmark scale:
+
+* **throughput vs producers** — how ingestion rate behaves as concurrent
+  producers are added in front of a fixed shard pool (the event loop
+  serialises aggregation, so the point of more producers is saturating the
+  shards under backpressure, not CPU parallelism — the table shows whether
+  the service sustains its single-producer rate as concurrency grows);
+* **router policy cost** — round-robin vs hash-by-user vs least-loaded
+  placement, same population, same shards;
+* **accuracy invariance** — every configuration's reduced estimates stay
+  within noise of a one-shot fit (the service feeds the same mergeable
+  accumulators, so concurrency must be invisible to accuracy).
+
+A final section times :func:`repro.service.collect_across_processes`,
+whose workers exchange shard state as :mod:`repro.persist` snapshot bytes —
+the cross-process transport path.
+
+Run with ``pytest benchmarks/bench_ingestion_service.py --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.factory import mechanism_from_spec
+from repro.data.synthetic import cauchy_probabilities, sample_items
+from repro.data.workloads import random_range_queries
+from repro.experiments.reporting import format_table
+from repro.service import collect_across_processes, run_ingestion
+from repro.streaming import ShardedCollector
+
+SPEC = "hhc_4"
+EPSILON = 1.1
+N_SHARDS = 4
+PRODUCER_COUNTS = (1, 2, 4, 8)
+ROUTERS = ("round-robin", "hash", "least-loaded")
+
+
+def _population(bench_config, domain):
+    seed = bench_config.seed
+    items = sample_items(
+        cauchy_probabilities(domain), bench_config.n_users, random_state=seed
+    )
+    workload = random_range_queries(
+        domain,
+        min(bench_config.max_queries_per_workload, 4000),
+        random_state=seed,
+        name="ingestion-bench",
+    )
+    truth = workload.true_answers(np.bincount(items, minlength=domain))
+    return items, workload, truth
+
+
+@pytest.mark.benchmark(group="ingestion")
+def test_throughput_vs_producers_and_router(run_once, bench_config):
+    """Multi-producer async ingestion sustains throughput and accuracy."""
+    domain = 1 << 10
+    items, workload, truth = _population(bench_config, domain)
+    batches = np.array_split(items, 64)
+
+    def sweep():
+        rows = []
+        for router in ROUTERS:
+            for n_producers in PRODUCER_COUNTS:
+                collector = ShardedCollector(
+                    SPEC,
+                    epsilon=EPSILON,
+                    domain_size=domain,
+                    n_shards=N_SHARDS,
+                    random_state=bench_config.seed + n_producers,
+                    router=router,
+                )
+                report = run_ingestion(
+                    collector, batches, n_producers=n_producers, queue_size=4
+                )
+                estimates = collector.reduce().answer_workload(workload)
+                mse = float(np.mean((estimates - truth) ** 2))
+                rows.append(
+                    [router, n_producers, report.users_per_second / 1e6, mse * 1000.0]
+                )
+        return rows
+
+    rows = run_once(sweep)
+
+    start = time.perf_counter()
+    one_shot = mechanism_from_spec(SPEC, epsilon=EPSILON, domain_size=domain)
+    one_shot.fit_items(items, random_state=bench_config.seed)
+    one_shot_seconds = time.perf_counter() - start
+    baseline = float(np.mean((one_shot.answer_workload(workload) - truth) ** 2))
+    rows.append(["one-shot", 0, items.size / one_shot_seconds / 1e6, baseline * 1000.0])
+
+    print(
+        f"\n=== Ingestion | {SPEC} | D = {domain} | N = {bench_config.n_users} | "
+        f"{len(batches)} batches across {N_SHARDS} shards ==="
+    )
+    print(format_table(["router", "producers", "Musers/s", "mse x1000"], rows))
+
+    service_rows = rows[:-1]
+    # Accuracy invariance: every router x producer configuration within
+    # noise of the one-shot baseline.
+    for row in service_rows:
+        assert row[3] < 3.0 * rows[-1][3] + 1e-6, row
+    # Concurrency sustains throughput: for each router, the best
+    # multi-producer rate is not materially below the single-producer rate
+    # (producers only add coordination; backpressure must not collapse it).
+    for router in ROUTERS:
+        rates = {row[1]: row[2] for row in service_rows if row[0] == router}
+        assert max(rates[p] for p in PRODUCER_COUNTS[1:]) > 0.5 * rates[1], router
+
+
+@pytest.mark.benchmark(group="ingestion")
+def test_cross_process_collection(run_once, bench_config):
+    """Worker processes exchanging persist snapshots match one-shot accuracy."""
+    domain = 1 << 8
+    items, workload, truth = _population(bench_config, domain)
+    batches = np.array_split(items, 16)
+
+    def collect():
+        rows = []
+        for n_workers in (0, 2, 4):
+            start = time.perf_counter()
+            mechanism = collect_across_processes(
+                SPEC,
+                batches,
+                epsilon=EPSILON,
+                domain_size=domain,
+                n_workers=n_workers,
+                random_state=bench_config.seed,
+            )
+            seconds = time.perf_counter() - start
+            mse = float(
+                np.mean((mechanism.answer_workload(workload) - truth) ** 2)
+            )
+            label = "in-process" if n_workers == 0 else f"{n_workers} procs"
+            rows.append([label, n_workers, seconds, mse * 1000.0])
+        return rows
+
+    rows = run_once(collect)
+    print(f"\n=== Cross-process | {SPEC} | D = {domain} | N = {bench_config.n_users} ===")
+    print(format_table(["executor", "workers", "seconds", "mse x1000"], rows))
+
+    errors = [row[3] for row in rows]
+    assert max(errors) < 3.0 * min(errors) + 1e-6

@@ -36,9 +36,17 @@ from repro.exceptions import (
     ReproError,
 )
 from repro.privacy.budget import PrivacyBudget
-from repro.streaming import ShardedCollector
+from repro import persist
+from repro.service import IngestionService, collect_across_processes, run_ingestion
+from repro.streaming import (
+    HashRouter,
+    LeastLoadedRouter,
+    RoundRobinRouter,
+    ShardedCollector,
+    ShardRouter,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -52,6 +60,15 @@ __all__ = [
     "ShardedCollector",
     "make_mechanism",
     "mechanism_from_spec",
+    # Streaming / service / persistence
+    "IngestionService",
+    "ShardRouter",
+    "RoundRobinRouter",
+    "HashRouter",
+    "LeastLoadedRouter",
+    "collect_across_processes",
+    "run_ingestion",
+    "persist",
     # Quantiles
     "DECILES",
     "estimate_cdf",

@@ -15,6 +15,8 @@ Examples
     python -m repro table7 --domains 256 1024
     python -m repro ablation-consistency --domain 1024
     python -m repro streaming --domain 1024 --shards 1 4 16 --batches 32
+    python -m repro streaming --checkpoint /tmp/collector.snap
+    python -m repro serve-demo --producers 1 2 4 8 --router least-loaded
 """
 
 from __future__ import annotations
@@ -48,6 +50,7 @@ EXPERIMENTS = (
     "ablation-sampling",
     "ablation-consistency",
     "streaming",
+    "serve-demo",
 )
 
 
@@ -104,7 +107,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--mechanism",
         type=str,
         default="hhc_4",
-        help="mechanism spec collected by the streaming demo",
+        help="mechanism spec collected by the streaming/serve demos",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "streaming only: checkpoint the collector mid-stream to PATH, "
+            "simulate a crash, restore, finish, and verify the resumed run "
+            "matches the uninterrupted one bit-for-bit"
+        ),
+    )
+    parser.add_argument(
+        "--producers",
+        type=int,
+        nargs="+",
+        default=None,
+        help="producer counts swept by serve-demo (default 1 2 4 8)",
+    )
+    parser.add_argument(
+        "--router",
+        type=str,
+        default=None,
+        choices=["round-robin", "hash", "least-loaded"],
+        help="routing policy for serve-demo (default: sweep all three)",
+    )
+    parser.add_argument(
+        "--queue-size",
+        type=int,
+        default=8,
+        help="per-shard ingestion queue capacity (serve-demo backpressure)",
+    )
+    parser.add_argument(
+        "--parallelism",
+        type=int,
+        default=0,
+        help="aggregation thread-pool size for serve-demo (0 = event loop)",
     )
     return parser
 
@@ -248,10 +288,120 @@ def _run_streaming(config: ExperimentConfig, args: argparse.Namespace) -> str:
         seed=config.seed,
         batches_for=lambda n_shards: int(args.batches),
     )
-    return (
+    output = (
         f"Streaming | {args.mechanism} | D = {domain} | N = {config.n_users} | "
         "estimates are shard-count invariant in distribution\n"
         + format_table(["collection", "shards", "batches", "mse x1000", "seconds"], rows)
+    )
+    if args.checkpoint:
+        output += "\n\n" + _run_crash_recovery(config, args, items)
+    return output
+
+
+def _run_crash_recovery(config, args: argparse.Namespace, items) -> str:
+    """Checkpoint mid-stream, 'crash', restore, and verify exact resumption."""
+    import numpy as np
+
+    from repro.streaming import ShardedCollector
+
+    n_shards = (args.shards or (4,))[0]
+    batches = np.array_split(items, max(int(args.batches), 2))
+    half = len(batches) // 2
+
+    def build() -> ShardedCollector:
+        return ShardedCollector(
+            args.mechanism,
+            epsilon=config.epsilon,
+            domain_size=args.domain,
+            n_shards=n_shards,
+            random_state=config.seed,
+        )
+
+    uninterrupted = build()
+    for batch in batches:
+        uninterrupted.submit(batch)
+    expected = uninterrupted.reduce().estimate_frequencies()
+
+    crashed = build()
+    for batch in batches[:half]:
+        crashed.submit(batch)
+    path = crashed.checkpoint(args.checkpoint)
+    del crashed  # the "crash": all in-memory state is gone
+
+    resumed = ShardedCollector.restore(path)
+    for batch in batches[half:]:
+        resumed.submit(batch)
+    actual = resumed.reduce().estimate_frequencies()
+    exact = bool(np.array_equal(expected, actual))
+    return (
+        f"Crash recovery | checkpoint after {half}/{len(batches)} batches -> {path}\n"
+        f"restored shards resumed the uninterrupted run bit-for-bit: {exact}"
+    )
+
+
+def _run_serve_demo(config: ExperimentConfig, args: argparse.Namespace) -> str:
+    """Async ingestion demo: throughput vs producer count and router policy."""
+    import numpy as np
+
+    from repro.data.synthetic import cauchy_probabilities, sample_items
+    from repro.data.workloads import random_range_queries
+    from repro.service import run_ingestion
+    from repro.streaming import ShardedCollector
+
+    domain = args.domain
+    items = sample_items(
+        cauchy_probabilities(domain), config.n_users, random_state=config.seed
+    )
+    workload = random_range_queries(
+        domain,
+        min(config.max_queries_per_workload, 4000),
+        random_state=config.seed,
+        name="serve-demo",
+    )
+    truth = workload.true_answers(np.bincount(items, minlength=domain))
+    batches = np.array_split(items, max(int(args.batches), 1))
+    n_shards = (args.shards or (4,))[0]
+    routers = [args.router] if args.router else ["round-robin", "hash", "least-loaded"]
+    producer_counts = args.producers or (1, 2, 4, 8)
+
+    rows = []
+    for router in routers:
+        for n_producers in producer_counts:
+            collector = ShardedCollector(
+                args.mechanism,
+                epsilon=config.epsilon,
+                domain_size=domain,
+                n_shards=n_shards,
+                random_state=config.seed + n_producers,
+                router=router,
+            )
+            report = run_ingestion(
+                collector,
+                batches,
+                n_producers=n_producers,
+                queue_size=args.queue_size,
+                parallelism=args.parallelism,
+            )
+            estimates = collector.reduce().answer_workload(workload)
+            mse = float(np.mean((estimates - truth) ** 2))
+            rows.append(
+                [
+                    router,
+                    n_producers,
+                    n_shards,
+                    report.n_batches,
+                    report.users_per_second / 1e6,
+                    mse * 1000.0,
+                ]
+            )
+    return (
+        f"Ingestion service | {args.mechanism} | D = {domain} | N = {config.n_users} | "
+        f"{len(batches)} batches, queue={args.queue_size}, "
+        f"parallelism={args.parallelism}\n"
+        + format_table(
+            ["router", "producers", "shards", "batches", "Musers/s", "mse x1000"],
+            rows,
+        )
     )
 
 
@@ -271,6 +421,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "ablation-sampling": _run_ablation_sampling,
         "ablation-consistency": _run_ablation_consistency,
         "streaming": _run_streaming,
+        "serve-demo": _run_serve_demo,
     }
     print(runners[args.experiment](config, args))
     return 0

@@ -288,6 +288,84 @@ class RangeQueryMechanism(abc.ABC):
         return (type(self).__name__, float(self.epsilon), int(self._domain_size))
 
     # ------------------------------------------------------------------
+    # Persistence (see repro.persist)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Nested ``{str: array-or-dict}`` snapshot of the collected state.
+
+        ``n_users`` is encoded as ``-1`` when the mechanism is unfitted so
+        that empty shards can be checkpointed too.  Implemented by every
+        accumulator-backed mechanism; the default refuses.
+        """
+        raise ConfigurationError(f"{self.name} does not support state snapshots")
+
+    def load_state_dict(self, state: dict) -> "RangeQueryMechanism":
+        """Replace the collected state with a :meth:`state_dict`.
+
+        The mechanism must be configured identically to the one that
+        produced the state (``load`` callers verify the merge signature
+        first; shape checks here catch the rest).  Queryable estimates are
+        rebuilt, so answers equal the snapshotted mechanism's bit-for-bit.
+        """
+        raise ConfigurationError(f"{self.name} does not support state snapshots")
+
+    def _pack_n_users(self) -> np.ndarray:
+        return np.asarray(-1 if self._n_users is None else int(self._n_users), dtype=np.int64)
+
+    def _unpack_n_users(self, state: dict) -> Optional[int]:
+        if "n_users" not in state:
+            raise ConfigurationError("mechanism state is missing 'n_users'")
+        n_users = int(np.asarray(state["n_users"]))
+        if n_users < -1:
+            raise ConfigurationError(f"invalid snapshotted n_users {n_users}")
+        return None if n_users == -1 else n_users
+
+    def _pack_level_state(self, accumulators, level_user_counts) -> dict:
+        """Shared ``state_dict`` body of per-level mechanisms (HH, Haar)."""
+        state = {"n_users": self._pack_n_users()}
+        if accumulators is not None:
+            state["level_user_counts"] = level_user_counts.copy()
+            state["accumulators"] = {
+                str(level): accumulator.state_dict()
+                for level, accumulator in accumulators.items()
+            }
+        return state
+
+    def _unpack_level_state(self, state: dict, levels, accumulator_for) -> tuple:
+        """Shared ``load_state_dict`` validation of per-level mechanisms.
+
+        Returns ``(n_users, accumulators, level_user_counts)`` with the last
+        two ``None`` for an unfitted snapshot; ``accumulator_for(level)``
+        builds a fresh accumulator for one level.
+        """
+        n_users = self._unpack_n_users(state)
+        if "accumulators" not in state:
+            return n_users, None, None
+        stored = state["accumulators"]
+        levels = list(levels)
+        expected = {str(level) for level in levels}
+        if set(stored) != expected:
+            raise ConfigurationError(
+                f"snapshot holds levels {sorted(stored)}, this mechanism has "
+                f"{sorted(expected)}"
+            )
+        if "level_user_counts" not in state:
+            raise ConfigurationError(
+                "snapshot with accumulators is missing level_user_counts"
+            )
+        counts = np.asarray(state["level_user_counts"], dtype=np.int64)
+        if counts.shape != (len(levels),):
+            raise ConfigurationError(
+                "snapshot level_user_counts do not match the level count"
+            )
+        accumulators = {}
+        for level in levels:
+            accumulator = accumulator_for(level)
+            accumulator.load_state_dict(stored[str(level)])
+            accumulators[level] = accumulator
+        return n_users, accumulators, counts.copy()
+
+    # ------------------------------------------------------------------
     # Query answering
     # ------------------------------------------------------------------
     def answer_range(self, start: int, end: int) -> float:
@@ -390,7 +468,10 @@ class RangeQueryMechanism(abc.ABC):
             )
         if items.size and (items.min() < 0 or items.max() >= self._domain_size):
             raise InvalidQueryError(f"items must be in [0, {self._domain_size})")
-        return items.astype(np.int64)
+        # copy=False: already-int64 batches pass through unchanged (the
+        # collection paths never mutate them), sparing a copy per batch on
+        # the streaming hot path.
+        return items.astype(np.int64, copy=False)
 
     def _check_range(self, start: int, end: int) -> tuple:
         if not 0 <= start <= end < self._domain_size:

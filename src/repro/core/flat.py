@@ -48,6 +48,7 @@ class FlatMechanism(RangeQueryMechanism):
         **oracle_kwargs,
     ) -> None:
         super().__init__(epsilon, domain_size, name=name or f"Flat{oracle.upper()}")
+        self._oracle_kwargs = dict(oracle_kwargs)
         self._oracle = make_oracle(oracle, epsilon=epsilon, domain_size=domain_size, **oracle_kwargs)
         self._accumulator: Optional[OracleAccumulator] = None
         self._frequencies: Optional[np.ndarray] = None
@@ -107,6 +108,29 @@ class FlatMechanism(RangeQueryMechanism):
 
     def _merge_signature(self) -> tuple:
         return super()._merge_signature() + (self._oracle.merge_signature(),)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        state = {"n_users": self._pack_n_users()}
+        if self._accumulator is not None:
+            state["accumulator"] = self._accumulator.state_dict()
+        return state
+
+    def load_state_dict(self, state: dict) -> "FlatMechanism":
+        n_users = self._unpack_n_users(state)
+        if "accumulator" in state:
+            accumulator = self._oracle.accumulator()
+            accumulator.load_state_dict(state["accumulator"])
+            self._accumulator = accumulator
+            self._refresh_estimates()
+        else:
+            self._accumulator = None
+            self._frequencies = None
+            self._prefix = None
+        self._n_users = n_users
+        return self
 
     # ------------------------------------------------------------------
     # Query answering

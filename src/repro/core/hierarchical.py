@@ -217,6 +217,29 @@ class HierarchicalHistogramMechanism(RangeQueryMechanism):
             tuple(sorted(self._oracle_kwargs.items())),
         )
 
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return self._pack_level_state(self._accumulators, self._level_user_counts)
+
+    def load_state_dict(self, state: dict) -> "HierarchicalHistogramMechanism":
+        n_users, accumulators, counts = self._unpack_level_state(
+            state, self._tree.levels, lambda level: self._oracles[level].accumulator()
+        )
+        if accumulators is not None:
+            self._accumulators = accumulators
+            self._level_user_counts = counts
+            self._refresh_estimates()
+        else:
+            self._accumulators = None
+            self._raw_levels = None
+            self._levels = None
+            self._level_prefix = None
+            self._level_user_counts = None
+        self._n_users = n_users
+        return self
+
     def _accumulate_batch(
         self,
         items: Optional[np.ndarray],

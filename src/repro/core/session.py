@@ -10,6 +10,7 @@ components by hand.
 from __future__ import annotations
 
 import math
+from pathlib import Path
 from typing import List, Optional, Sequence, Union
 
 import numpy as np
@@ -22,6 +23,14 @@ from repro.exceptions import ConfigurationError, NotFittedError
 from repro.privacy.randomness import RandomState
 
 __all__ = ["LdpRangeQuerySession"]
+
+
+def _unfitted_clone(mechanism: RangeQueryMechanism) -> RangeQueryMechanism:
+    """Fresh unfitted mechanism configured like ``mechanism`` (lazy import
+    keeps ``repro.core`` free of a hard dependency on the persist layer)."""
+    from repro.persist.snapshots import clone_unfitted
+
+    return clone_unfitted(mechanism)
 
 
 class LdpRangeQuerySession:
@@ -69,6 +78,8 @@ class LdpRangeQuerySession:
             )
         self._epsilon = float(epsilon)
         self._domain_size = int(domain_size)
+        #: Throughput report of the most recent :meth:`collect_async` sweep.
+        self.last_ingestion_report = None
 
     # ------------------------------------------------------------------
     # Collection
@@ -120,6 +131,99 @@ class LdpRangeQuerySession:
         source = other.mechanism if isinstance(other, LdpRangeQuerySession) else other
         self._mechanism.merge_from(source)
         return self
+
+    def collect_async(
+        self,
+        batches: Sequence[np.ndarray],
+        n_shards: int = 4,
+        n_producers: int = 2,
+        router: "Union[None, str]" = None,
+        random_state: RandomState = None,
+        mode: str = "aggregate",
+        queue_size: int = 8,
+        parallelism: int = 0,
+    ) -> "LdpRangeQuerySession":
+        """Collect ``batches`` through the async multi-producer ingestion tier.
+
+        Spins up a :class:`repro.service.IngestionService` over ``n_shards``
+        shards configured like this session's mechanism, fans the batches
+        across ``n_producers`` concurrent producers (with per-shard
+        backpressure), reduces the shards and folds the result into this
+        session — on top of anything collected before, exactly like
+        :meth:`collect_batch`.  Each user must still appear in exactly one
+        batch overall.  The throughput report of the sweep is kept on
+        :attr:`last_ingestion_report`.
+
+        Must be called from synchronous code; inside a running event loop
+        drive :class:`repro.service.IngestionService` directly.
+        """
+        from repro.service.ingestion import run_ingestion
+        from repro.streaming.sharded import ShardedCollector
+
+        collector = ShardedCollector(
+            _unfitted_clone(self._mechanism),
+            n_shards=n_shards,
+            random_state=random_state,
+            mode=mode,
+            router=router,
+        )
+        self.last_ingestion_report = run_ingestion(
+            collector,
+            batches,
+            n_producers=n_producers,
+            queue_size=queue_size,
+            parallelism=parallelism,
+        )
+        self._mechanism.merge_from(collector.reduce())
+        return self
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: "Union[str, Path]") -> Path:
+        """Snapshot the fitted mechanism to ``path`` (see :mod:`repro.persist`).
+
+        The file is self-contained: :meth:`load` rebuilds the mechanism and
+        the session around it, with bit-identical estimates.
+        """
+        from repro.persist import snapshots
+
+        return snapshots.save(self._mechanism, path)
+
+    def to_bytes(self) -> bytes:
+        """The session's mechanism as one snapshot byte string."""
+        from repro.persist import snapshots
+
+        return snapshots.to_bytes(self._mechanism)
+
+    @classmethod
+    def load(cls, path: "Union[str, Path]") -> "LdpRangeQuerySession":
+        """Rebuild a session from a :meth:`save` file."""
+        from repro.persist import snapshots
+
+        mechanism = snapshots.load(path)
+        return cls._wrap(mechanism)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "LdpRangeQuerySession":
+        """Rebuild a session from :meth:`to_bytes` output."""
+        from repro.persist import snapshots
+
+        mechanism = snapshots.from_bytes(data)
+        return cls._wrap(mechanism)
+
+    @classmethod
+    def _wrap(cls, mechanism) -> "LdpRangeQuerySession":
+        if not isinstance(mechanism, RangeQueryMechanism):
+            raise ConfigurationError(
+                "snapshot does not hold a mechanism; sessions load mechanism "
+                f"snapshots only, got {type(mechanism).__name__}"
+            )
+        return cls(
+            epsilon=mechanism.epsilon,
+            domain_size=mechanism.domain_size,
+            mechanism=mechanism,
+        )
 
     # ------------------------------------------------------------------
     # Analysis

@@ -180,6 +180,31 @@ class HaarWaveletMechanism(RangeQueryMechanism):
             tuple(np.round(self._level_probabilities, 12)),
         )
 
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return self._pack_level_state(self._accumulators, self._level_user_counts)
+
+    def load_state_dict(self, state: dict) -> "HaarWaveletMechanism":
+        n_users, accumulators, counts = self._unpack_level_state(
+            state,
+            range(1, self._height + 1),
+            lambda level: self._oracles[level].accumulator(),
+        )
+        if accumulators is not None:
+            self._accumulators = accumulators
+            self._level_user_counts = counts
+            self._refresh_estimates()
+        else:
+            self._accumulators = None
+            self._coefficients = None
+            self._frequencies = None
+            self._prefix = None
+            self._level_user_counts = None
+        self._n_users = n_users
+        return self
+
     def _accumulate_batch(
         self,
         items: Optional[np.ndarray],

@@ -30,7 +30,7 @@ report matrices ever materialised.
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Dict, Mapping
 
 import numpy as np
 
@@ -122,6 +122,65 @@ class OracleAccumulator(abc.ABC):
         self._merge_statistic(other)
         self._n_users += other._n_users
         return self
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """The full mutable state as named arrays (plus the user count).
+
+        The returned dictionary, fed back through :meth:`load_state_dict` on
+        an identically configured accumulator, reproduces the estimates
+        bit-for-bit.  Used by :mod:`repro.persist` for crash recovery and
+        cross-process shard transport.
+        """
+        state: Dict[str, np.ndarray] = {
+            "n_users": np.asarray(self._n_users, dtype=np.int64)
+        }
+        for key, value in self._statistic_arrays().items():
+            state[key] = np.array(value, copy=True)
+        return state
+
+    def load_state_dict(self, state: Mapping[str, np.ndarray]) -> "OracleAccumulator":
+        """Replace this accumulator's state with a :meth:`state_dict`.
+
+        Array shapes are validated against this accumulator's configuration;
+        a mismatch (e.g. a snapshot taken over a different domain size)
+        raises :class:`~repro.exceptions.ConfigurationError` without
+        modifying the accumulator.
+        """
+        state = dict(state)
+        if "n_users" not in state:
+            raise ConfigurationError("accumulator state is missing 'n_users'")
+        n_users = int(np.asarray(state.pop("n_users")))
+        if n_users < 0:
+            raise ConfigurationError(f"n_users must be >= 0, got {n_users}")
+        template = self._statistic_arrays()
+        if set(state) != set(template):
+            raise ConfigurationError(
+                f"accumulator state keys {sorted(state)} do not match the "
+                f"expected statistic {sorted(template)}"
+            )
+        loaded = {}
+        for key, current in template.items():
+            value = np.asarray(state[key], dtype=current.dtype)
+            if value.shape != current.shape:
+                raise ConfigurationError(
+                    f"statistic {key!r} has shape {value.shape}, expected "
+                    f"{current.shape} for this configuration"
+                )
+            loaded[key] = value.copy()
+        self._load_statistic_arrays(loaded)
+        self._n_users = n_users
+        return self
+
+    @abc.abstractmethod
+    def _statistic_arrays(self) -> Dict[str, np.ndarray]:
+        """The sufficient-statistic arrays, keyed by stable schema names."""
+
+    @abc.abstractmethod
+    def _load_statistic_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        """Install validated statistic arrays (shapes/dtypes already checked)."""
 
     # ------------------------------------------------------------------
     # Decoding

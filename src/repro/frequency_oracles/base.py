@@ -166,6 +166,21 @@ class FrequencyOracle(abc.ABC):
         """
         return (type(self).__name__, float(self.epsilon), int(self._domain_size))
 
+    def config_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable constructor arguments reproducing this oracle.
+
+        Feeding the dictionary back through
+        :func:`repro.frequency_oracles.registry.make_oracle` rebuilds an
+        identically configured instance; :mod:`repro.persist` stores it in
+        snapshot headers so accumulators can be restored without a template.
+        Subclasses with extra protocol parameters extend the dictionary.
+        """
+        return {
+            "name": self.name,
+            "epsilon": float(self.epsilon),
+            "domain_size": int(self._domain_size),
+        }
+
     # ------------------------------------------------------------------
     # Convenience wrappers
     # ------------------------------------------------------------------

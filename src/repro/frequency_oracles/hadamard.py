@@ -70,6 +70,12 @@ class HadamardAccumulator(OracleAccumulator):
     def _merge_statistic(self, other: "HadamardAccumulator") -> None:
         self._sums += other._sums
 
+    def _statistic_arrays(self) -> dict:
+        return {"sums": self._sums}
+
+    def _load_statistic_arrays(self, arrays: dict) -> None:
+        self._sums = arrays["sums"]
+
     def estimate(self) -> np.ndarray:
         oracle = self._oracle
         if self._n_users == 0:

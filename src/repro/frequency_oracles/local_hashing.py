@@ -123,6 +123,12 @@ class LocalHashingAccumulator(OracleAccumulator):
     def _merge_statistic(self, other: "LocalHashingAccumulator") -> None:
         self._support += other._support
 
+    def _statistic_arrays(self) -> dict:
+        return {"support": self._support}
+
+    def _load_statistic_arrays(self, arrays: dict) -> None:
+        self._support = arrays["support"]
+
     def estimate(self) -> np.ndarray:
         return self._oracle._unbias(self._support, self._n_users)
 
@@ -219,6 +225,11 @@ class OptimalLocalHashing(FrequencyOracle):
 
     def merge_signature(self) -> tuple:
         return super().merge_signature() + (self._hash_range,)
+
+    def config_dict(self) -> Dict[str, Any]:
+        config = super().config_dict()
+        config["hash_range"] = self._hash_range
+        return config
 
     def aggregate(self, reports: OracleReports) -> np.ndarray:
         """Decode reports by crediting the support set of every report.

@@ -101,6 +101,12 @@ class DirectEncodingAccumulator(OracleAccumulator):
     def _merge_statistic(self, other: "DirectEncodingAccumulator") -> None:
         self._noisy_counts += other._noisy_counts
 
+    def _statistic_arrays(self) -> dict:
+        return {"noisy_counts": self._noisy_counts}
+
+    def _load_statistic_arrays(self, arrays: dict) -> None:
+        self._noisy_counts = arrays["noisy_counts"]
+
     def estimate(self) -> np.ndarray:
         return self._oracle._unbias(self._noisy_counts, self._n_users)
 

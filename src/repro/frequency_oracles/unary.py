@@ -65,6 +65,12 @@ class UnaryAccumulator(OracleAccumulator):
     def _merge_statistic(self, other: "UnaryAccumulator") -> None:
         self._ones += other._ones
 
+    def _statistic_arrays(self) -> dict:
+        return {"ones": self._ones}
+
+    def _load_statistic_arrays(self, arrays: dict) -> None:
+        self._ones = arrays["ones"]
+
     def estimate(self) -> np.ndarray:
         return self._oracle._unbias(self._ones, self._n_users)
 

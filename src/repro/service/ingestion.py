@@ -1,0 +1,373 @@
+"""Asynchronous ingestion tier over the sharded collector.
+
+:class:`IngestionService` turns :class:`~repro.streaming.ShardedCollector`
+into a concurrent service: any number of ``asyncio`` producers submit
+report batches, a router assigns each batch to a shard, and one worker task
+per shard drains that shard's queue in arrival order.  The moving parts:
+
+* **per-shard worker queues** — each shard owns a bounded
+  :class:`asyncio.Queue`; ordering *within a shard* is preserved, which is
+  what keeps a fixed-seed run reproducible per shard;
+* **backpressure** — ``submit`` awaits queue capacity, so producers slow
+  down instead of buffering unboundedly when aggregation falls behind;
+* **pluggable routing** — the collector's
+  :class:`~repro.streaming.routing.ShardRouter` (round-robin, hash-by-user,
+  least-loaded) decides placement at submit time, before queueing;
+* **optional thread parallelism** — with ``parallelism > 0`` shard
+  aggregation runs on a thread pool, overlapping the numpy work of
+  different shards (shards share no mutable state, so this is safe).
+
+Accuracy is untouched by any of it: the service feeds the same
+``partial_fit`` path as synchronous collection, so the reduced estimates
+follow the one-shot distribution regardless of producer count, queue sizes
+or routing policy.
+
+:func:`run_ingestion` is the synchronous convenience wrapper (CLI,
+benchmarks): it spins up the service, fans a list of batches across ``P``
+simulated producers, waits for the queues to drain and returns a throughput
+report.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.base import RangeQueryMechanism
+from repro.core.session import LdpRangeQuerySession
+from repro.exceptions import ConfigurationError
+from repro.streaming.routing import RoutingKey
+from repro.streaming.sharded import ShardedCollector
+
+__all__ = ["IngestionReport", "IngestionService", "ShardQueueStats", "run_ingestion"]
+
+
+@dataclass
+class _Job:
+    """One queued unit of work: a batch pinned to a shard."""
+
+    items: np.ndarray
+    shard: int
+    mode: Optional[str]
+
+
+@dataclass
+class ShardQueueStats:
+    """Per-shard ingestion counters (updated on the event-loop thread)."""
+
+    batches: int = 0
+    users: int = 0
+    queue_peak: int = 0
+
+
+@dataclass
+class IngestionReport:
+    """Outcome of one :func:`run_ingestion` sweep."""
+
+    n_batches: int
+    n_users: int
+    n_producers: int
+    n_shards: int
+    router: str
+    seconds: float
+    shard_stats: List[ShardQueueStats] = field(default_factory=list)
+
+    @property
+    def users_per_second(self) -> float:
+        return self.n_users / self.seconds if self.seconds > 0 else float("inf")
+
+
+class IngestionService:
+    """Async multi-producer front door of a :class:`ShardedCollector`.
+
+    Parameters
+    ----------
+    collector:
+        The sharded collector that owns the mechanisms, random streams and
+        routing policy.  The service never bypasses it, so synchronous
+        ``submit`` calls may be mixed in (e.g. replaying a backlog) as long
+        as they happen on the event-loop thread.
+    queue_size:
+        Capacity of each shard's queue; ``submit`` blocks (asynchronously)
+        when the target shard is this far behind — the backpressure knob.
+    parallelism:
+        ``0`` (default) aggregates on the event-loop thread; ``> 0`` runs
+        shard aggregation on a thread pool of that size so distinct shards
+        overlap.
+
+    Use as an async context manager::
+
+        async with IngestionService(collector) as service:
+            await asyncio.gather(*(produce(service) for _ in range(8)))
+        mechanism = collector.reduce()
+
+    (exiting the context drains the queues before stopping the workers).
+    """
+
+    def __init__(
+        self,
+        collector: ShardedCollector,
+        queue_size: int = 8,
+        parallelism: int = 0,
+    ) -> None:
+        if not isinstance(collector, ShardedCollector):
+            raise ConfigurationError(
+                f"IngestionService wraps a ShardedCollector, got {type(collector).__name__}"
+            )
+        if not isinstance(queue_size, (int, np.integer)) or queue_size < 1:
+            raise ConfigurationError(
+                f"queue_size must be a positive integer, got {queue_size!r}"
+            )
+        if not isinstance(parallelism, (int, np.integer)) or parallelism < 0:
+            raise ConfigurationError(
+                f"parallelism must be a non-negative integer, got {parallelism!r}"
+            )
+        self._collector = collector
+        self._queue_size = int(queue_size)
+        self._parallelism = int(parallelism)
+        self._queues: Optional[List[asyncio.Queue]] = None
+        self._workers: List[asyncio.Task] = []
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._errors: List[BaseException] = []
+        self._stats = [ShardQueueStats() for _ in range(collector.n_shards)]
+        self._submitted_batches = 0
+        self._submitted_users = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def collector(self) -> ShardedCollector:
+        return self._collector
+
+    @property
+    def started(self) -> bool:
+        return self._queues is not None
+
+    @property
+    def shard_stats(self) -> List[ShardQueueStats]:
+        """Per-shard counters (batches, users, queue high-water mark)."""
+        return list(self._stats)
+
+    @property
+    def n_submitted_users(self) -> int:
+        return self._submitted_users
+
+    @property
+    def n_submitted_batches(self) -> int:
+        return self._submitted_batches
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "IngestionService":
+        """Create the shard queues and spawn one worker task per shard."""
+        if self.started:
+            raise ConfigurationError("ingestion service is already started")
+        if self._parallelism:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._parallelism,
+                thread_name_prefix="repro-ingest",
+            )
+        self._queues = [
+            asyncio.Queue(maxsize=self._queue_size)
+            for _ in range(self._collector.n_shards)
+        ]
+        self._workers = [
+            asyncio.create_task(self._worker(shard), name=f"repro-shard-{shard}")
+            for shard in range(self._collector.n_shards)
+        ]
+        return self
+
+    async def stop(self) -> None:
+        """Cancel the workers and release the thread pool (no draining)."""
+        for task in self._workers:
+            task.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers = []
+        self._queues = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    async def join(self) -> None:
+        """Wait until every queued batch has been aggregated.
+
+        Re-raises the first worker error, if any batch failed.
+        """
+        self._require_started()
+        await asyncio.gather(*(queue.join() for queue in self._queues))
+        self._raise_pending_error()
+
+    async def __aenter__(self) -> "IngestionService":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        try:
+            if exc_type is None:
+                await self.join()
+        finally:
+            await self.stop()
+
+    # ------------------------------------------------------------------
+    # Producing
+    # ------------------------------------------------------------------
+    async def submit(
+        self,
+        items: np.ndarray,
+        mode: Optional[str] = None,
+        key: RoutingKey = None,
+    ) -> int:
+        """Route one batch and enqueue it, awaiting shard capacity.
+
+        Returns the shard index the batch was routed to.  Many producers
+        may call this concurrently; the router is consulted on the
+        event-loop thread, so routing decisions are serialised even when
+        aggregation runs on a thread pool.
+        """
+        self._require_started()
+        self._raise_pending_error()
+        # Validate before routing: a rejected batch must not consume an
+        # irreversible routing decision or reserve least-loaded capacity.
+        items = self._collector.validate_batch(items, mode=mode)
+        shard = self._collector.route(int(items.shape[0]), key=key)
+        queue = self._queues[shard]
+        await queue.put(_Job(items=items, shard=shard, mode=mode))
+        stats = self._stats[shard]
+        stats.queue_peak = max(stats.queue_peak, queue.qsize())
+        self._submitted_batches += 1
+        self._submitted_users += int(items.shape[0]) if items.ndim else 0
+        return shard
+
+    # ------------------------------------------------------------------
+    # Reduction
+    # ------------------------------------------------------------------
+    def reduce(self) -> RangeQueryMechanism:
+        """Merge the shards into one queryable mechanism (queues must be
+        drained first — call :meth:`join` or exit the context manager)."""
+        return self._collector.reduce()
+
+    def session(self) -> LdpRangeQuerySession:
+        """Wrap :meth:`reduce` in a high-level analysis session."""
+        return self._collector.session()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _require_started(self) -> None:
+        if not self.started:
+            raise ConfigurationError(
+                "ingestion service is not running; use 'async with' or await start()"
+            )
+
+    def _raise_pending_error(self) -> None:
+        if self._errors:
+            raise self._errors[0]
+
+    async def _worker(self, shard: int) -> None:
+        queue = self._queues[shard]
+        loop = asyncio.get_running_loop()
+        while True:
+            job = await queue.get()
+            try:
+                if self._pool is None:
+                    self._collector.submit(job.items, shard=shard, mode=job.mode)
+                else:
+                    await loop.run_in_executor(
+                        self._pool, self._collector.submit, job.items, shard, job.mode
+                    )
+                stats = self._stats[shard]
+                stats.batches += 1
+                stats.users += int(job.items.shape[0])
+            except asyncio.CancelledError:  # pragma: no cover - stop() path
+                queue.task_done()
+                raise
+            except BaseException as error:  # noqa: BLE001 - reported via join()
+                self._errors.append(error)
+            finally:
+                queue.task_done()
+
+
+async def _produce(
+    service: IngestionService,
+    batches: Sequence[np.ndarray],
+    keys: Optional[Sequence[RoutingKey]],
+    mode: Optional[str],
+) -> None:
+    for index, batch in enumerate(batches):
+        key = keys[index] if keys is not None else None
+        await service.submit(batch, mode=mode, key=key)
+
+
+def run_ingestion(
+    collector: ShardedCollector,
+    batches: Sequence[np.ndarray],
+    n_producers: int = 1,
+    queue_size: int = 8,
+    parallelism: int = 0,
+    keys: Optional[Sequence[RoutingKey]] = None,
+    mode: Optional[str] = None,
+) -> IngestionReport:
+    """Drive a full async ingestion of ``batches`` and report throughput.
+
+    The batch list is dealt round-robin across ``n_producers`` concurrent
+    producer coroutines (batch ``i`` to producer ``i mod P``), which all
+    submit into the shared service under backpressure.  Blocks until every
+    batch has been aggregated; afterwards ``collector.reduce()`` is ready.
+
+    Must be called from synchronous code; inside a running event loop use
+    :class:`IngestionService` directly.
+    """
+    if not isinstance(n_producers, (int, np.integer)) or n_producers < 1:
+        raise ConfigurationError(
+            f"n_producers must be a positive integer, got {n_producers!r}"
+        )
+    batches = list(batches)
+    if keys is not None and len(keys) != len(batches):
+        raise ConfigurationError(
+            f"got {len(keys)} routing keys for {len(batches)} batches"
+        )
+    try:
+        asyncio.get_running_loop()
+    except RuntimeError:
+        pass
+    else:
+        raise ConfigurationError(
+            "run_ingestion cannot be called from a running event loop; "
+            "use IngestionService directly"
+        )
+
+    async def _main() -> IngestionReport:
+        start = time.perf_counter()
+        async with IngestionService(
+            collector, queue_size=queue_size, parallelism=parallelism
+        ) as service:
+            producers = [
+                _produce(
+                    service,
+                    batches[producer::n_producers],
+                    None if keys is None else keys[producer::n_producers],
+                    mode,
+                )
+                for producer in range(int(n_producers))
+            ]
+            await asyncio.gather(*producers)
+            await service.join()
+            stats = service.shard_stats
+        seconds = time.perf_counter() - start
+        return IngestionReport(
+            n_batches=len(batches),
+            n_users=sum(int(np.asarray(batch).shape[0]) for batch in batches),
+            n_producers=int(n_producers),
+            n_shards=collector.n_shards,
+            router=collector.router.name,
+            seconds=seconds,
+            shard_stats=stats,
+        )
+
+    return asyncio.run(_main())

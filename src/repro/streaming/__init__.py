@@ -46,12 +46,32 @@ Privacy note: sharding changes nothing about the guarantee — each user still
 sends exactly one ``epsilon``-LDP report; only the aggregator's bookkeeping
 is distributed.
 
-Open follow-ons tracked in ROADMAP.md: asynchronous ingestion (submitting
-batches from concurrent producers), accumulator persistence/serialisation
-for crash recovery, and cross-process shard transport.
+Beyond this module: routing policies beyond round-robin live in
+:mod:`repro.streaming.routing` (hash-by-user, least-loaded) and plug into
+the collector via ``router=``; :meth:`ShardedCollector.checkpoint` /
+:meth:`~ShardedCollector.restore` give crash recovery through
+:mod:`repro.persist`; and :mod:`repro.service` adds the asynchronous
+multi-producer ingestion tier (plus cross-process execution) on top.
 """
 
 from repro.streaming.evaluation import one_shot_vs_sharded
+from repro.streaming.routing import (
+    HashRouter,
+    LeastLoadedRouter,
+    RoundRobinRouter,
+    ShardRouter,
+    make_router,
+    register_router,
+)
 from repro.streaming.sharded import ShardedCollector
 
-__all__ = ["ShardedCollector", "one_shot_vs_sharded"]
+__all__ = [
+    "HashRouter",
+    "LeastLoadedRouter",
+    "RoundRobinRouter",
+    "ShardRouter",
+    "ShardedCollector",
+    "make_router",
+    "one_shot_vs_sharded",
+    "register_router",
+]

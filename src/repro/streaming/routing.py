@@ -1,0 +1,260 @@
+"""Pluggable shard-routing policies.
+
+PR 1's :class:`~repro.streaming.ShardedCollector` only knew round-robin.
+These routers factor the placement decision out into a small strategy
+object shared by the synchronous collector and the asynchronous
+:class:`~repro.service.IngestionService`:
+
+* :class:`RoundRobinRouter` — the stateless-load-balancer schedule; batch
+  ``i`` goes to shard ``i mod K``.
+* :class:`HashRouter` — hash-by-user: batches submitted with a routing
+  ``key`` (user id, device id, tenant...) always land on the same shard, so
+  per-key state stays shard-local.  The hash is deterministic across
+  processes (CRC32, not Python's salted ``hash``).
+* :class:`LeastLoadedRouter` — load-aware: each batch goes to the shard
+  with the fewest users routed so far (queued *or* absorbed), breaking ties
+  by lowest index.  This keeps shards balanced under skewed batch sizes.
+
+Because accumulator merging is exact, routing policy — like shard count —
+is invisible to accuracy; it only shapes throughput and operational
+properties (locality, balance).  All routers expose ``state_dict`` /
+``load_state_dict`` so collector checkpoints capture them and a restored
+run continues with the identical schedule.
+"""
+
+from __future__ import annotations
+
+import abc
+import zlib
+from typing import Any, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "HashRouter",
+    "LeastLoadedRouter",
+    "RoundRobinRouter",
+    "ShardRouter",
+    "make_router",
+    "register_router",
+]
+
+RoutingKey = Union[None, int, str, bytes]
+
+
+class ShardRouter(abc.ABC):
+    """Strategy deciding which shard absorbs the next batch.
+
+    A router is bound to a shard count once (:meth:`bind`) and then asked to
+    :meth:`route` every batch; the owner reports the outcome back through
+    :meth:`observe` so load-aware policies can track placement.
+    """
+
+    #: Machine-readable policy name (used by specs and checkpoints).
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._n_shards: Optional[int] = None
+
+    @property
+    def n_shards(self) -> int:
+        if self._n_shards is None:
+            raise ConfigurationError("router is not bound to a collector yet")
+        return self._n_shards
+
+    def bind(self, n_shards: int) -> "ShardRouter":
+        """Attach the router to a collector with ``n_shards`` shards."""
+        if not isinstance(n_shards, (int, np.integer)) or n_shards < 1:
+            raise ConfigurationError(
+                f"n_shards must be a positive integer, got {n_shards!r}"
+            )
+        if self._n_shards is not None and self._n_shards != int(n_shards):
+            raise ConfigurationError(
+                f"router already bound to {self._n_shards} shards, "
+                f"cannot rebind to {n_shards}"
+            )
+        self._n_shards = int(n_shards)
+        return self
+
+    @abc.abstractmethod
+    def route(self, n_items: int, key: RoutingKey = None) -> int:
+        """Pick the shard index for a batch of ``n_items`` users."""
+
+    def observe(self, shard: int, n_items: int) -> None:
+        """Feedback hook: ``n_items`` users were routed to ``shard``."""
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable mutable state (empty for stateless policies)."""
+        return {}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> "ShardRouter":
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(n_shards={self._n_shards})"
+
+
+class RoundRobinRouter(ShardRouter):
+    """Cycle through the shards in index order, one batch each."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cursor = 0
+
+    def route(self, n_items: int, key: RoutingKey = None) -> int:
+        shard = self._cursor % self.n_shards
+        self._cursor = (self._cursor + 1) % self.n_shards
+        return shard
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {"cursor": int(self._cursor)}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> "RoundRobinRouter":
+        self._cursor = int(state.get("cursor", 0))
+        return self
+
+
+def _stable_hash(key: Union[int, str, bytes]) -> int:
+    """Deterministic (cross-process, cross-run) hash of a routing key."""
+    if isinstance(key, (int, np.integer)):
+        value = int(key)
+        # Width follows the value so arbitrarily large ids (e.g. 128-bit
+        # UUID ints) hash instead of overflowing a fixed-size conversion.
+        width = max(1, (value.bit_length() + 8) // 8)
+        payload = value.to_bytes(width, "little", signed=True)
+    elif isinstance(key, str):
+        payload = key.encode("utf-8")
+    elif isinstance(key, bytes):
+        payload = key
+    else:
+        raise ConfigurationError(
+            f"routing keys must be int, str or bytes, got {type(key).__name__}"
+        )
+    return zlib.crc32(payload) & 0xFFFFFFFF
+
+
+class HashRouter(ShardRouter):
+    """Sticky placement: the same key always routes to the same shard.
+
+    Batches without a key fall back to a deterministic counter-based key so
+    mixed workloads still spread across shards.
+    """
+
+    name = "hash"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._keyless = 0
+
+    def route(self, n_items: int, key: RoutingKey = None) -> int:
+        if key is None:
+            key = self._keyless
+            self._keyless += 1
+        return _stable_hash(key) % self.n_shards
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {"keyless": int(self._keyless)}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> "HashRouter":
+        self._keyless = int(state.get("keyless", 0))
+        return self
+
+
+class LeastLoadedRouter(ShardRouter):
+    """Send each batch to the shard with the fewest users routed so far."""
+
+    name = "least-loaded"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._loads: Optional[List[int]] = None
+
+    def bind(self, n_shards: int) -> "LeastLoadedRouter":
+        super().bind(n_shards)
+        if self._loads is None:
+            self._loads = [0] * self.n_shards
+        return self
+
+    @property
+    def loads(self) -> List[int]:
+        """Users routed to each shard so far."""
+        return list(self._loads or [])
+
+    def route(self, n_items: int, key: RoutingKey = None) -> int:
+        return int(np.argmin(self._loads))
+
+    def observe(self, shard: int, n_items: int) -> None:
+        self._loads[int(shard)] += int(n_items)
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {"loads": [int(load) for load in (self._loads or [])]}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> "LeastLoadedRouter":
+        loads = [int(load) for load in state.get("loads", [])]
+        if self._n_shards is not None and len(loads) != self._n_shards:
+            raise ConfigurationError(
+                f"router state holds {len(loads)} shard loads, expected {self._n_shards}"
+            )
+        self._loads = loads
+        return self
+
+
+_ROUTERS = {
+    RoundRobinRouter.name: RoundRobinRouter,
+    "round_robin": RoundRobinRouter,
+    "rr": RoundRobinRouter,
+    HashRouter.name: HashRouter,
+    LeastLoadedRouter.name: LeastLoadedRouter,
+    "least_loaded": LeastLoadedRouter,
+}
+
+
+def register_router(router_class: type) -> type:
+    """Register a custom router class under its ``name`` attribute.
+
+    May be used as a class decorator.  Registration is what makes a custom
+    policy *checkpointable*: collector checkpoints store only the router's
+    name plus its ``state_dict``, so restore needs to resolve the name back
+    to a class.
+    """
+    name = getattr(router_class, "name", None)
+    if not name or not isinstance(name, str) or name == ShardRouter.name:
+        raise ConfigurationError(
+            "router classes must define a non-empty `name` (not 'abstract')"
+        )
+    if not (isinstance(router_class, type) and issubclass(router_class, ShardRouter)):
+        raise ConfigurationError("register_router expects a ShardRouter subclass")
+    _ROUTERS[name] = router_class
+    return router_class
+
+
+def is_registered_router(router: ShardRouter) -> bool:
+    """Whether ``router``'s name resolves back to its class on restore."""
+    return _ROUTERS.get(router.name) is type(router)
+
+
+def make_router(router: Union[None, str, ShardRouter]) -> ShardRouter:
+    """Coerce a router spec into a fresh :class:`ShardRouter` instance.
+
+    ``None`` means round-robin (the historical default); strings name a
+    policy (``"round-robin"``, ``"hash"``, ``"least-loaded"``); instances
+    pass through, letting callers plug custom policies.
+    """
+    if router is None:
+        return RoundRobinRouter()
+    if isinstance(router, ShardRouter):
+        return router
+    key = str(router).strip().lower()
+    if key not in _ROUTERS:
+        raise ConfigurationError(
+            f"unknown router policy {router!r}; available: "
+            f"{sorted(set(cls.name for cls in _ROUTERS.values()))}"
+        )
+    return _ROUTERS[key]()

@@ -3,26 +3,79 @@
 :class:`ShardedCollector` models the ingestion tier of a deployed LDP
 pipeline: ``K`` shards each own one mechanism instance and an independent
 random stream, report batches are routed to shards (round-robin by default,
-or explicitly by the caller), and a reduce step merges the shards'
-sufficient statistics into one queryable mechanism.  Because accumulator
-merging is exact (sums of sums), the reduced estimates follow the same
-distribution as a one-shot fit of the whole population — shard count is a
-pure throughput knob, invisible to accuracy.
+by a pluggable :class:`~repro.streaming.routing.ShardRouter` policy, or
+explicitly by the caller), and a reduce step merges the shards' sufficient
+statistics into one queryable mechanism.  Because accumulator merging is
+exact (sums of sums), the reduced estimates follow the same distribution as
+a one-shot fit of the whole population — shard count and routing policy are
+pure throughput knobs, invisible to accuracy.
+
+Durability: :meth:`checkpoint` captures the complete collector state —
+every shard's sufficient statistic, every shard's random-generator state,
+the router's position, and the batch counters — in one
+:mod:`repro.persist` container.  :meth:`restore` rebuilds a collector that
+continues *bit-for-bit* where the checkpoint left off: feeding it the
+remaining batches produces exactly the reduced estimates an uninterrupted
+run would have produced, which is the crash-recovery contract the tests
+verify.
+
+Determinism contract (for a fixed ``random_state``): batches submitted with
+an explicit ``shard=`` index do not consult or advance the router, so
+explicit and policy-routed submissions interleave deterministically — the
+sequence of policy decisions depends only on the ordered sub-sequence of
+policy-routed batches, and each shard's randomness depends only on the
+ordered batches that landed on it.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+import threading
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
 
 import numpy as np
 
 from repro.core.base import RangeQueryMechanism
-from repro.core.factory import mechanism_from_spec
 from repro.core.session import LdpRangeQuerySession
 from repro.exceptions import ConfigurationError, NotFittedError
+from repro.persist.format import (
+    flatten_arrays,
+    nest_arrays,
+    pack_snapshot,
+    unpack_snapshot,
+    write_atomic,
+)
+from repro.persist.snapshots import (
+    mechanism_config,
+    mechanism_from_config,
+    resolve_mechanism,
+)
 from repro.privacy.randomness import RandomState, spawn_generators
+from repro.streaming.routing import (
+    RoutingKey,
+    ShardRouter,
+    is_registered_router,
+    make_router,
+)
 
 __all__ = ["ShardedCollector"]
+
+
+def _generator_state(generator: np.random.Generator) -> Dict[str, Any]:
+    """The JSON-serialisable state of a generator's bit generator."""
+    return generator.bit_generator.state
+
+
+def _generator_from_state(state: Dict[str, Any]) -> np.random.Generator:
+    """Rebuild a generator whose stream continues from a saved state."""
+    name = state.get("bit_generator", "PCG64")
+    try:
+        bit_generator_class = getattr(np.random, name)
+    except AttributeError:
+        raise ConfigurationError(f"unknown bit generator {name!r} in checkpoint")
+    bit_generator = bit_generator_class()
+    bit_generator.state = state
+    return np.random.Generator(bit_generator)
 
 
 class ShardedCollector:
@@ -32,10 +85,14 @@ class ShardedCollector:
     ----------
     mechanism:
         Mechanism specification string (see
-        :func:`repro.core.factory.mechanism_from_spec`); every shard gets its
-        own identically configured instance.
+        :func:`repro.core.factory.mechanism_from_spec`) or a prebuilt
+        :class:`~repro.core.base.RangeQueryMechanism` used as a
+        configuration template; every shard gets its own identically
+        configured instance either way.
     epsilon, domain_size:
-        Standard mechanism parameters, shared by all shards.
+        Standard mechanism parameters, shared by all shards.  Optional when
+        ``mechanism`` is a prebuilt instance (taken from it); if given they
+        must agree with the instance.
     n_shards:
         Number of simulated shards ``K >= 1``.
     random_state:
@@ -45,43 +102,58 @@ class ShardedCollector:
     mode:
         Default simulation mode for submitted batches (``"aggregate"`` or
         ``"per_user"``), overridable per batch.
+    router:
+        Routing policy for batches submitted without an explicit shard:
+        ``None``/"round-robin" (default), "hash", "least-loaded", or a
+        :class:`~repro.streaming.routing.ShardRouter` instance.
     mechanism_kwargs:
-        Extra keyword arguments forwarded to every shard's constructor.
+        Extra keyword arguments forwarded to every shard's constructor
+        (spec-built collectors only).
     """
 
     def __init__(
         self,
-        mechanism: str,
-        epsilon: float,
-        domain_size: int,
+        mechanism: Union[str, RangeQueryMechanism],
+        epsilon: Optional[float] = None,
+        domain_size: Optional[int] = None,
         n_shards: int = 4,
         random_state: RandomState = None,
         mode: str = "aggregate",
+        router: Union[None, str, ShardRouter] = None,
         **mechanism_kwargs,
     ) -> None:
         if not isinstance(n_shards, (int, np.integer)) or n_shards < 1:
             raise ConfigurationError(
                 f"n_shards must be a positive integer, got {n_shards!r}"
             )
-        self._spec = str(mechanism)
-        self._epsilon = float(epsilon)
-        self._domain_size = int(domain_size)
-        self._mechanism_kwargs = dict(mechanism_kwargs)
+        prototype = resolve_mechanism(
+            mechanism,
+            epsilon=epsilon,
+            domain_size=domain_size,
+            mechanism_kwargs=mechanism_kwargs,
+        )
+        self._spec = (
+            mechanism.name
+            if isinstance(mechanism, RangeQueryMechanism)
+            else str(mechanism)
+        )
+        self._config = mechanism_config(prototype)
+        self._epsilon = float(prototype.epsilon)
+        self._domain_size = int(prototype.domain_size)
         self._mode = str(mode)
+        self._router = make_router(router).bind(int(n_shards))
         self._shards: List[RangeQueryMechanism] = [
             self._make_mechanism() for _ in range(int(n_shards))
         ]
         self._generators = spawn_generators(random_state, int(n_shards))
-        self._cursor = 0
         self._n_batches = 0
+        # Guards the batch counter: the ingestion service may run different
+        # shards' submissions on different threads (distinct shards never
+        # share mechanism or generator state, so only the counter is shared).
+        self._counter_lock = threading.Lock()
 
     def _make_mechanism(self) -> RangeQueryMechanism:
-        return mechanism_from_spec(
-            self._spec,
-            epsilon=self._epsilon,
-            domain_size=self._domain_size,
-            **self._mechanism_kwargs,
-        )
+        return mechanism_from_config(self._config)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -97,6 +169,11 @@ class ShardedCollector:
         return list(self._shards)
 
     @property
+    def router(self) -> ShardRouter:
+        """The routing policy deciding un-pinned submissions."""
+        return self._router
+
+    @property
     def n_users(self) -> int:
         """Total number of users accumulated across all shards."""
         return sum(shard.n_users or 0 for shard in self._shards)
@@ -109,11 +186,42 @@ class ShardedCollector:
     # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------
+    def validate_batch(self, items: np.ndarray, mode: Optional[str] = None) -> np.ndarray:
+        """Validate a batch *before* any routing state is consumed.
+
+        Routing decisions are irreversible (round-robin advances, load
+        counters grow), so a batch that the mechanisms would reject must
+        fail here first — otherwise a stream of bad batches would skew
+        placement without contributing a single user.
+        """
+        items = self._shards[0]._validate_items(items)
+        if mode is not None:
+            RangeQueryMechanism._check_mode(mode)
+        return items
+
+    def route(self, n_items: int, key: RoutingKey = None) -> int:
+        """Ask the router where a batch of ``n_items`` users would go.
+
+        Does *not* submit anything, but does consume one routing decision
+        (advancing round-robin, reserving least-loaded capacity), so the
+        caller is expected to follow up with
+        ``submit(items, shard=<returned index>)`` — this is the two-step
+        dance the async ingestion service uses to route before queueing.
+        """
+        index = int(self._router.route(int(n_items), key=key))
+        if not 0 <= index < len(self._shards):
+            raise ConfigurationError(
+                f"router returned shard {index} for {len(self._shards)} shards"
+            )
+        self._router.observe(index, int(n_items))
+        return index
+
     def submit(
         self,
         items: np.ndarray,
         shard: Optional[int] = None,
         mode: Optional[str] = None,
+        key: RoutingKey = None,
     ) -> int:
         """Route one batch of users to a shard and accumulate it.
 
@@ -124,10 +232,14 @@ class ShardedCollector:
             must appear in exactly one submitted batch overall — the usual
             one-report-per-user LDP accounting.
         shard:
-            Target shard index; round-robin when omitted (the scheduling a
-            stateless load balancer would produce).
+            Target shard index; when omitted the router decides (round-robin
+            unless configured otherwise).  Explicit indices bypass the
+            router entirely and do not advance its state.
         mode:
             Override of the collector's default simulation mode.
+        key:
+            Optional routing key (user/tenant id) consulted by key-aware
+            policies such as the hash router.
 
         Returns
         -------
@@ -135,23 +247,30 @@ class ShardedCollector:
             The index of the shard that absorbed the batch.
         """
         if shard is None:
-            shard = self._cursor
-            self._cursor = (self._cursor + 1) % len(self._shards)
-        index = int(shard)
-        if not 0 <= index < len(self._shards):
-            raise ConfigurationError(
-                f"shard index {shard!r} out of range for {len(self._shards)} shards"
-            )
+            # Policy routing is irreversible, so the batch must prove itself
+            # valid before a routing decision is spent on it.  Explicit-shard
+            # submissions touch no routing state and already hit partial_fit's
+            # own validation, so they skip the extra scan (this is also the
+            # path the async workers use after validating at submit time).
+            items = self.validate_batch(items, mode=mode)
+            index = self.route(items.shape[0], key=key)
+        else:
+            index = int(shard)
+            if not 0 <= index < len(self._shards):
+                raise ConfigurationError(
+                    f"shard index {shard!r} out of range for {len(self._shards)} shards"
+                )
         self._shards[index].partial_fit(
             items,
             random_state=self._generators[index],
             mode=self._mode if mode is None else mode,
         )
-        self._n_batches += 1
+        with self._counter_lock:
+            self._n_batches += 1
         return index
 
     def extend(self, batches: Iterable[np.ndarray]) -> "ShardedCollector":
-        """Submit a stream of batches with round-robin routing."""
+        """Submit a stream of batches with policy routing."""
         for batch in batches:
             self.submit(batch)
         return self
@@ -184,8 +303,110 @@ class ShardedCollector:
             mechanism=self.reduce(),
         )
 
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def checkpoint_bytes(self) -> bytes:
+        """Serialise the full collector state into one snapshot container.
+
+        Captures everything a resumed run needs to be indistinguishable
+        from an uninterrupted one: shard statistics, shard random streams,
+        router state and counters.  Custom router policies must be
+        registered (:func:`repro.streaming.routing.register_router`) so the
+        restore side can resolve the stored policy name back to a class;
+        unregistered routers are rejected here rather than producing a
+        checkpoint that can never be loaded.
+        """
+        if not is_registered_router(self._router):
+            raise ConfigurationError(
+                f"router {type(self._router).__name__} (name="
+                f"{self._router.name!r}) is not registered; decorate it with "
+                "repro.streaming.routing.register_router to make checkpoints "
+                "restorable"
+            )
+        header = {
+            "kind": "collector",
+            "spec": self._spec,
+            "config": self._config,
+            "n_shards": self.n_shards,
+            "mode": self._mode,
+            "n_batches": int(self._n_batches),
+            "router": {
+                "name": self._router.name,
+                "state": self._router.state_dict(),
+            },
+            "generators": [_generator_state(gen) for gen in self._generators],
+        }
+        arrays = {}
+        for index, shard in enumerate(self._shards):
+            arrays[f"shard{index}"] = shard.state_dict()
+        return pack_snapshot(header, flatten_arrays(arrays))
+
+    def checkpoint(self, path: Union[str, Path]) -> Path:
+        """Write :meth:`checkpoint_bytes` to ``path`` atomically."""
+        return write_atomic(path, self.checkpoint_bytes())
+
+    @classmethod
+    def from_checkpoint_bytes(cls, data: bytes) -> "ShardedCollector":
+        """Rebuild a collector that resumes exactly where ``data`` left off."""
+        return cls._from_parsed(*unpack_snapshot(data))
+
+    @classmethod
+    def _from_parsed(
+        cls, header: Dict[str, Any], flat: Dict[str, np.ndarray]
+    ) -> "ShardedCollector":
+        """Restore from an already-unpacked container (single-parse path
+        shared with :func:`repro.persist.from_bytes`)."""
+        if header.get("kind") != "collector":
+            raise ConfigurationError(
+                f"expected a collector checkpoint, got kind {header.get('kind')!r}"
+            )
+        for field in ("n_shards", "config"):
+            if field not in header:
+                raise ConfigurationError(f"collector checkpoint is missing {field!r}")
+        n_shards = int(header["n_shards"])
+        generator_states = header.get("generators", [])
+        if len(generator_states) != n_shards:
+            raise ConfigurationError(
+                f"checkpoint holds {len(generator_states)} generator states "
+                f"for {n_shards} shards"
+            )
+        router_info = header.get("router", {})
+        router = make_router(router_info.get("name"))
+        collector = cls.__new__(cls)
+        collector._spec = str(header.get("spec", "mechanism"))
+        collector._config = dict(header["config"])
+        prototype = mechanism_from_config(collector._config)
+        collector._epsilon = float(prototype.epsilon)
+        collector._domain_size = int(prototype.domain_size)
+        collector._mode = str(header.get("mode", "aggregate"))
+        collector._router = router.bind(n_shards)
+        collector._router.load_state_dict(router_info.get("state", {}))
+        collector._n_batches = int(header.get("n_batches", 0))
+        collector._counter_lock = threading.Lock()
+        collector._generators = [
+            _generator_from_state(state) for state in generator_states
+        ]
+        states = nest_arrays(flat)
+        shards = []
+        for index in range(n_shards):
+            shard = mechanism_from_config(collector._config)
+            shard_state = states.get(f"shard{index}")
+            if shard_state is None:
+                raise ConfigurationError(f"checkpoint is missing shard {index}")
+            shard.load_state_dict(shard_state)
+            shards.append(shard)
+        collector._shards = shards
+        return collector
+
+    @classmethod
+    def restore(cls, path: Union[str, Path]) -> "ShardedCollector":
+        """Load a checkpoint file written by :meth:`checkpoint`."""
+        return cls.from_checkpoint_bytes(Path(path).read_bytes())
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"ShardedCollector(mechanism={self._spec!r}, n_shards={self.n_shards}, "
-            f"n_users={self.n_users}, n_batches={self._n_batches})"
+            f"router={self._router.name!r}, n_users={self.n_users}, "
+            f"n_batches={self._n_batches})"
         )

@@ -68,3 +68,52 @@ class TestMain:
         assert "sampling" in capsys.readouterr().out
         assert main(["ablation-consistency", *TINY]) == 0
         assert "improvement" in capsys.readouterr().out
+
+    def test_streaming_runs(self, capsys):
+        assert main(["streaming", *TINY, "--shards", "2", "--batches", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "Streaming" in output and "one-shot" in output
+
+    def test_streaming_checkpoint_recovery(self, capsys, tmp_path):
+        path = tmp_path / "collector.snap"
+        assert (
+            main(
+                [
+                    "streaming",
+                    *TINY,
+                    "--shards",
+                    "2",
+                    "--batches",
+                    "4",
+                    "--checkpoint",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "Crash recovery" in output
+        assert "bit-for-bit: True" in output
+        assert path.exists()
+
+    def test_serve_demo_runs(self, capsys):
+        assert (
+            main(
+                [
+                    "serve-demo",
+                    *TINY,
+                    "--batches",
+                    "4",
+                    "--producers",
+                    "1",
+                    "2",
+                    "--router",
+                    "least-loaded",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "Ingestion service" in output
+        assert "least-loaded" in output
+        assert "Musers/s" in output

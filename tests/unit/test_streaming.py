@@ -219,3 +219,186 @@ class TestShardedCollector:
         assert session.epsilon == pytest.approx(1.1)
         assert session.n_users == items.size
         assert len(session.quantiles()) == 9
+
+    def test_explicit_and_round_robin_interleave_deterministically(self, items):
+        """Explicit routing bypasses the router: for a fixed seed, mixing
+        pinned and policy-routed batches is fully reproducible and pinned
+        batches never advance the round-robin cursor."""
+
+        def run():
+            collector = ShardedCollector(
+                "flat", 1.0, DOMAIN, n_shards=3, random_state=17
+            )
+            targets = []
+            batches = np.array_split(items, 8)
+            targets.append(collector.submit(batches[0]))            # rr -> 0
+            targets.append(collector.submit(batches[1], shard=2))   # pinned
+            targets.append(collector.submit(batches[2]))            # rr -> 1
+            targets.append(collector.submit(batches[3], shard=0))   # pinned
+            targets.append(collector.submit(batches[4]))            # rr -> 2
+            targets.append(collector.submit(batches[5]))            # rr -> 0
+            targets.append(collector.submit(batches[6], shard=1))   # pinned
+            targets.append(collector.submit(batches[7]))            # rr -> 1
+            return targets, collector.reduce().estimate_frequencies()
+
+        targets, estimates = run()
+        assert targets == [0, 2, 1, 0, 2, 0, 1, 1]
+        repeat_targets, repeat_estimates = run()
+        assert repeat_targets == targets
+        np.testing.assert_array_equal(estimates, repeat_estimates)
+
+    def test_template_mechanism_instead_of_spec(self, items):
+        from repro.core.wavelet import HaarWaveletMechanism
+
+        template = HaarWaveletMechanism(1.0, DOMAIN)
+        collector = ShardedCollector(template, n_shards=2, random_state=4)
+        collector.extend(np.array_split(items, 4))
+        assert collector.reduce().n_users == items.size
+        assert not template.is_fitted  # the template is a config donor only
+
+    def test_template_mechanism_rejects_conflicting_parameters(self):
+        from repro.core.flat import FlatMechanism
+
+        template = FlatMechanism(1.0, DOMAIN)
+        with pytest.raises(ConfigurationError):
+            ShardedCollector(template, epsilon=2.0)
+        with pytest.raises(ConfigurationError):
+            ShardedCollector(template, domain_size=DOMAIN * 2)
+        with pytest.raises(ConfigurationError):
+            ShardedCollector(template, oracle="hrr")
+
+    def test_spec_requires_epsilon_and_domain(self):
+        with pytest.raises(ConfigurationError):
+            ShardedCollector("flat")
+
+
+class TestCollectorCheckpoint:
+    @pytest.mark.parametrize("spec", ["flat_oue", "hhc_4", "haar"])
+    def test_restored_collector_resumes_bit_for_bit(self, spec, items):
+        batches = np.array_split(items, 10)
+
+        def build():
+            return ShardedCollector(
+                spec, 1.0, DOMAIN, n_shards=3, random_state=23
+            )
+
+        uninterrupted = build()
+        for batch in batches:
+            uninterrupted.submit(batch)
+        expected = uninterrupted.reduce().estimate_frequencies()
+
+        crashed = build()
+        for batch in batches[:4]:
+            crashed.submit(batch)
+        snapshot = crashed.checkpoint_bytes()
+        del crashed
+
+        resumed = ShardedCollector.from_checkpoint_bytes(snapshot)
+        assert resumed.n_batches == 4
+        for batch in batches[4:]:
+            resumed.submit(batch)
+        np.testing.assert_array_equal(
+            resumed.reduce().estimate_frequencies(), expected
+        )
+
+    def test_checkpoint_file_round_trip(self, items, tmp_path):
+        collector = ShardedCollector("hhc_4", 1.0, DOMAIN, n_shards=2, random_state=7)
+        collector.extend(np.array_split(items, 4))
+        path = collector.checkpoint(tmp_path / "collector.snap")
+        restored = ShardedCollector.restore(path)
+        assert restored.n_users == collector.n_users
+        assert restored.n_batches == collector.n_batches
+        np.testing.assert_array_equal(
+            restored.reduce().estimate_frequencies(),
+            collector.reduce().estimate_frequencies(),
+        )
+
+    def test_checkpoint_preserves_router_position(self, items):
+        collector = ShardedCollector("flat", 1.0, DOMAIN, n_shards=3, random_state=1)
+        collector.submit(items[:1000])  # round-robin cursor now at shard 1
+        restored = ShardedCollector.from_checkpoint_bytes(collector.checkpoint_bytes())
+        assert restored.submit(items[1000:2000]) == collector.submit(items[1000:2000]) == 1
+
+    def test_checkpoint_preserves_unfitted_shards(self, items):
+        collector = ShardedCollector("flat", 1.0, DOMAIN, n_shards=4, random_state=2)
+        collector.submit(items[:1000])  # only shard 0 fitted
+        restored = ShardedCollector.from_checkpoint_bytes(collector.checkpoint_bytes())
+        fitted = [shard.is_fitted for shard in restored.shards]
+        assert fitted == [True, False, False, False]
+
+    def test_mechanism_snapshot_rejected_as_checkpoint(self, items):
+        from repro import persist
+        from repro.core.flat import FlatMechanism
+
+        mechanism = FlatMechanism(1.0, DOMAIN).fit_items(items, random_state=0)
+        with pytest.raises(ConfigurationError, match="collector"):
+            ShardedCollector.from_checkpoint_bytes(persist.to_bytes(mechanism))
+
+    def test_unregistered_custom_router_rejected_at_checkpoint_time(self, items):
+        from repro.streaming import ShardRouter
+
+        class TeleportRouter(ShardRouter):
+            name = "teleport"
+
+            def route(self, n_items, key=None):
+                return 0
+
+        collector = ShardedCollector(
+            "flat", 1.0, DOMAIN, n_shards=2, random_state=0,
+            router=TeleportRouter(),
+        )
+        collector.submit(items[:1000])
+        with pytest.raises(ConfigurationError, match="register_router"):
+            collector.checkpoint_bytes()
+
+    def test_registered_custom_router_round_trips(self, items):
+        from repro.streaming import ShardRouter, register_router
+        from repro.streaming.routing import _ROUTERS
+
+        @register_router
+        class SecondShardRouter(ShardRouter):
+            name = "second-shard"
+
+            def route(self, n_items, key=None):
+                return 1 % self.n_shards
+
+        try:
+            collector = ShardedCollector(
+                "flat", 1.0, DOMAIN, n_shards=3, random_state=0,
+                router=SecondShardRouter(),
+            )
+            collector.submit(items[:1000])
+            restored = ShardedCollector.from_checkpoint_bytes(
+                collector.checkpoint_bytes()
+            )
+            assert restored.submit(items[1000:2000]) == 1
+        finally:
+            _ROUTERS.pop("second-shard", None)
+
+    def test_snapshot_missing_level_counts_raises_configuration_error(self, items):
+        from repro.core.hierarchical import HierarchicalHistogramMechanism
+        from repro.core.wavelet import HaarWaveletMechanism
+
+        for mechanism in (
+            HierarchicalHistogramMechanism(1.0, DOMAIN, branching=4),
+            HaarWaveletMechanism(1.0, DOMAIN),
+        ):
+            mechanism.fit_items(items, random_state=0)
+            state = mechanism.state_dict()
+            del state["level_user_counts"]
+            with pytest.raises(ConfigurationError, match="level_user_counts"):
+                type(mechanism)(1.0, DOMAIN).load_state_dict(state)
+
+    def test_collector_checkpoint_loads_via_persist(self, items):
+        from repro import persist
+
+        collector = ShardedCollector("flat", 1.0, DOMAIN, n_shards=2, random_state=3)
+        collector.submit(items[:5000])
+        restored = persist.from_bytes(collector.checkpoint_bytes())
+        assert isinstance(restored, ShardedCollector)
+        assert restored.n_users == 5000
+        with pytest.raises(ConfigurationError):
+            persist.from_bytes(
+                collector.checkpoint_bytes(),
+                template=ShardedCollector("flat", 1.0, DOMAIN),
+            )
