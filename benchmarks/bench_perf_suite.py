@@ -1,0 +1,51 @@
+"""Hot-path perf suite — the `python -m repro bench` harness under pytest.
+
+Not a paper figure: this runs the same named benchmark suite as
+``python -m repro bench`` (per-oracle encode throughput, packed vs dense
+unary aggregation, the blocked OLH decode, sharded collect + reduce,
+constrained inference, and the serial-vs-parallel epsilon grid), writes the
+``BENCH_smoke.json`` perf record, and asserts the harness's derived checks:
+
+* packed unary payloads are at least 4x smaller and aggregate at least 2x
+  faster than the legacy dense matrices at ``D = 1024``;
+* a seeded ``run_epsilon_grid(workers=4)`` is bit-identical to the serial
+  sweep.
+
+Run with ``pytest benchmarks/bench_perf_suite.py --benchmark-only -s``.
+Set ``REPRO_BENCH_SUITE=full`` for the larger suite.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.bench import run_suite
+from repro.experiments.reporting import format_table
+
+
+@pytest.mark.benchmark(group="perf-suite")
+def test_perf_suite_checks(run_once, tmp_path):
+    """The repo's perf record regenerates and its headline checks hold."""
+    suite = os.environ.get("REPRO_BENCH_SUITE", "smoke")
+    payload = run_once(run_suite, suite=suite, out_dir=str(tmp_path))
+
+    rows = [
+        [
+            record["name"],
+            round(record["wall_seconds"], 4),
+            round(record["throughput"], 1),
+            record["unit"],
+        ]
+        for record in payload["results"]
+    ]
+    print()
+    print(f"perf suite '{suite}' -> {payload['path']}")
+    print(format_table(["benchmark", "best wall s", "throughput", "unit"], rows))
+    print(f"checks: {payload['checks']}")
+
+    checks = payload["checks"]
+    assert checks["parallel_grid_bit_identical"] is True
+    assert checks["packed_payload_ratio"] >= 4.0
+    assert checks["packed_aggregate_speedup"] >= 2.0

@@ -17,6 +17,8 @@ Examples
     python -m repro streaming --domain 1024 --shards 1 4 16 --batches 32
     python -m repro streaming --checkpoint /tmp/collector.snap
     python -m repro serve-demo --producers 1 2 4 8 --router least-loaded
+    python -m repro table5 --domain 1024 --workers 4
+    python -m repro bench --suite smoke
 """
 
 from __future__ import annotations
@@ -51,6 +53,7 @@ EXPERIMENTS = (
     "ablation-consistency",
     "streaming",
     "serve-demo",
+    "bench",
 )
 
 
@@ -146,6 +149,30 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="aggregation thread-pool size for serve-demo (0 = event loop)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for the (epsilon, spec, repetition) fan-out of "
+            "table5/table6 and the bench grid (default: serial for tables, "
+            "4 for bench); results are bit-identical to serial"
+        ),
+    )
+    parser.add_argument(
+        "--suite",
+        type=str,
+        default="smoke",
+        choices=["smoke", "full"],
+        help="bench only: which benchmark suite to run",
+    )
+    parser.add_argument(
+        "--out",
+        type=str,
+        default=".",
+        metavar="DIR",
+        help="bench only: directory receiving BENCH_<suite>.json",
+    )
     return parser
 
 
@@ -159,6 +186,8 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
     }
     if args.epsilons:
         overrides["epsilons"] = tuple(args.epsilons)
+    if args.workers is not None:
+        overrides["workers"] = args.workers
     return ExperimentConfig(**overrides)
 
 
@@ -405,6 +434,36 @@ def _run_serve_demo(config: ExperimentConfig, args: argparse.Namespace) -> str:
     )
 
 
+def _run_bench(config: ExperimentConfig, args: argparse.Namespace) -> str:
+    """Run a benchmark suite and persist BENCH_<suite>.json."""
+    from repro.experiments.bench import run_suite
+
+    payload = run_suite(suite=args.suite, workers=args.workers, out_dir=args.out)
+    rows = [
+        [
+            record["name"],
+            round(record["wall_seconds"], 4),
+            round(record["throughput"], 1),
+            record["unit"],
+            record["rss_max_kb"],
+        ]
+        for record in payload["results"]
+    ]
+    checks = payload["checks"]
+    lines = [
+        f"Benchmark suite '{args.suite}' | workers = {payload['workers']}",
+        format_table(["benchmark", "best wall s", "throughput", "unit", "rss KB"], rows),
+        "",
+        f"packed payload ratio (dense/packed bytes): {checks['packed_payload_ratio']:.1f}x",
+        f"packed aggregate speedup vs dense:         {checks['packed_aggregate_speedup']:.2f}x",
+        f"parallel grid speedup vs serial:           {checks['parallel_grid_speedup']:.2f}x",
+        f"parallel grid bit-identical to serial:     {checks['parallel_grid_bit_identical']}",
+        "",
+        f"wrote {payload.get('path', '(no file)')}",
+    ]
+    return "\n".join(lines)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
@@ -422,6 +481,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "ablation-consistency": _run_ablation_consistency,
         "streaming": _run_streaming,
         "serve-demo": _run_serve_demo,
+        "bench": _run_bench,
     }
     print(runners[args.experiment](config, args))
     return 0

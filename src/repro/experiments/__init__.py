@@ -3,12 +3,17 @@
 * :mod:`repro.experiments.config` — experiment configuration dataclasses
   with both laptop-scale defaults and the paper's original parameters;
 * :mod:`repro.experiments.runner` — generic "mechanisms x parameters x
-  workload" sweep with repetitions and error summaries;
+  workload" sweep with repetitions and error summaries, optionally fanned
+  out across worker processes (``workers=``, bit-identical to serial);
 * :mod:`repro.experiments.figures` — one entry point per table / figure of
   Section 5 (Figure 4, Tables 5 and 6, Figure 7, Figure 8, Figure 9) plus
   the design-choice ablations called out in DESIGN.md;
 * :mod:`repro.experiments.reporting` — plain-text rendering of result
-  tables in the same layout as the paper.
+  tables in the same layout as the paper;
+* :mod:`repro.experiments.bench` — the repo-wide benchmark harness behind
+  ``python -m repro bench``, writing ``BENCH_<suite>.json`` perf records
+  (imported lazily — ``from repro.experiments.bench import run_suite`` —
+  so non-bench users don't pay for its streaming/persist dependencies).
 """
 
 from repro.experiments.config import DataConfig, ExperimentConfig, PAPER_SCALE, LAPTOP_SCALE

@@ -1,0 +1,459 @@
+"""Repo-wide benchmark harness: ``python -m repro bench --suite <name>``.
+
+Every suite runs a fixed set of hot-path benchmarks — per-oracle encode and
+aggregate throughput (packed vs dense unary payloads), the blocked OLH
+decode, sharded collection with a merge reduce, constrained inference, and
+an end-to-end epsilon grid (serial vs parallel) — and writes the
+measurements to ``BENCH_<suite>.json`` so the perf trajectory of the repo is
+recorded rather than anecdotal.
+
+Output schema (``schema_version`` 1)::
+
+    {
+      "schema_version": 1,
+      "suite": "smoke",
+      "created_at_unix": 1706000000.0,
+      "environment": {"python": ..., "numpy": ..., "platform": ...,
+                       "cpu_count": ..., "git_commit": ...},
+      "parameters": {... the suite's size knobs ...},
+      "results": [
+        {"name": "unary_aggregate_packed", "wall_seconds": ...,
+         "work_items": ..., "throughput": ..., "unit": "users/s",
+         "rss_max_kb": ..., "extras": {...}},
+        ...
+      ],
+      "checks": {"packed_payload_ratio": ..., "packed_aggregate_speedup": ...,
+                  "parallel_grid_bit_identical": true, ...}
+    }
+
+``throughput`` is ``work_items`` divided by the best wall time over the
+suite's repeat count; ``rss_max_kb`` is the process peak RSS observed after
+the benchmark (cumulative maximum — Unix ``ru_maxrss`` never decreases).
+Exception: the two ``epsilon_grid_*`` entries are timed once each (a full
+grid is too heavy to repeat), so their walls include one-time costs such as
+process-pool startup — compare them across commits with that in mind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.data.workloads import random_range_queries
+from repro.exceptions import ConfigurationError
+from repro.experiments.config import DataConfig
+from repro.experiments.runner import run_epsilon_grid
+from repro.frequency_oracles.registry import make_oracle
+from repro.hierarchy.consistency import enforce_consistency
+from repro.streaming import ShardedCollector
+
+try:  # pragma: no cover - resource is Unix-only
+    import resource
+except ImportError:  # pragma: no cover
+    resource = None  # type: ignore[assignment]
+
+__all__ = ["SUITES", "BenchRecord", "run_suite"]
+
+#: Size knobs per named suite.  ``smoke`` finishes in well under a minute on
+#: a laptop and is what CI runs on every PR; ``full`` is for before/after
+#: numbers on real hardware.
+SUITES: Dict[str, Dict[str, object]] = {
+    "smoke": dict(
+        repeats=3,
+        epsilon=1.1,
+        encode_users=20_000,
+        encode_domain=256,
+        unary_users=50_000,
+        unary_domain=1024,
+        olh_users=4_000,
+        olh_domain=256,
+        shard_users=100_000,
+        shard_domain=1024,
+        shards=4,
+        consistency_branching=4,
+        consistency_height=8,
+        grid_users=100_000,
+        grid_domain=256,
+        grid_specs=("hhc_4", "haar"),
+        grid_epsilons=(0.5, 1.1),
+        grid_repetitions=3,
+    ),
+    "full": dict(
+        repeats=5,
+        epsilon=1.1,
+        encode_users=100_000,
+        encode_domain=1024,
+        unary_users=200_000,
+        unary_domain=1024,
+        olh_users=20_000,
+        olh_domain=256,
+        shard_users=1_000_000,
+        shard_domain=4096,
+        shards=8,
+        consistency_branching=4,
+        consistency_height=10,
+        grid_users=1 << 17,
+        grid_domain=1024,
+        grid_specs=("hhc_4", "hh_4", "haar", "flat_oue"),
+        grid_epsilons=(0.2, 0.6, 1.1, 1.4),
+        grid_repetitions=3,
+    ),
+}
+
+
+@dataclass
+class BenchRecord:
+    """One benchmark's measurement."""
+
+    name: str
+    wall_seconds: float
+    work_items: int
+    unit: str
+    rss_max_kb: int = 0
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        return self.work_items / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "wall_seconds": self.wall_seconds,
+            "work_items": self.work_items,
+            "throughput": self.throughput,
+            "unit": self.unit,
+            "rss_max_kb": self.rss_max_kb,
+            "extras": self.extras,
+        }
+
+
+def _rss_max_kb() -> int:
+    if resource is None:  # pragma: no cover - non-Unix
+        return 0
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def _best_wall(fn: Callable[[], object], repeats: int) -> float:
+    """Best-of-``repeats`` wall time of ``fn`` (first call warms caches)."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _git_commit() -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def _environment() -> Dict[str, object]:
+    return {
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "git_commit": _git_commit(),
+    }
+
+
+# ----------------------------------------------------------------------
+# Individual benchmarks.  Each returns one or more BenchRecords.
+# ----------------------------------------------------------------------
+def _bench_encode(params: dict) -> List[BenchRecord]:
+    n_users = int(params["encode_users"])
+    domain = int(params["encode_domain"])
+    epsilon = float(params["epsilon"])
+    records = []
+    for name in ("sue", "oue", "olh", "hrr"):
+        oracle = make_oracle(name, epsilon=epsilon, domain_size=domain)
+        values = np.random.default_rng(1).integers(0, domain, size=n_users)
+        rng = np.random.default_rng(2)
+        wall = _best_wall(
+            lambda: oracle.encode_batch(values, rng), int(params["repeats"])
+        )
+        records.append(
+            BenchRecord(
+                name=f"encode_{name}",
+                wall_seconds=wall,
+                work_items=n_users,
+                unit="users/s",
+                rss_max_kb=_rss_max_kb(),
+                extras={"domain_size": domain},
+            )
+        )
+    return records
+
+
+def _bench_unary_aggregate(params: dict) -> List[BenchRecord]:
+    """Packed vs dense unary aggregation — the tentpole's headline numbers."""
+    n_users = int(params["unary_users"])
+    domain = int(params["unary_domain"])
+    oracle = make_oracle("oue", epsilon=float(params["epsilon"]), domain_size=domain)
+    values = np.random.default_rng(3).integers(0, domain, size=n_users)
+    packed = oracle.encode_batch(values, np.random.default_rng(4), packed=True)
+    dense = oracle.encode_batch(values, np.random.default_rng(4), packed=False)
+    packed_bytes = int(packed.payload["packed_bits"].nbytes)
+    dense_bytes = int(dense.payload["bits"].nbytes)
+    repeats = int(params["repeats"])
+    wall_dense = _best_wall(lambda: oracle.accumulator().add(dense), repeats)
+    wall_packed = _best_wall(lambda: oracle.accumulator().add(packed), repeats)
+    shared = {"domain_size": domain, "payload_bytes_dense": dense_bytes,
+              "payload_bytes_packed": packed_bytes}
+    return [
+        BenchRecord(
+            name="unary_aggregate_dense",
+            wall_seconds=wall_dense,
+            work_items=n_users,
+            unit="users/s",
+            rss_max_kb=_rss_max_kb(),
+            extras=dict(shared, payload_bytes=dense_bytes),
+        ),
+        BenchRecord(
+            name="unary_aggregate_packed",
+            wall_seconds=wall_packed,
+            work_items=n_users,
+            unit="users/s",
+            rss_max_kb=_rss_max_kb(),
+            extras=dict(
+                shared,
+                payload_bytes=packed_bytes,
+                payload_ratio=dense_bytes / packed_bytes,
+                speedup_vs_dense=wall_dense / wall_packed,
+            ),
+        ),
+    ]
+
+
+def _bench_olh_decode(params: dict) -> List[BenchRecord]:
+    n_users = int(params["olh_users"])
+    domain = int(params["olh_domain"])
+    oracle = make_oracle("olh", epsilon=float(params["epsilon"]), domain_size=domain)
+    values = np.random.default_rng(5).integers(0, domain, size=n_users)
+    reports = oracle.encode_batch(values, np.random.default_rng(6))
+    wall = _best_wall(
+        lambda: oracle.accumulator().add(reports), int(params["repeats"])
+    )
+    return [
+        BenchRecord(
+            name="olh_decode",
+            wall_seconds=wall,
+            work_items=n_users,
+            unit="users/s",
+            rss_max_kb=_rss_max_kb(),
+            extras={"domain_size": domain},
+        )
+    ]
+
+
+def _bench_shard_reduce(params: dict) -> List[BenchRecord]:
+    """Sharded collection of a full population plus the merge reduce."""
+    n_users = int(params["shard_users"])
+    domain = int(params["shard_domain"])
+    n_shards = int(params["shards"])
+    probabilities = DataConfig().probabilities(domain)
+    items = np.random.default_rng(7).choice(domain, size=n_users, p=probabilities)
+    batches = np.array_split(items, n_shards * 4)
+
+    def run() -> None:
+        collector = ShardedCollector(
+            "hh_4",
+            epsilon=float(params["epsilon"]),
+            domain_size=domain,
+            n_shards=n_shards,
+            random_state=8,
+        )
+        for batch in batches:
+            collector.submit(batch)
+        collector.reduce()
+
+    wall = _best_wall(run, int(params["repeats"]))
+    return [
+        BenchRecord(
+            name="shard_collect_reduce",
+            wall_seconds=wall,
+            work_items=n_users,
+            unit="users/s",
+            rss_max_kb=_rss_max_kb(),
+            extras={"domain_size": domain, "shards": n_shards},
+        )
+    ]
+
+
+def _bench_consistency(params: dict) -> List[BenchRecord]:
+    branching = int(params["consistency_branching"])
+    height = int(params["consistency_height"])
+    rng = np.random.default_rng(9)
+    levels = [rng.random(branching**depth) for depth in range(1, height + 1)]
+    n_nodes = sum(level.size for level in levels)
+    wall = _best_wall(
+        lambda: enforce_consistency(levels, branching, root_value=1.0),
+        int(params["repeats"]),
+    )
+    return [
+        BenchRecord(
+            name="consistency_enforce",
+            wall_seconds=wall,
+            work_items=n_nodes,
+            unit="nodes/s",
+            rss_max_kb=_rss_max_kb(),
+            extras={"branching": branching, "height": height},
+        )
+    ]
+
+
+def _bench_epsilon_grid(params: dict, workers: int) -> List[BenchRecord]:
+    domain = int(params["grid_domain"])
+    counts = DataConfig().counts(domain, int(params["grid_users"]))
+    workload = random_range_queries(domain, 2000, random_state=10, name="bench-grid")
+    specs = list(params["grid_specs"])
+    epsilons = list(params["grid_epsilons"])
+    repetitions = int(params["grid_repetitions"])
+    cells = len(specs) * len(epsilons) * repetitions
+
+    def run(n_workers: int):
+        return run_epsilon_grid(
+            specs,
+            counts,
+            workload,
+            epsilons=epsilons,
+            repetitions=repetitions,
+            random_state=11,
+            workers=n_workers,
+        )
+
+    start = time.perf_counter()
+    serial = run(1)
+    wall_serial = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = run(workers)
+    wall_parallel = time.perf_counter() - start
+    bit_identical = serial == parallel
+    return [
+        BenchRecord(
+            name="epsilon_grid_serial",
+            wall_seconds=wall_serial,
+            work_items=cells,
+            unit="fits/s",
+            rss_max_kb=_rss_max_kb(),
+            extras={"domain_size": domain, "workers": 1},
+        ),
+        BenchRecord(
+            name="epsilon_grid_parallel",
+            wall_seconds=wall_parallel,
+            work_items=cells,
+            unit="fits/s",
+            rss_max_kb=_rss_max_kb(),
+            extras={
+                "domain_size": domain,
+                "workers": workers,
+                "speedup_vs_serial": wall_serial / wall_parallel,
+                "bit_identical_to_serial": bit_identical,
+            },
+        ),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Suite driver
+# ----------------------------------------------------------------------
+def run_suite(
+    suite: str = "smoke",
+    workers: Optional[int] = None,
+    out_dir: Optional[str] = ".",
+    overrides: Optional[dict] = None,
+) -> Dict[str, object]:
+    """Run a named benchmark suite and write ``BENCH_<suite>.json``.
+
+    Parameters
+    ----------
+    suite:
+        One of :data:`SUITES` (``smoke`` or ``full``).
+    workers:
+        Worker count for the parallel epsilon-grid benchmark; defaults to 4
+        regardless of core count, so the process-pool path and its
+        bit-identity check are exercised even on one-core runners (the
+        speedup is recorded honestly either way).
+    out_dir:
+        Directory receiving ``BENCH_<suite>.json``; ``None`` skips writing.
+    overrides:
+        Optional size-knob overrides merged over the suite's parameters
+        (used by the tests to shrink the suite).
+
+    Returns
+    -------
+    dict
+        The full payload that was (or would have been) written, with the
+        output path added under ``"path"`` when a file was written.
+    """
+    if suite not in SUITES:
+        raise ConfigurationError(
+            f"unknown benchmark suite {suite!r}; expected one of {sorted(SUITES)}"
+        )
+    params = dict(SUITES[suite])
+    params.update(overrides or {})
+    if workers is None:
+        workers = 4
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers!r}")
+
+    records: List[BenchRecord] = []
+    records.extend(_bench_encode(params))
+    records.extend(_bench_unary_aggregate(params))
+    records.extend(_bench_olh_decode(params))
+    records.extend(_bench_shard_reduce(params))
+    records.extend(_bench_consistency(params))
+    records.extend(_bench_epsilon_grid(params, workers))
+
+    by_name = {record.name: record for record in records}
+    packed = by_name["unary_aggregate_packed"]
+    grid_parallel = by_name["epsilon_grid_parallel"]
+    checks: Dict[str, object] = {
+        "packed_payload_ratio": packed.extras["payload_ratio"],
+        "packed_aggregate_speedup": packed.extras["speedup_vs_dense"],
+        "parallel_grid_speedup": grid_parallel.extras["speedup_vs_serial"],
+        "parallel_grid_bit_identical": grid_parallel.extras[
+            "bit_identical_to_serial"
+        ],
+    }
+
+    payload: Dict[str, object] = {
+        "schema_version": 1,
+        "suite": suite,
+        "created_at_unix": time.time(),
+        "environment": _environment(),
+        "parameters": {
+            key: list(value) if isinstance(value, tuple) else value
+            for key, value in params.items()
+        },
+        "workers": workers,
+        "results": [record.as_dict() for record in records],
+        "checks": checks,
+    }
+    if out_dir is not None:
+        path = os.path.join(out_dir, f"BENCH_{suite}.json")
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        payload["path"] = path
+    return payload

@@ -72,6 +72,9 @@ class ExperimentConfig:
     epsilons: Tuple[float, ...] = (0.2, 0.4, 0.6, 0.8, 1.0, 1.1, 1.2, 1.4)
     max_queries_per_workload: int = 20_000
     seed: int = 20190630
+    #: Process count for the (epsilon, spec, repetition) fan-out of the grid
+    #: drivers; 1 runs serially.  Any value yields bit-identical results.
+    workers: int = 1
     data: DataConfig = field(default_factory=DataConfig)
 
     def __post_init__(self) -> None:
@@ -81,6 +84,8 @@ class ExperimentConfig:
             raise ConfigurationError("repetitions must be positive")
         if self.max_queries_per_workload < 1:
             raise ConfigurationError("max_queries_per_workload must be positive")
+        if self.workers < 1:
+            raise ConfigurationError("workers must be positive")
 
     def scaled(self, **overrides) -> "ExperimentConfig":
         """Return a copy with some fields overridden (dataclass replace)."""

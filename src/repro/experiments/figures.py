@@ -155,6 +155,7 @@ def table5_epsilon_ranges(
         repetitions=config.repetitions,
         random_state=config.seed,
         mode=mode,
+        workers=config.workers,
     )
 
 
@@ -177,6 +178,7 @@ def table6_epsilon_prefix(
         repetitions=config.repetitions,
         random_state=config.seed,
         mode=mode,
+        workers=config.workers,
     )
 
 

@@ -6,10 +6,19 @@ every fit and report the mean (and standard deviation) of the mean squared
 error.  :func:`evaluate_mechanism` runs that inner loop for one mechanism;
 :func:`run_epsilon_grid` sweeps the ``mechanism x epsilon`` grid that Tables
 5 and 6 are made of.
+
+Both entry points take a ``workers`` knob.  With ``workers > 1`` the
+independent ``(epsilon, spec, repetition)`` cells fan out across a
+:class:`~concurrent.futures.ProcessPoolExecutor`.  Every repetition's
+generator is spawned *in the parent*, in exactly the order the serial path
+spawns them, and shipped to the worker — so the parallel sweep is
+bit-identical to the serial one for any seed and worker count (the tests
+verify this).
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -56,6 +65,76 @@ class CellResult:
         }
 
 
+def _repetition_mse(
+    spec: str,
+    counts: np.ndarray,
+    workload: RangeWorkload,
+    epsilon: float,
+    rng: np.random.Generator,
+    mode: str,
+    mechanism_kwargs: Optional[dict],
+    true_answers: np.ndarray,
+) -> float:
+    """One repetition of one cell: fit, answer, score.
+
+    Module-level (rather than a closure) so it pickles into worker
+    processes; the generator argument carries the exact child stream the
+    serial path would have used.
+    """
+    mechanism = mechanism_from_spec(
+        spec,
+        epsilon=epsilon,
+        domain_size=int(counts.shape[0]),
+        **(mechanism_kwargs or {}),
+    )
+    mechanism.fit_counts(counts, random_state=rng, mode=mode)
+    estimates = mechanism.answer_workload(workload)
+    return mean_squared_error(true_answers, estimates)
+
+
+#: Per-worker (counts, workload, true_answers) shipped once via the pool
+#: initializer rather than pickled into every repetition task.
+_WORKER_SHARED: Optional[tuple] = None
+
+
+def _init_worker(shared: tuple) -> None:
+    global _WORKER_SHARED
+    _WORKER_SHARED = shared
+
+
+def _repetition_mse_shared(
+    spec: str,
+    epsilon: float,
+    rng: np.random.Generator,
+    mode: str,
+    mechanism_kwargs: Optional[dict],
+) -> float:
+    counts, workload, true_answers = _WORKER_SHARED
+    return _repetition_mse(
+        spec, counts, workload, epsilon, rng, mode, mechanism_kwargs, true_answers
+    )
+
+
+def _summarise(
+    spec: str,
+    counts: np.ndarray,
+    workload: RangeWorkload,
+    epsilon: float,
+    errors: Sequence[float],
+) -> CellResult:
+    errors_array = np.asarray(errors)
+    return CellResult(
+        mechanism=spec,
+        epsilon=float(epsilon),
+        domain_size=int(counts.shape[0]),
+        n_users=int(counts.sum()),
+        workload=workload.name,
+        mse_mean=float(errors_array.mean()),
+        mse_std=float(errors_array.std()),
+        repetitions=len(errors),
+    )
+
+
 def evaluate_mechanism(
     spec: str,
     counts: np.ndarray,
@@ -65,6 +144,7 @@ def evaluate_mechanism(
     random_state: RandomState = None,
     mode: str = "aggregate",
     mechanism_kwargs: Optional[dict] = None,
+    workers: int = 1,
 ) -> CellResult:
     """Fit one mechanism ``repetitions`` times and summarise its workload MSE.
 
@@ -80,32 +160,37 @@ def evaluate_mechanism(
     epsilon, repetitions, random_state, mode:
         Experiment knobs; every repetition gets an independent random stream
         derived from ``random_state``.
+    workers:
+        Process count for the repetition fan-out.  ``1`` (the default) runs
+        serially in-process; any value produces bit-identical results.
     """
     counts = np.asarray(counts, dtype=np.int64)
     if repetitions < 1:
         raise ConfigurationError(f"repetitions must be >= 1, got {repetitions!r}")
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers!r}")
     true_answers = workload.true_answers(counts)
-    errors: List[float] = []
     generators = spawn_generators(random_state, repetitions)
     kwargs = dict(mechanism_kwargs or {})
-    for rng in generators:
-        mechanism = mechanism_from_spec(
-            spec, epsilon=epsilon, domain_size=int(counts.shape[0]), **kwargs
-        )
-        mechanism.fit_counts(counts, random_state=rng, mode=mode)
-        estimates = mechanism.answer_workload(workload)
-        errors.append(mean_squared_error(true_answers, estimates))
-    errors_array = np.asarray(errors)
-    return CellResult(
-        mechanism=spec,
-        epsilon=float(epsilon),
-        domain_size=int(counts.shape[0]),
-        n_users=int(counts.sum()),
-        workload=workload.name,
-        mse_mean=float(errors_array.mean()),
-        mse_std=float(errors_array.std()),
-        repetitions=repetitions,
-    )
+    if workers == 1:
+        errors = [
+            _repetition_mse(
+                spec, counts, workload, epsilon, rng, mode, kwargs, true_answers
+            )
+            for rng in generators
+        ]
+    else:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, repetitions),
+            initializer=_init_worker,
+            initargs=((counts, workload, true_answers),),
+        ) as pool:
+            futures = [
+                pool.submit(_repetition_mse_shared, spec, epsilon, rng, mode, kwargs)
+                for rng in generators
+            ]
+            errors = [future.result() for future in futures]
+    return _summarise(spec, counts, workload, epsilon, errors)
 
 
 def run_epsilon_grid(
@@ -116,6 +201,7 @@ def run_epsilon_grid(
     repetitions: int = 3,
     random_state: RandomState = None,
     mode: str = "aggregate",
+    workers: int = 1,
 ) -> List[CellResult]:
     """Evaluate every mechanism at every epsilon (the Table 5/6 grid).
 
@@ -125,24 +211,62 @@ def run_epsilon_grid(
     ``specs`` and ``epsilons`` may be arbitrary iterables (including
     generators): both are materialised exactly once at entry, so a generator
     is never exhausted by the seed-count pass before the sweep loops run.
+
+    With ``workers > 1`` every ``(epsilon, spec, repetition)`` cell is
+    dispatched to a process pool.  Per-cell seed generators are spawned
+    first (epsilon outer, mechanism inner — the serial order) and each
+    cell's repetition streams are derived from its seed exactly as the
+    serial path derives them, so the grid is bit-identical to ``workers=1``.
     """
     specs = list(specs)
     epsilons = list(epsilons)
-    results: List[CellResult] = []
+    if repetitions < 1:
+        raise ConfigurationError(f"repetitions must be >= 1, got {repetitions!r}")
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers!r}")
+    counts = np.asarray(counts, dtype=np.int64)
     seeds = spawn_generators(random_state, len(epsilons) * len(specs))
-    index = 0
-    for epsilon in epsilons:
-        for spec in specs:
-            results.append(
-                evaluate_mechanism(
+    pairs = [(epsilon, spec) for epsilon in epsilons for spec in specs]
+    cells = [(epsilon, spec, seed) for (epsilon, spec), seed in zip(pairs, seeds)]
+    if workers == 1:
+        return [
+            evaluate_mechanism(
+                spec,
+                counts,
+                workload,
+                epsilon=epsilon,
+                repetitions=repetitions,
+                random_state=seed,
+                mode=mode,
+            )
+            for epsilon, spec, seed in cells
+        ]
+
+    true_answers = workload.true_answers(counts)
+    results: List[CellResult] = []
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_init_worker,
+        initargs=((counts, workload, true_answers),),
+    ) as pool:
+        pending = []
+        for epsilon, spec, seed in cells:
+            # Spawned in the parent, in serial order, so each repetition
+            # receives exactly the stream the serial path would have used.
+            rep_rngs = spawn_generators(seed, repetitions)
+            pending.append(
+                (
+                    epsilon,
                     spec,
-                    counts,
-                    workload,
-                    epsilon=epsilon,
-                    repetitions=repetitions,
-                    random_state=seeds[index],
-                    mode=mode,
+                    [
+                        pool.submit(
+                            _repetition_mse_shared, spec, epsilon, rng, mode, None
+                        )
+                        for rng in rep_rngs
+                    ],
                 )
             )
-            index += 1
+        for epsilon, spec, futures in pending:
+            errors = [future.result() for future in futures]
+            results.append(_summarise(spec, counts, workload, epsilon, errors))
     return results

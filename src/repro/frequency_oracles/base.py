@@ -50,7 +50,10 @@ class OracleReports:
     ----------
     payload:
         Oracle-specific report data (e.g. a bit matrix for unary encodings,
-        or index/value arrays for Hadamard randomized response).
+        or index/value arrays for Hadamard randomized response).  Every
+        array entry is per-user along its leading axis, so its first
+        dimension must equal ``n_users``; scalar metadata entries (e.g. the
+        packed layout's ``n_bits``) are exempt.
     n_users:
         Number of users contributing to the batch.
     """
@@ -61,6 +64,15 @@ class OracleReports:
     def __post_init__(self) -> None:
         if self.n_users < 0:
             raise InvalidQueryError(f"n_users must be >= 0, got {self.n_users!r}")
+        for key, value in self.payload.items():
+            if isinstance(value, np.ndarray) and value.ndim >= 1:
+                if value.shape[0] != self.n_users:
+                    raise InvalidQueryError(
+                        f"payload array {key!r} has leading dimension "
+                        f"{value.shape[0]} but the batch declares "
+                        f"{self.n_users} users; mismatched reports would "
+                        f"silently mis-aggregate"
+                    )
 
 
 class FrequencyOracle(abc.ABC):

@@ -26,11 +26,23 @@ from repro.frequency_oracles.accumulators import OracleAccumulator
 from repro.frequency_oracles.base import FrequencyOracle, OracleReports
 from repro.privacy.randomness import RandomState, as_generator
 
-__all__ = ["UniversalHashFamily", "LocalHashingAccumulator", "OptimalLocalHashing"]
+__all__ = [
+    "OLH_DECODE_TARGET_BYTES",
+    "UniversalHashFamily",
+    "LocalHashingAccumulator",
+    "OptimalLocalHashing",
+]
 
 #: A Mersenne prime comfortably larger than any domain used in the paper
 #: (2^31 - 1); arithmetic stays inside 64-bit integers.
 _PRIME = (1 << 31) - 1
+
+#: Working-set target (bytes) of the blocked OLH decode.  Each block row
+#: costs ``domain_size`` int64 hash values plus a bool match row, and the
+#: block count adapts so those buffers stay inside this budget regardless of
+#: the domain size.  Tunable at module level; estimates are invariant to the
+#: block size (the decode is a plain sum over users).
+OLH_DECODE_TARGET_BYTES: int = 32 << 20
 
 
 class UniversalHashFamily:
@@ -104,15 +116,25 @@ class LocalHashingAccumulator(OracleAccumulator):
         a = np.asarray(reports.payload["a"], dtype=np.int64)
         b = np.asarray(reports.payload["b"], dtype=np.int64)
         values = np.asarray(reports.payload["values"], dtype=np.int64)
-        items = np.arange(oracle.domain_size, dtype=np.int64)
-        # Blocked over users to keep the intermediate hash matrix bounded.
-        block = max(1, int(4_000_000 // max(1, oracle.domain_size)))
+        domain_size = oracle.domain_size
+        items = np.arange(domain_size, dtype=np.int64)
+        # Blocked over users so the intermediate hash/match buffers stay
+        # inside the OLH_DECODE_TARGET_BYTES working-set budget; the buffers
+        # are allocated once and reused across blocks.
+        row_bytes = domain_size * (np.dtype(np.int64).itemsize + np.dtype(bool).itemsize)
+        block = int(max(1, min(reports.n_users, OLH_DECODE_TARGET_BYTES // max(1, row_bytes))))
+        hashed = np.empty((block, domain_size), dtype=np.int64)
+        matches = np.empty((block, domain_size), dtype=bool)
         for start in range(0, reports.n_users, block):
             stop = min(start + block, reports.n_users)
-            hashed = (
-                (a[start:stop, None] * items[None, :] + b[start:stop, None]) % _PRIME
-            ) % oracle.hash_range
-            self._support += (hashed == values[start:stop, None]).sum(axis=0)
+            size = stop - start
+            buf = hashed[:size]
+            np.multiply(a[start:stop, None], items[None, :], out=buf)
+            buf += b[start:stop, None]
+            buf %= _PRIME
+            buf %= oracle.hash_range
+            np.equal(buf, values[start:stop, None], out=matches[:size])
+            self._support += matches[:size].sum(axis=0)
 
     def _add_simulated(self, counts: np.ndarray, rng: np.random.Generator) -> None:
         n_users = int(counts.sum())

@@ -15,11 +15,22 @@ noisy count of each item is exactly the sum of two binomials — which is what
 ``simulate_aggregate`` samples, making the fast path *statistically
 identical* to the per-user protocol (this is the simulation trick described
 in Section 5 of the paper).
+
+Report payloads come in two interchangeable layouts:
+
+* **packed** (the default): ``{"packed_bits": uint8 (N, ceil(D / 8)),
+  "n_bits": D}`` — each user's bit vector run through :func:`np.packbits`,
+  8x smaller than the dense matrix and decoded by a blocked
+  unpack-and-popcount column sum that never materialises the full matrix;
+* **dense** (legacy): ``{"bits": uint8 (N, D)}``.
+
+Both layouts decode to bit-identical column sums, so accumulators (and
+their persisted snapshots) are agnostic to which layout fed them.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 import numpy as np
 
@@ -33,7 +44,48 @@ from repro.privacy.mechanisms import (
 )
 from repro.privacy.randomness import RandomState, as_generator
 
-__all__ = ["UnaryAccumulator", "SymmetricUnaryEncoding", "OptimizedUnaryEncoding"]
+__all__ = [
+    "PACK_UNARY_REPORTS",
+    "UNARY_SUM_BLOCK_TARGET_BYTES",
+    "packed_column_sums",
+    "UnaryAccumulator",
+    "SymmetricUnaryEncoding",
+    "OptimizedUnaryEncoding",
+]
+
+#: Default report layout produced by :meth:`_UnaryEncodingOracle.encode_batch`.
+#: ``True`` packs each user's bit vector with :func:`np.packbits` (8x less
+#: report memory); set to ``False`` to restore the legacy dense matrices.
+PACK_UNARY_REPORTS: bool = True
+
+#: Working-set target (bytes of unpacked bits per block) for the packed
+#: column-sum decode.  The block row count is additionally capped at 255 so
+#: partial sums fit in a uint8 accumulator, which is what makes the blocked
+#: reduction faster than a straight int64 column sum.
+UNARY_SUM_BLOCK_TARGET_BYTES: int = 1 << 18
+
+
+def packed_column_sums(packed: np.ndarray, n_bits: int) -> np.ndarray:
+    """Column sums of a bit matrix packed along axis 1 with :func:`np.packbits`.
+
+    Processes the rows in blocks sized by :data:`UNARY_SUM_BLOCK_TARGET_BYTES`
+    (and at most 255 rows, so per-block column sums fit in uint8), unpacking
+    each block contiguously and reducing it with a uint8 accumulator before
+    widening.  Bit-identical to ``np.unpackbits(packed, axis=1,
+    count=n_bits).sum(axis=0)`` without ever materialising the dense matrix.
+    """
+    packed = np.asarray(packed, dtype=np.uint8)
+    if packed.ndim != 2 or packed.shape[1] != (n_bits + 7) // 8:
+        raise InvalidQueryError(
+            f"expected a packed matrix with {(n_bits + 7) // 8} byte columns "
+            f"for {n_bits} bits, got shape {packed.shape}"
+        )
+    totals = np.zeros(n_bits, dtype=np.int64)
+    block = int(max(1, min(255, UNARY_SUM_BLOCK_TARGET_BYTES // max(1, n_bits))))
+    for start in range(0, packed.shape[0], block):
+        chunk = np.unpackbits(packed[start : start + block], axis=1, count=n_bits)
+        totals += np.add.reduce(chunk, axis=0, dtype=np.uint8)
+    return totals
 
 
 class UnaryAccumulator(OracleAccumulator):
@@ -49,10 +101,21 @@ class UnaryAccumulator(OracleAccumulator):
         self._ones = np.zeros(oracle.domain_size, dtype=np.float64)
 
     def _add_reports(self, reports: OracleReports) -> None:
-        bits = np.asarray(reports.payload["bits"])
-        if bits.ndim != 2 or bits.shape[1] != self._oracle.domain_size:
+        domain_size = self._oracle.domain_size
+        payload = reports.payload
+        if "packed_bits" in payload:
+            n_bits = int(payload.get("n_bits", domain_size))
+            if n_bits != domain_size:
+                raise InvalidQueryError(
+                    f"packed reports carry {n_bits} bits per user, expected "
+                    f"{domain_size}"
+                )
+            self._ones += packed_column_sums(payload["packed_bits"], domain_size)
+            return
+        bits = np.asarray(payload["bits"])
+        if bits.ndim != 2 or bits.shape[1] != domain_size:
             raise InvalidQueryError(
-                f"expected a reports matrix with {self._oracle.domain_size} columns"
+                f"expected a reports matrix with {domain_size} columns"
             )
         self._ones += bits.sum(axis=0).astype(np.float64)
 
@@ -107,8 +170,17 @@ class _UnaryEncodingOracle(FrequencyOracle):
         return {"bits": bits}
 
     def encode_batch(
-        self, values: np.ndarray, random_state: RandomState = None
+        self,
+        values: np.ndarray,
+        random_state: RandomState = None,
+        packed: Optional[bool] = None,
     ) -> OracleReports:
+        """Encode a population; ``packed`` overrides :data:`PACK_UNARY_REPORTS`.
+
+        The random draws are identical in both layouts, so a packed batch and
+        a dense batch produced from the same generator state decode to
+        bit-identical estimates.
+        """
         values = self._check_values(values)
         rng = as_generator(random_state)
         n_users = values.shape[0]
@@ -117,6 +189,16 @@ class _UnaryEncodingOracle(FrequencyOracle):
             bits[np.arange(n_users), values] = (
                 rng.random(n_users) < self.p
             ).astype(np.uint8)
+        if packed is None:
+            packed = PACK_UNARY_REPORTS
+        if packed:
+            return OracleReports(
+                payload={
+                    "packed_bits": np.packbits(bits, axis=1),
+                    "n_bits": self._domain_size,
+                },
+                n_users=n_users,
+            )
         return OracleReports(payload={"bits": bits}, n_users=n_users)
 
     # ------------------------------------------------------------------

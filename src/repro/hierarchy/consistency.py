@@ -143,17 +143,17 @@ def least_squares_consistency(
     height = len(noisy)
     leaves = branching**height
 
-    rows: List[np.ndarray] = []
-    observations: List[float] = []
-    for depth, estimates in enumerate(noisy, start=1):
-        block = leaves // branching**depth
-        for index, value in enumerate(estimates):
-            row = np.zeros(leaves)
-            row[index * block : (index + 1) * block] = 1.0
-            rows.append(row)
-            observations.append(float(value))
-    design = np.vstack(rows)
-    target = np.asarray(observations)
+    # Each level contributes a block-diagonal band: node `i` at depth `d`
+    # covers the `leaves / B^d` consecutive leaves of its subtree, i.e. the
+    # identity of size B^d with every column repeated `block` times.  Built
+    # level-wise with array ops rather than one Python row at a time.
+    blocks: List[np.ndarray] = []
+    for depth in range(1, height + 1):
+        nodes = branching**depth
+        block = leaves // nodes
+        blocks.append(np.repeat(np.eye(nodes), block, axis=1))
+    design = np.vstack(blocks)
+    target = np.concatenate(noisy)
     fitted_leaves, *_ = np.linalg.lstsq(design, target, rcond=None)
 
     result: List[np.ndarray] = []

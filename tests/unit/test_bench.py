@@ -1,0 +1,97 @@
+"""Unit tests for the benchmark harness (repro.experiments.bench)."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.bench import SUITES, run_suite
+
+#: Shrunk size knobs so the whole suite runs in well under a second.
+TINY = dict(
+    repeats=1,
+    encode_users=200,
+    encode_domain=32,
+    unary_users=300,
+    unary_domain=64,
+    olh_users=100,
+    olh_domain=16,
+    shard_users=500,
+    shard_domain=64,
+    shards=2,
+    consistency_branching=2,
+    consistency_height=4,
+    grid_users=500,
+    grid_domain=16,
+    grid_specs=("hhc_4",),
+    grid_epsilons=(1.1,),
+    grid_repetitions=1,
+)
+
+EXPECTED_BENCHMARKS = {
+    "encode_sue",
+    "encode_oue",
+    "encode_olh",
+    "encode_hrr",
+    "unary_aggregate_dense",
+    "unary_aggregate_packed",
+    "olh_decode",
+    "shard_collect_reduce",
+    "consistency_enforce",
+    "epsilon_grid_serial",
+    "epsilon_grid_parallel",
+}
+
+
+@pytest.fixture(scope="module")
+def payload(tmp_path_factory):
+    out_dir = tmp_path_factory.mktemp("bench")
+    return run_suite(suite="smoke", workers=2, out_dir=str(out_dir), overrides=TINY)
+
+
+class TestRunSuite:
+    def test_writes_bench_json(self, payload):
+        path = payload["path"]
+        assert path.endswith("BENCH_smoke.json")
+        on_disk = json.loads(open(path).read())
+        assert on_disk["schema_version"] == 1
+        assert on_disk["suite"] == "smoke"
+
+    def test_all_benchmarks_present_with_throughput(self, payload):
+        results = {record["name"]: record for record in payload["results"]}
+        assert set(results) == EXPECTED_BENCHMARKS
+        for record in results.values():
+            assert record["wall_seconds"] > 0
+            assert record["throughput"] > 0
+            assert record["unit"]
+
+    def test_checks_present(self, payload):
+        checks = payload["checks"]
+        assert checks["packed_payload_ratio"] >= 4
+        assert checks["parallel_grid_bit_identical"] is True
+        assert checks["packed_aggregate_speedup"] > 0
+        assert checks["parallel_grid_speedup"] > 0
+
+    def test_environment_metadata(self, payload):
+        environment = payload["environment"]
+        for key in ("python", "numpy", "platform", "cpu_count"):
+            assert environment[key]
+
+    def test_parameters_recorded(self, payload):
+        assert payload["parameters"]["unary_domain"] == TINY["unary_domain"]
+        assert payload["workers"] == 2
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_suite(suite="nope", out_dir=None)
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_suite(suite="smoke", workers=0, out_dir=None)
+
+    def test_no_file_when_out_dir_none(self):
+        result = run_suite(suite="smoke", workers=2, out_dir=None, overrides=TINY)
+        assert "path" not in result
+
+    def test_suites_registry(self):
+        assert {"smoke", "full"} <= set(SUITES)

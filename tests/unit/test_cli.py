@@ -117,3 +117,45 @@ class TestMain:
         assert "Ingestion service" in output
         assert "least-loaded" in output
         assert "Musers/s" in output
+
+    def test_table5_with_workers_matches_serial(self, capsys):
+        argv = ["table5", *TINY, "--epsilons", "1.1"]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main([*argv, "--workers", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out
+
+    def test_bench_runs_and_writes_json(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        from repro.experiments import bench as bench_module
+
+        tiny = dict(
+            repeats=1,
+            encode_users=200,
+            encode_domain=32,
+            unary_users=300,
+            unary_domain=64,
+            olh_users=100,
+            olh_domain=16,
+            shard_users=500,
+            shard_domain=64,
+            shards=2,
+            consistency_branching=2,
+            consistency_height=4,
+            grid_users=500,
+            grid_domain=16,
+            grid_specs=("hhc_4",),
+            grid_epsilons=(1.1,),
+            grid_repetitions=1,
+        )
+        tiny_suites = {"smoke": dict(bench_module.SUITES["smoke"], **tiny)}
+        monkeypatch.setattr(bench_module, "SUITES", tiny_suites)
+        assert main(["bench", "--suite", "smoke", "--out", str(tmp_path), "--workers", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "Benchmark suite 'smoke'" in output
+        assert "bit-identical to serial:     True" in output
+        written = json.loads((tmp_path / "BENCH_smoke.json").read_text())
+        assert written["suite"] == "smoke"
+        assert written["results"]

@@ -37,6 +37,11 @@ class TestConfig:
             ExperimentConfig(n_users=0)
         with pytest.raises(ConfigurationError):
             ExperimentConfig(repetitions=0)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(workers=0)
+
+    def test_workers_default_serial(self):
+        assert LAPTOP_SCALE.workers == 1
 
 
 class TestRunner:
@@ -106,12 +111,71 @@ class TestRunner:
         assert len(lazy) == len(eager) == 4
         assert [cell.mse_mean for cell in lazy] == [cell.mse_mean for cell in eager]
 
+    def test_workers_validation(self, counts, workload):
+        with pytest.raises(ConfigurationError):
+            evaluate_mechanism("haar", counts, workload, 1.0, workers=0)
+        with pytest.raises(ConfigurationError):
+            run_epsilon_grid(
+                ["haar"], counts, workload, epsilons=[1.0], workers=0
+            )
+
     def test_error_decreases_with_epsilon(self, counts, workload):
         results = run_epsilon_grid(
             ["hhc_4"], counts, workload, epsilons=[0.2, 1.4], repetitions=3, random_state=1
         )
         by_eps = {cell.epsilon: cell.mse_mean for cell in results}
         assert by_eps[1.4] < by_eps[0.2]
+
+
+class TestParallelRunner:
+    """workers > 1 fans out across processes, bit-identically to serial."""
+
+    @pytest.fixture
+    def counts(self):
+        return DataConfig().counts(32, 20_000)
+
+    @pytest.fixture
+    def workload(self):
+        return all_range_queries(32)
+
+    def test_parallel_grid_bit_identical_to_serial(self, counts, workload):
+        kwargs = dict(
+            counts=counts,
+            workload=workload,
+            epsilons=[0.5, 1.1],
+            repetitions=2,
+            random_state=42,
+        )
+        serial = run_epsilon_grid(["hhc_4", "haar"], workers=1, **kwargs)
+        parallel = run_epsilon_grid(["hhc_4", "haar"], workers=4, **kwargs)
+        assert serial == parallel  # CellResults compare field-exact
+
+    def test_parallel_evaluate_bit_identical_to_serial(self, counts, workload):
+        serial = evaluate_mechanism(
+            "hhc_4", counts, workload, 1.0, repetitions=3, random_state=5, workers=1
+        )
+        parallel = evaluate_mechanism(
+            "hhc_4", counts, workload, 1.0, repetitions=3, random_state=5, workers=3
+        )
+        assert serial == parallel
+
+    def test_parallel_results_ordered_like_serial(self, counts, workload):
+        results = run_epsilon_grid(
+            ["hhc_4", "haar"],
+            counts,
+            workload,
+            epsilons=[0.5, 1.1],
+            repetitions=1,
+            random_state=0,
+            workers=2,
+        )
+        layout = [(cell.epsilon, cell.mechanism) for cell in results]
+        assert layout == [
+            (0.5, "hhc_4"),
+            (0.5, "haar"),
+            (1.1, "hhc_4"),
+            (1.1, "haar"),
+        ]
 
 
 class TestReporting:

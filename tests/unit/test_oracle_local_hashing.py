@@ -92,3 +92,27 @@ class TestOptimalLocalHashing:
         np.testing.assert_array_equal(
             oracle.simulate_aggregate(np.zeros(8, dtype=int), rng), np.zeros(8)
         )
+
+
+class TestBlockedDecode:
+    """The blocked O(N * D) decode is invariant to the block-size knob."""
+
+    def test_estimates_invariant_to_block_size(self, monkeypatch):
+        from repro.frequency_oracles import local_hashing as olh_module
+
+        oracle = OptimalLocalHashing(epsilon=1.0, domain_size=40)
+        values = np.random.default_rng(11).integers(0, 40, size=333)
+        reports = oracle.encode_batch(values, np.random.default_rng(12))
+        reference = oracle.accumulator().add(reports).estimate()
+        # Targets chosen to force block sizes of 1, a few users, and
+        # everything at once (including block boundaries mid-batch).
+        for target_bytes in (1, 40 * 9 * 7, 1 << 30):
+            monkeypatch.setattr(olh_module, "OLH_DECODE_TARGET_BYTES", target_bytes)
+            estimates = oracle.accumulator().add(reports).estimate()
+            np.testing.assert_array_equal(estimates, reference)
+
+    def test_decode_target_is_a_module_knob(self):
+        from repro.frequency_oracles import local_hashing as olh_module
+
+        assert isinstance(olh_module.OLH_DECODE_TARGET_BYTES, int)
+        assert olh_module.OLH_DECODE_TARGET_BYTES > 0

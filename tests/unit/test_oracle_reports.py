@@ -1,0 +1,44 @@
+"""Unit tests for the OracleReports payload/metadata validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidQueryError
+from repro.frequency_oracles.base import OracleReports
+
+
+class TestOracleReportsValidation:
+    def test_negative_n_users_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            OracleReports(payload={}, n_users=-1)
+
+    def test_matching_leading_dimension_accepted(self):
+        reports = OracleReports(
+            payload={"bits": np.zeros((7, 3), dtype=np.uint8)}, n_users=7
+        )
+        assert reports.n_users == 7
+
+    def test_mismatched_leading_dimension_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            OracleReports(payload={"bits": np.zeros((7, 3), dtype=np.uint8)}, n_users=8)
+
+    def test_mismatched_vector_payload_rejected(self):
+        # OLH-style parallel arrays: every array must be per-user.
+        with pytest.raises(InvalidQueryError):
+            OracleReports(
+                payload={
+                    "a": np.zeros(5, dtype=np.int64),
+                    "b": np.zeros(4, dtype=np.int64),
+                },
+                n_users=5,
+            )
+
+    def test_scalar_metadata_entries_are_exempt(self):
+        reports = OracleReports(
+            payload={
+                "packed_bits": np.zeros((5, 2), dtype=np.uint8),
+                "n_bits": 16,
+            },
+            n_users=5,
+        )
+        assert reports.payload["n_bits"] == 16

@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.exceptions import InvalidDomainError, InvalidQueryError
-from repro.frequency_oracles.unary import OptimizedUnaryEncoding, SymmetricUnaryEncoding
+from repro.frequency_oracles import unary as unary_module
+from repro.frequency_oracles.base import OracleReports
+from repro.frequency_oracles.unary import (
+    OptimizedUnaryEncoding,
+    SymmetricUnaryEncoding,
+    packed_column_sums,
+)
 
 
 class TestConfiguration:
@@ -35,9 +41,17 @@ class TestEncoding:
         assert report["bits"].shape == (20,)
         assert set(np.unique(report["bits"])) <= {0, 1}
 
-    def test_encode_batch_shape(self, rng):
+    def test_encode_batch_packs_by_default(self, rng):
         oracle = OptimizedUnaryEncoding(epsilon=1.0, domain_size=10)
         reports = oracle.encode_batch(rng.integers(0, 10, size=50), rng)
+        assert reports.payload["packed_bits"].shape == (50, 2)  # ceil(10 / 8)
+        assert reports.payload["packed_bits"].dtype == np.uint8
+        assert reports.payload["n_bits"] == 10
+        assert reports.n_users == 50
+
+    def test_encode_batch_dense_layout(self, rng):
+        oracle = OptimizedUnaryEncoding(epsilon=1.0, domain_size=10)
+        reports = oracle.encode_batch(rng.integers(0, 10, size=50), rng, packed=False)
         assert reports.payload["bits"].shape == (50, 10)
         assert reports.n_users == 50
 
@@ -51,15 +65,93 @@ class TestEncoding:
     def test_own_bit_distribution(self, rng):
         # The user's own bit must be reported "1" with probability ~p = 0.5.
         oracle = OptimizedUnaryEncoding(epsilon=1.0, domain_size=4)
-        reports = oracle.encode_batch(np.zeros(4000, dtype=int), rng)
+        reports = oracle.encode_batch(np.zeros(4000, dtype=int), rng, packed=False)
         own_bit_rate = reports.payload["bits"][:, 0].mean()
         assert own_bit_rate == pytest.approx(oracle.p, abs=0.03)
 
     def test_other_bit_distribution(self, rng):
         oracle = OptimizedUnaryEncoding(epsilon=1.0, domain_size=4)
-        reports = oracle.encode_batch(np.zeros(4000, dtype=int), rng)
+        reports = oracle.encode_batch(np.zeros(4000, dtype=int), rng, packed=False)
         other_bit_rate = reports.payload["bits"][:, 1].mean()
         assert other_bit_rate == pytest.approx(oracle.q, abs=0.03)
+
+
+class TestPackedReports:
+    """The packed and dense layouts are interchangeable, bit for bit."""
+
+    def _paired_reports(self, oracle, n_users=500, seed=17):
+        values = np.random.default_rng(3).integers(0, oracle.domain_size, size=n_users)
+        packed = oracle.encode_batch(values, np.random.default_rng(seed), packed=True)
+        dense = oracle.encode_batch(values, np.random.default_rng(seed), packed=False)
+        return packed, dense
+
+    def test_packed_and_dense_estimates_identical(self):
+        oracle = OptimizedUnaryEncoding(epsilon=1.1, domain_size=37)
+        packed, dense = self._paired_reports(oracle)
+        from_packed = oracle.accumulator().add(packed).estimate()
+        from_dense = oracle.accumulator().add(dense).estimate()
+        np.testing.assert_array_equal(from_packed, from_dense)
+
+    def test_mixed_packed_and_dense_batches(self):
+        oracle = SymmetricUnaryEncoding(epsilon=1.0, domain_size=12)
+        packed, dense = self._paired_reports(oracle, n_users=200)
+        other = oracle.encode_batch(
+            np.arange(200) % 12, np.random.default_rng(5), packed=False
+        )
+        mixed = oracle.accumulator().add(packed).add(other).estimate()
+        all_dense = oracle.accumulator().add(dense).add(other).estimate()
+        np.testing.assert_array_equal(mixed, all_dense)
+
+    def test_packed_payload_is_at_least_4x_smaller(self, rng):
+        domain = 1024
+        oracle = OptimizedUnaryEncoding(epsilon=1.1, domain_size=domain)
+        values = rng.integers(0, domain, size=64)
+        packed = oracle.encode_batch(values, rng, packed=True)
+        dense = oracle.encode_batch(values, rng, packed=False)
+        assert dense.payload["bits"].nbytes >= 4 * packed.payload["packed_bits"].nbytes
+
+    def test_block_size_invariance(self, monkeypatch):
+        oracle = OptimizedUnaryEncoding(epsilon=1.0, domain_size=50)
+        packed, dense = self._paired_reports(oracle, n_users=300)
+        expected = oracle.accumulator().add(dense).estimate()
+        for target_bytes in (1, 64, 1 << 20):
+            monkeypatch.setattr(
+                unary_module, "UNARY_SUM_BLOCK_TARGET_BYTES", target_bytes
+            )
+            got = oracle.accumulator().add(packed).estimate()
+            np.testing.assert_array_equal(got, expected)
+
+    def test_packed_snapshot_round_trip(self):
+        from repro import persist
+
+        oracle = OptimizedUnaryEncoding(epsilon=1.2, domain_size=20)
+        packed, _ = self._paired_reports(oracle, n_users=150)
+        accumulator = oracle.accumulator().add(packed)
+        restored = persist.from_bytes(persist.to_bytes(accumulator))
+        np.testing.assert_array_equal(restored.estimate(), accumulator.estimate())
+        assert restored.n_users == accumulator.n_users
+
+    def test_packed_wrong_width_rejected(self):
+        oracle = OptimizedUnaryEncoding(epsilon=1.0, domain_size=32)
+        bad = OracleReports(
+            payload={"packed_bits": np.zeros((5, 3), dtype=np.uint8), "n_bits": 32},
+            n_users=5,
+        )
+        with pytest.raises(InvalidQueryError):
+            oracle.accumulator().add(bad)
+        mismatched = OracleReports(
+            payload={"packed_bits": np.zeros((5, 4), dtype=np.uint8), "n_bits": 24},
+            n_users=5,
+        )
+        with pytest.raises(InvalidQueryError):
+            oracle.accumulator().add(mismatched)
+
+    def test_packed_column_sums_matches_unpacked(self, rng):
+        bits = (rng.random((93, 41)) < 0.4).astype(np.uint8)
+        packed = np.packbits(bits, axis=1)
+        np.testing.assert_array_equal(
+            packed_column_sums(packed, 41), bits.sum(axis=0)
+        )
 
 
 class TestAggregation:
