@@ -76,6 +76,25 @@ def main() -> None:
         print("  " + row)
     print(f"\npeak block density estimate: {densities.max():.3f}")
 
+    # ------------------------------------------------------------------
+    # The same workload, collected as a stream across ingestion shards
+    # (trips arrive in batches; shard count is invisible to accuracy).
+    # ------------------------------------------------------------------
+    from repro.streaming import ShardedCollector
+
+    collector = ShardedCollector(
+        "grid2d_2", epsilon=EPSILON, domain_size=GRID, n_shards=4, random_state=9
+    )
+    for batch in np.array_split(points, 24):
+        collector.submit_points(batch)
+    streamed = collector.reduce()
+    x_range, y_range = zones["downtown core"]
+    print(
+        f"\nstreamed collection ({collector.n_shards} shards, "
+        f"{collector.n_batches} batches): downtown core estimate="
+        f"{streamed.answer_rectangle(x_range, y_range):.4f}"
+    )
+
 
 if __name__ == "__main__":
     main()

@@ -24,7 +24,7 @@ from repro.core.flat import FlatMechanism
 from repro.core.hierarchical import HierarchicalHistogramMechanism
 from repro.core.multidim import HierarchicalGrid2D
 from repro.core.quantiles import DECILES, estimate_cdf, estimate_quantiles
-from repro.core.session import LdpRangeQuerySession
+from repro.core.session import Grid2DSession, LdpRangeQuerySession
 from repro.core.wavelet import HaarWaveletMechanism
 from repro.exceptions import (
     ConfigurationError,
@@ -56,6 +56,7 @@ __all__ = [
     "HierarchicalHistogramMechanism",
     "HaarWaveletMechanism",
     "HierarchicalGrid2D",
+    "Grid2DSession",
     "LdpRangeQuerySession",
     "ShardedCollector",
     "make_mechanism",

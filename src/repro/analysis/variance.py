@@ -20,6 +20,9 @@ HH_B worst-case average                 ``2 (B-1) V_F log_B D log_B(3D^2/(1+2D))
 HH_B + consistency, range               ``(B + 1) V_F log_B r log_B D / 2``
                                         (Section 4.5, eq. (2) form)
 HaarHRR, any range                      ``log_2^2(D) V_F / 2``          (eq. (3))
+2-D grid, ``r x r`` rectangle           ``h^2 (2(B-1) alpha)^2 V_F`` with
+                                        ``alpha = min(h, ceil(log_B r) + 1)``
+                                        (Section 6 sketch, eq. (1) per axis)
 =====================================  =========================================
 """
 
@@ -38,6 +41,7 @@ __all__ = [
     "hh_consistent_range_variance",
     "hh_average_variance",
     "haar_range_variance",
+    "grid2d_rectangle_variance",
     "optimal_branching_factor",
     "optimal_branching_factor_consistent",
 ]
@@ -161,6 +165,43 @@ def haar_range_variance(epsilon: float, n_users: int, domain_size: int) -> float
     oracle_variance = frequency_oracle_variance(epsilon, n_users)
     log_d = math.log2(domain_size)
     return 0.5 * log_d**2 * oracle_variance
+
+
+def grid2d_rectangle_variance(
+    epsilon: float,
+    n_users: int,
+    per_axis_length: int,
+    domain_size: int,
+    branching: int,
+) -> float:
+    """Section 6 sketch: rectangle variance of the 2-D hierarchical grid.
+
+    The product decomposition of an ``r x r`` rectangle (side length
+    ``per_axis_length``) covers at most ``2(B - 1)`` nodes per axis level
+    over ``alpha = min(h, ceil(log_B r) + 1)`` levels per axis — the 1-D
+    eq. (1) run count applied to each axis — so at most
+    ``(2 (B - 1) alpha)^2`` cells are summed.  Level-*pair* sampling
+    dilutes the population across ``h^2`` pairs, inflating each cell
+    estimate's variance to ``h^2 V_F``, hence::
+
+        V_rect <= h^2 * (2 (B - 1) alpha)^2 * V_F
+
+    which is the ``O(log^4_B D)`` growth the paper notes for ``d = 2``.
+    ``domain_size`` is the per-axis side length ``D``.
+    """
+    domain_size = _check_domain(domain_size)
+    branching = _check_branching(branching)
+    per_axis_length = _check_range_length(per_axis_length, domain_size)
+    height = max(1, math.ceil(round(math.log(domain_size, branching), 10)))
+    alpha = (
+        math.ceil(round(math.log(per_axis_length, branching), 10)) + 1
+        if per_axis_length > 1
+        else 1
+    )
+    alpha = min(alpha, height)
+    per_axis_nodes = 2.0 * (branching - 1) * alpha
+    oracle_variance = frequency_oracle_variance(epsilon, n_users)
+    return height**2 * per_axis_nodes**2 * oracle_variance
 
 
 def optimal_branching_factor() -> float:

@@ -21,7 +21,7 @@ from repro.core.flat import FlatMechanism
 from repro.core.hierarchical import HierarchicalHistogramMechanism
 from repro.core.multidim import HierarchicalGrid2D
 from repro.core.quantiles import estimate_cdf, estimate_quantiles
-from repro.core.session import LdpRangeQuerySession
+from repro.core.session import Grid2DSession, LdpRangeQuerySession
 from repro.core.wavelet import HaarWaveletMechanism
 
 __all__ = [
@@ -30,6 +30,7 @@ __all__ = [
     "HierarchicalHistogramMechanism",
     "HaarWaveletMechanism",
     "HierarchicalGrid2D",
+    "Grid2DSession",
     "LdpRangeQuerySession",
     "make_mechanism",
     "mechanism_from_spec",

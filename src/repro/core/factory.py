@@ -12,6 +12,10 @@ strings modelled on the paper's naming:
 ``"hh_8_hrr"`` / ``"hhc_8_hrr"``  HH with the HRR oracle (``TreeHRR[CI]``)
 ``"hhc_16_olh"``            HH with the OLH oracle (``TreeOLHCI``)
 ``"haar"`` / ``"haar_hrr"``  :class:`HaarWaveletMechanism` (``HaarHRR``)
+``"grid2d"`` / ``"grid2d_2"``  :class:`HierarchicalGrid2D`, per-axis ``B = 2``,
+                            OUE oracle (Section 6; ``domain_size`` is the
+                            grid *side length*)
+``"grid2d_4_hrr"``          the 2-D grid with ``B = 4`` and the HRR oracle
 =========================  ====================================================
 
 :func:`make_mechanism` is the programmatic entry point;
@@ -26,6 +30,7 @@ from typing import Optional
 from repro.core.base import RangeQueryMechanism
 from repro.core.flat import FlatMechanism
 from repro.core.hierarchical import HierarchicalHistogramMechanism
+from repro.core.multidim import HierarchicalGrid2D
 from repro.core.wavelet import HaarWaveletMechanism
 from repro.exceptions import ConfigurationError
 
@@ -36,13 +41,16 @@ _HH_PATTERN = re.compile(
 )
 _FLAT_PATTERN = re.compile(r"^flat(?:[_-](?P<oracle>[a-z]+))?$")
 _HAAR_PATTERN = re.compile(r"^haar(?:[_-]hrr)?$")
+_GRID2D_PATTERN = re.compile(
+    r"^grid2d(?:[_-](?P<branching>\d+))?(?:[_-](?P<oracle>[a-z]+))?$"
+)
 
 
 def make_mechanism(
     kind: str,
     epsilon: float,
     domain_size: int,
-    branching: int = 4,
+    branching: Optional[int] = None,
     oracle: str = "oue",
     consistency: bool = True,
     name: Optional[str] = None,
@@ -53,13 +61,15 @@ def make_mechanism(
     Parameters
     ----------
     kind:
-        ``"flat"``, ``"hierarchical"`` (alias ``"hh"``/``"tree"``) or
-        ``"haar"`` (alias ``"wavelet"``).
+        ``"flat"``, ``"hierarchical"`` (alias ``"hh"``/``"tree"``),
+        ``"haar"`` (alias ``"wavelet"``) or ``"grid2d"`` (alias ``"grid"``,
+        where ``domain_size`` is the grid side length).
     epsilon, domain_size:
         Standard mechanism parameters.
     branching, oracle, consistency:
-        Hierarchical-histogram options (ignored by the other kinds, except
-        ``oracle`` which the flat mechanism also honours).
+        Tree-shape options (``branching`` defaults to 4 for hierarchical
+        histograms and 2 per axis for the 2-D grid; ``consistency`` only
+        applies to hierarchical histograms).
     kwargs:
         Forwarded to the concrete constructor (e.g. ``level_probabilities``
         or ``hash_range``).
@@ -71,7 +81,7 @@ def make_mechanism(
         return HierarchicalHistogramMechanism(
             epsilon,
             domain_size,
-            branching=branching,
+            branching=4 if branching is None else branching,
             oracle=oracle,
             consistency=consistency,
             name=name,
@@ -79,8 +89,17 @@ def make_mechanism(
         )
     if key in ("haar", "wavelet"):
         return HaarWaveletMechanism(epsilon, domain_size, name=name, **kwargs)
+    if key in ("grid2d", "grid"):
+        return HierarchicalGrid2D(
+            epsilon,
+            domain_size,
+            branching=2 if branching is None else branching,
+            oracle=oracle,
+            name=name,
+            **kwargs,
+        )
     raise ConfigurationError(
-        f"unknown mechanism kind {kind!r}; expected flat / hierarchical / haar"
+        f"unknown mechanism kind {kind!r}; expected flat / hierarchical / haar / grid2d"
     )
 
 
@@ -100,6 +119,18 @@ def mechanism_from_spec(
         return FlatMechanism(epsilon, domain_size, oracle=oracle, name=spec, **kwargs)
     if _HAAR_PATTERN.match(token):
         return HaarWaveletMechanism(epsilon, domain_size, name=spec, **kwargs)
+    grid_match = _GRID2D_PATTERN.match(token)
+    if grid_match:
+        branching = int(grid_match.group("branching") or 2)
+        oracle = grid_match.group("oracle") or "oue"
+        return HierarchicalGrid2D(
+            epsilon,
+            domain_size,
+            branching=branching,
+            oracle=oracle,
+            name=spec,
+            **kwargs,
+        )
     hh_match = _HH_PATTERN.match(token)
     if hh_match:
         branching = int(hh_match.group("branching"))
@@ -116,5 +147,5 @@ def mechanism_from_spec(
         )
     raise ConfigurationError(
         f"could not parse mechanism specification {spec!r}; "
-        "expected e.g. 'flat_oue', 'hhc_4', 'hh_16_hrr' or 'haar'"
+        "expected e.g. 'flat_oue', 'hhc_4', 'hh_16_hrr', 'haar' or 'grid2d_2'"
     )

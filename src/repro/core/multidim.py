@@ -16,29 +16,47 @@ The variance of a rectangle query grows as ``log^4_B D`` (``log^{2d}`` in
 ``d`` dimensions), matching the discussion in the paper; Section 6 notes
 that for higher dimensions coarse gridding becomes preferable, which is out
 of scope here just as it is there.
+
+Since every level pair's aggregation is an
+:class:`~repro.frequency_oracles.accumulators.OracleAccumulator` over the
+flattened ``n_x * n_y`` cell domain, the mechanism is a full
+:class:`~repro.core.base.RangeQueryMechanism` citizen: incremental
+collection (:meth:`~HierarchicalGrid2D.partial_fit` /
+:meth:`~HierarchicalGrid2D.partial_fit_points`), shard combination
+(:meth:`~HierarchicalGrid2D.merge_from`) and bit-exact snapshots
+(:meth:`~HierarchicalGrid2D.state_dict`, :mod:`repro.persist`) all work,
+so the sharded / async / durable pipeline serves rectangle workloads too.
+Internally the base class sees the *flattened* row-major domain of size
+``D * D`` — a point ``(x, y)`` is the item ``x * D + y`` — while the
+2-D surface (:meth:`~HierarchicalGrid2D.fit_points`,
+:meth:`~HierarchicalGrid2D.answer_rectangle`,
+:meth:`~HierarchicalGrid2D.estimate_heatmap`) speaks coordinates.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.base import RangeQueryMechanism
 from repro.exceptions import (
     InvalidDomainError,
     InvalidQueryError,
-    NotFittedError,
 )
+from repro.frequency_oracles.accumulators import OracleAccumulator
 from repro.frequency_oracles.registry import make_oracle
-from repro.hierarchy.decomposition import decompose_to_runs
+from repro.hierarchy.decomposition import NodeRun, decompose_to_runs
 from repro.hierarchy.tree import DomainTree
-from repro.privacy.budget import PrivacyBudget
 from repro.privacy.randomness import RandomState, as_generator
 
 __all__ = ["HierarchicalGrid2D"]
 
+#: A level pair ``(l_x, l_y)`` indexing one resolution grid.
+LevelPair = Tuple[int, int]
 
-class HierarchicalGrid2D:
+
+class HierarchicalGrid2D(RangeQueryMechanism):
     """LDP rectangle-query mechanism over a two-dimensional grid domain.
 
     Parameters
@@ -51,6 +69,14 @@ class HierarchicalGrid2D:
         Per-axis fan-out ``B`` of the hierarchical decomposition.
     oracle:
         Frequency oracle used for every level pair (default ``"oue"``).
+
+    Notes
+    -----
+    As a :class:`~repro.core.base.RangeQueryMechanism` the instance also
+    answers *flattened* row-major queries (``fit_items`` /
+    ``answer_range`` over the domain ``[0, D^2)``), which is what the
+    sharded and streaming layers route through; the 2-D methods are thin
+    coordinate adapters over the same accumulated state.
     """
 
     def __init__(
@@ -59,31 +85,58 @@ class HierarchicalGrid2D:
         domain_size: int,
         branching: int = 2,
         oracle: str = "oue",
+        name: Optional[str] = None,
         **oracle_kwargs,
     ) -> None:
-        self._budget = PrivacyBudget(epsilon)
         if not isinstance(domain_size, (int, np.integer)) or domain_size < 2:
             raise InvalidDomainError(
                 f"domain side length must be an integer >= 2, got {domain_size!r}"
             )
-        self._domain_size = int(domain_size)
-        self._tree = DomainTree(self._domain_size, branching)
+        side = int(domain_size)
+        default_name = f"Grid2D{str(oracle).upper()}_B{branching}"
+        # The base class owns the flattened row-major domain of D^2 cells.
+        super().__init__(epsilon, side * side, name=name or default_name)
+        self._side = side
+        self._tree = DomainTree(side, branching)
         self._oracle_name = str(oracle)
         self._oracle_kwargs = dict(oracle_kwargs)
-        self._estimates: Optional[Dict[Tuple[int, int], np.ndarray]] = None
-        self._n_users: Optional[int] = None
+        self._pairs: List[LevelPair] = [
+            (lx, ly) for lx in self._tree.levels for ly in self._tree.levels
+        ]
+        self._oracles = {
+            (lx, ly): make_oracle(
+                self._oracle_name,
+                epsilon=self.epsilon,
+                domain_size=self._tree.nodes_at_level(lx)
+                * self._tree.nodes_at_level(ly),
+                **self._oracle_kwargs,
+            )
+            for lx, ly in self._pairs
+        }
+        self._accumulators: Optional[Dict[LevelPair, OracleAccumulator]] = None
+        self._pair_user_counts: Optional[np.ndarray] = None
+        self._estimates: Optional[Dict[LevelPair, np.ndarray]] = None
+        self._pair_prefix: Optional[Dict[LevelPair, np.ndarray]] = None
 
     # ------------------------------------------------------------------
     # Configuration
     # ------------------------------------------------------------------
     @property
-    def epsilon(self) -> float:
-        return self._budget.epsilon
+    def domain_size(self) -> int:
+        """Side length ``D`` of the grid (the flattened item domain is
+        ``D^2``, see :attr:`flat_domain_size`)."""
+        return self._side
 
     @property
-    def domain_size(self) -> int:
-        """Side length ``D`` of the grid."""
+    def flat_domain_size(self) -> int:
+        """Number of grid cells ``D^2`` — the row-major item domain the
+        base-class collection API (``fit_items`` etc.) operates on."""
         return self._domain_size
+
+    @property
+    def tree(self) -> DomainTree:
+        """The per-axis domain-tree geometry."""
+        return self._tree
 
     @property
     def branching(self) -> int:
@@ -95,12 +148,52 @@ class HierarchicalGrid2D:
         return self._tree.height
 
     @property
-    def is_fitted(self) -> bool:
-        return self._estimates is not None
+    def level_pairs(self) -> List[LevelPair]:
+        """The ``h^2`` level pairs ``(l_x, l_y)``, one resolution grid each."""
+        return list(self._pairs)
 
     @property
-    def n_users(self) -> Optional[int]:
-        return self._n_users
+    def pair_user_counts(self) -> Optional[np.ndarray]:
+        """Users that reported each level pair so far (``None`` unfitted)."""
+        return None if self._pair_user_counts is None else self._pair_user_counts.copy()
+
+    def pair_estimates(self) -> Dict[LevelPair, np.ndarray]:
+        """Per-level-pair cell estimates as ``(n_x, n_y)`` grids."""
+        self._require_fitted()
+        return {pair: grid.copy() for pair, grid in self._estimates.items()}
+
+    # ------------------------------------------------------------------
+    # Point validation / flattening
+    # ------------------------------------------------------------------
+    def flatten_points(self, points: np.ndarray) -> np.ndarray:
+        """Validate an ``(n, 2)`` integer point array and flatten it.
+
+        Returns the row-major item indices ``x * D + y`` accepted by the
+        base-class collection API (and therefore by
+        :class:`~repro.streaming.ShardedCollector` /
+        :class:`~repro.service.IngestionService`).  Float coordinates are
+        rejected outright — silently truncating ``[[0.9, 0.2]]`` to
+        ``[[0, 0]]`` would corrupt the collected density without any error
+        (the same hazard :meth:`~repro.core.base.RangeQueryMechanism.fit_items`
+        guards against in one dimension); NaNs are caught by the same dtype
+        gate.
+        """
+        points = np.asarray(points)
+        if points.ndim != 2 or points.shape[1] != 2:
+            raise InvalidQueryError("points must be an (n, 2) array of grid coordinates")
+        if (
+            points.size
+            and not np.issubdtype(points.dtype, np.integer)
+            and points.dtype != np.bool_  # bools cast to 0/1 without loss
+        ):
+            raise InvalidQueryError(
+                f"points must have an integer dtype, got {points.dtype}; "
+                "round or cast explicitly before collection"
+            )
+        if points.size and (points.min() < 0 or points.max() >= self._side):
+            raise InvalidQueryError(f"points must lie in [0, {self._side})^2")
+        points = points.astype(np.int64, copy=False)
+        return points[:, 0] * self._side + points[:, 1]
 
     # ------------------------------------------------------------------
     # Collection
@@ -109,52 +202,201 @@ class HierarchicalGrid2D:
         self,
         points: np.ndarray,
         random_state: RandomState = None,
+        mode: str = "aggregate",
     ) -> "HierarchicalGrid2D":
-        """Collect a population of ``(x, y)`` points.
+        """Collect a population of ``(x, y)`` points (one-shot).
 
         Each user is assigned one level pair uniformly at random; her cell
-        index at that resolution is perturbed with the configured oracle
-        using the fast aggregate simulation (the per-level-pair populations
-        are partitioned exactly, so the sampling distribution matches the
-        real protocol).
+        index at that resolution is perturbed with the configured oracle.
+        ``mode="aggregate"`` (default) samples the aggregator's view
+        directly; ``mode="per_user"`` runs the real local protocol per user.
         """
-        points = np.asarray(points, dtype=np.int64)
-        if points.ndim != 2 or points.shape[1] != 2:
-            raise InvalidQueryError("points must be an (n, 2) array of grid coordinates")
-        if points.size and (
-            points.min() < 0 or points.max() >= self._domain_size
-        ):
-            raise InvalidQueryError(f"points must lie in [0, {self._domain_size})^2")
-        rng = as_generator(random_state)
-        n_users = points.shape[0]
-        height = self._tree.height
-        level_pairs = [
-            (lx, ly) for lx in self._tree.levels for ly in self._tree.levels
-        ]
-        assignments = rng.integers(0, len(level_pairs), size=n_users)
-        estimates: Dict[Tuple[int, int], np.ndarray] = {}
-        for pair_index, (lx, ly) in enumerate(level_pairs):
+        return self.fit_items(
+            self.flatten_points(points), random_state=random_state, mode=mode
+        )
+
+    def partial_fit_points(
+        self,
+        points: np.ndarray,
+        random_state: RandomState = None,
+        mode: str = "aggregate",
+    ) -> "HierarchicalGrid2D":
+        """Collect one additional batch of ``(x, y)`` points incrementally.
+
+        The 2-D counterpart of
+        :meth:`~repro.core.base.RangeQueryMechanism.partial_fit`: batches
+        accumulate on top of everything collected so far, and each user must
+        appear in exactly one batch overall.
+        """
+        return self.partial_fit(
+            self.flatten_points(points), random_state=random_state, mode=mode
+        )
+
+    def _reset_accumulators(self) -> None:
+        self._accumulators = {
+            pair: self._oracles[pair].accumulator() for pair in self._pairs
+        }
+        self._pair_user_counts = np.zeros(len(self._pairs), dtype=np.int64)
+
+    def _collect(
+        self,
+        items: Optional[np.ndarray],
+        counts: np.ndarray,
+        rng: np.random.Generator,
+        mode: str,
+    ) -> None:
+        self._reset_accumulators()
+        self._accumulate_batch(items, counts, rng, mode)
+        self._refresh_estimates()
+
+    def _partial_collect(
+        self,
+        items: np.ndarray,
+        counts: np.ndarray,
+        rng: np.random.Generator,
+        mode: str,
+    ) -> None:
+        if self._accumulators is None:
+            self._reset_accumulators()
+        self._accumulate_batch(items, counts, rng, mode)
+        self._refresh_estimates()
+
+    def _accumulate_batch(
+        self,
+        items: Optional[np.ndarray],
+        counts: np.ndarray,
+        rng: np.random.Generator,
+        mode: str,
+    ) -> None:
+        if mode == "per_user":
+            self._accumulate_per_user(items, rng)
+        else:
+            self._accumulate_aggregate(counts, rng)
+
+    def _accumulate_per_user(
+        self, items: np.ndarray, rng: np.random.Generator
+    ) -> None:
+        """Each user samples one level pair and runs the real local protocol."""
+        n_pairs = len(self._pairs)
+        assignments = rng.integers(0, n_pairs, size=items.shape[0])
+        self._pair_user_counts += np.bincount(assignments, minlength=n_pairs)
+        x = items // self._side
+        y = items - x * self._side
+        for pair_index, (lx, ly) in enumerate(self._pairs):
             mask = assignments == pair_index
-            cells_x = self._tree.nodes_of_items(lx, points[mask, 0])
-            cells_y = self._tree.nodes_of_items(ly, points[mask, 1])
-            nx = self._tree.nodes_at_level(lx)
-            ny = self._tree.nodes_at_level(ly)
-            flat_cells = cells_x * ny + cells_y
-            oracle = make_oracle(
-                self._oracle_name,
-                epsilon=self.epsilon,
-                domain_size=nx * ny,
-                **self._oracle_kwargs,
-            )
-            if flat_cells.size == 0:
-                estimates[(lx, ly)] = np.zeros((nx, ny))
+            if not np.any(mask):
                 continue
-            cell_counts = np.bincount(flat_cells, minlength=nx * ny)
-            flat_estimate = oracle.simulate_aggregate(cell_counts, rng)
-            estimates[(lx, ly)] = flat_estimate.reshape(nx, ny)
-        self._estimates = estimates
+            ny = self._tree.nodes_at_level(ly)
+            cells = (
+                self._tree.nodes_of_items(lx, x[mask]) * ny
+                + self._tree.nodes_of_items(ly, y[mask])
+            )
+            oracle = self._oracles[(lx, ly)]
+            self._accumulators[(lx, ly)].add(oracle.encode_batch(cells, rng))
+
+    def _accumulate_aggregate(
+        self, counts: np.ndarray, rng: np.random.Generator
+    ) -> None:
+        """Aggregate-mode collection: partition counts across pairs exactly.
+
+        Each cell's count is split across the ``h^2`` level pairs with a
+        multinomial (realised as sequential binomial thinning), the exact
+        distribution of how pair sampling partitions the population;
+        multinomial splits of separate batches add up to the split of the
+        union, which is what makes this path incremental.  Each pair's cell
+        counts then drive the oracle accumulator's simulated-aggregate path.
+        """
+        n_pairs = len(self._pairs)
+        remaining = counts.astype(np.int64).copy()
+        remaining_probability = 1.0
+        probability = 1.0 / n_pairs
+        for pair_index, pair in enumerate(self._pairs):
+            if pair_index == n_pairs - 1:
+                pair_counts = remaining.copy()
+            else:
+                share = 0.0 if remaining_probability <= 0 else min(
+                    1.0, probability / remaining_probability
+                )
+                pair_counts = rng.binomial(remaining, share)
+                remaining -= pair_counts
+                remaining_probability -= probability
+            batch_users = int(pair_counts.sum())
+            self._pair_user_counts[pair_index] += batch_users
+            if batch_users == 0:
+                continue
+            node_counts = self._pair_histogram_from_counts(pair, pair_counts)
+            self._accumulators[pair].add_counts(node_counts, rng)
+
+    def _pair_histogram_from_counts(
+        self, pair: LevelPair, counts: np.ndarray
+    ) -> np.ndarray:
+        """Per-cell counts of one level pair's grid, from flattened counts.
+
+        ``counts`` has length ``D^2`` (row-major); the grid is padded to the
+        complete tree's ``B^h x B^h`` leaves and block-summed to the pair's
+        ``n_x x n_y`` resolution, then flattened row-major to match the
+        pair's oracle domain.
+        """
+        lx, ly = pair
+        padded = np.zeros((self._tree.padded_size, self._tree.padded_size), dtype=np.int64)
+        padded[: self._side, : self._side] = counts.reshape(self._side, self._side)
+        nx = self._tree.nodes_at_level(lx)
+        ny = self._tree.nodes_at_level(ly)
+        blocks = padded.reshape(nx, self._tree.block_size(lx), ny, self._tree.block_size(ly))
+        return blocks.sum(axis=(1, 3)).reshape(nx * ny)
+
+    # ------------------------------------------------------------------
+    # Merging / persistence
+    # ------------------------------------------------------------------
+    def _merge_state(self, other: "HierarchicalGrid2D") -> None:
+        if self._accumulators is None:
+            self._reset_accumulators()
+        for pair in self._pairs:
+            self._accumulators[pair].merge(other._accumulators[pair])
+        self._pair_user_counts += other._pair_user_counts
+
+    def _merge_signature(self) -> tuple:
+        return super()._merge_signature() + (
+            self._side,
+            self._oracle_name,
+            self.branching,
+            tuple(sorted(self._oracle_kwargs.items())),
+        )
+
+    def state_dict(self) -> dict:
+        return self._pack_level_state(self._accumulators, self._pair_user_counts)
+
+    def load_state_dict(self, state: dict) -> "HierarchicalGrid2D":
+        n_users, accumulators, counts = self._unpack_level_state(
+            state, self._pairs, lambda pair: self._oracles[pair].accumulator()
+        )
+        if accumulators is not None:
+            self._accumulators = accumulators
+            self._pair_user_counts = counts
+            self._refresh_estimates()
+        else:
+            self._accumulators = None
+            self._pair_user_counts = None
+            self._estimates = None
+            self._pair_prefix = None
         self._n_users = n_users
         return self
+
+    def _refresh_estimates(self) -> None:
+        estimates: Dict[LevelPair, np.ndarray] = {}
+        prefixes: Dict[LevelPair, np.ndarray] = {}
+        for lx, ly in self._pairs:
+            nx = self._tree.nodes_at_level(lx)
+            ny = self._tree.nodes_at_level(ly)
+            grid = np.asarray(
+                self._accumulators[(lx, ly)].estimate(), dtype=np.float64
+            ).reshape(nx, ny)
+            estimates[(lx, ly)] = grid
+            prefix = np.zeros((nx + 1, ny + 1))
+            np.cumsum(np.cumsum(grid, axis=0), axis=1, out=prefix[1:, 1:])
+            prefixes[(lx, ly)] = prefix
+        self._estimates = estimates
+        self._pair_prefix = prefixes
 
     # ------------------------------------------------------------------
     # Query answering
@@ -166,47 +408,103 @@ class HierarchicalGrid2D:
 
         Both ranges are inclusive ``[start, end]`` pairs.
         """
-        if self._estimates is None:
-            raise NotFittedError("HierarchicalGrid2D has not collected any points yet")
+        self._require_fitted()
         x_runs = decompose_to_runs(self._tree, int(x_range[0]), int(x_range[1]))
         y_runs = decompose_to_runs(self._tree, int(y_range[0]), int(y_range[1]))
+        return self._sum_runs(x_runs, y_runs)
+
+    def answer_rectangles(self, queries: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`answer_rectangle` over ``(n, 4)`` rows
+        ``(x_start, x_end, y_start, y_end)``."""
+        self._require_fitted()
+        queries = np.asarray(queries, dtype=np.int64)
+        if queries.ndim != 2 or queries.shape[1] != 4:
+            raise InvalidQueryError(
+                "rectangle queries must be an (n, 4) array of "
+                "(x_start, x_end, y_start, y_end) rows"
+            )
+        return np.array(
+            [
+                self.answer_rectangle((int(x0), int(x1)), (int(y0), int(y1)))
+                for x0, x1, y0, y1 in queries
+            ]
+        )
+
+    def _sum_runs(self, x_runs: List[NodeRun], y_runs: List[NodeRun]) -> float:
         answer = 0.0
         for run_x in x_runs:
             for run_y in y_runs:
-                grid = self._estimates[(run_x.level, run_y.level)]
-                block = grid[
-                    run_x.first : run_x.last + 1, run_y.first : run_y.last + 1
-                ]
-                answer += float(block.sum())
+                prefix = self._pair_prefix[(run_x.level, run_y.level)]
+                answer += (
+                    prefix[run_x.last + 1, run_y.last + 1]
+                    - prefix[run_x.first, run_y.last + 1]
+                    - prefix[run_x.last + 1, run_y.first]
+                    + prefix[run_x.first, run_y.first]
+                )
+        return float(answer)
+
+    def _answer_range(self, start: int, end: int) -> float:
+        """A flattened row-major range is a union of at most 3 rectangles:
+        partial first row, full middle rows, partial last row."""
+        side = self._side
+        first_row, first_col = divmod(start, side)
+        last_row, last_col = divmod(end, side)
+        if first_row == last_row:
+            rectangles = [(first_row, first_row, first_col, last_col)]
+        else:
+            rectangles = [
+                (first_row, first_row, first_col, side - 1),
+                (last_row, last_row, 0, last_col),
+            ]
+            if last_row > first_row + 1:
+                rectangles.append((first_row + 1, last_row - 1, 0, side - 1))
+        answer = 0.0
+        for x0, x1, y0, y1 in rectangles:
+            answer += self._sum_runs(
+                decompose_to_runs(self._tree, x0, x1),
+                decompose_to_runs(self._tree, y0, y1),
+            )
         return answer
 
     def estimate_heatmap(self) -> np.ndarray:
         """Leaf-resolution estimate of the 2-D density (``D x D`` grid)."""
-        if self._estimates is None:
-            raise NotFittedError("HierarchicalGrid2D has not collected any points yet")
+        self._require_fitted()
         leaves = self._estimates[(self._tree.height, self._tree.height)]
-        return leaves[: self._domain_size, : self._domain_size].copy()
+        return leaves[: self._side, : self._side].copy()
+
+    def estimate_frequencies(self) -> np.ndarray:
+        """Flattened row-major leaf estimates (matches single-cell ranges)."""
+        return self.estimate_heatmap().reshape(-1)
 
     def theoretical_variance_bound(self, per_axis_length: int) -> float:
-        """Loose rectangle-variance bound ``O(log^4_B D) * V_F``.
+        """Rectangle-variance bound from the product decomposition.
 
-        Provided for documentation/benchmark sanity checks; Section 6 only
-        sketches the multi-dimensional analysis.
+        A ``r x r`` rectangle decomposes into at most ``2(B - 1)`` runs per
+        axis level over ``alpha = min(h, ceil(log_B r) + 1)`` levels per
+        axis, so at most ``(2(B - 1) alpha)^2`` cells are summed; each cell
+        estimate carries variance ``h^2 V_F`` because level-pair sampling
+        dilutes the population across ``h^2`` pairs.  Section 6 only
+        sketches the multi-dimensional analysis; this is the 1-D eq. (1)
+        argument applied per axis.
         """
-        if self._n_users is None:
-            raise NotFittedError("fit the mechanism before asking for variance bounds")
-        if not 1 <= per_axis_length <= self._domain_size:
+        self._require_fitted()
+        if (
+            not isinstance(per_axis_length, (int, np.integer))
+            or not 1 <= per_axis_length <= self._side
+        ):
             raise InvalidQueryError("per_axis_length outside the domain")
-        from repro.analysis.variance import frequency_oracle_variance
+        from repro.analysis.variance import grid2d_rectangle_variance
 
-        oracle_variance = frequency_oracle_variance(self.epsilon, self._n_users)
-        height = float(self._tree.height)
-        pairs = height * height
-        per_pair_nodes = (2.0 * self._tree.branching - 1.0) ** 2
-        return per_pair_nodes * pairs * pairs * oracle_variance
+        return grid2d_rectangle_variance(
+            epsilon=self.epsilon,
+            n_users=int(self._n_users),
+            per_axis_length=int(per_axis_length),
+            domain_size=self._side,
+            branching=self.branching,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"HierarchicalGrid2D(epsilon={self.epsilon:.4g}, domain_size={self._domain_size}, "
+            f"HierarchicalGrid2D(epsilon={self.epsilon:.4g}, domain_size={self._side}, "
             f"branching={self.branching}, fitted={self.is_fitted})"
         )

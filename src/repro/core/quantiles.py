@@ -78,7 +78,11 @@ def estimate_quantiles(
             raise InvalidQueryError(f"quantile targets must be in [0, 1], got {target!r}")
     cdf = estimate_cdf(mechanism, monotone=monotone)
     items = np.searchsorted(cdf, np.asarray(targets), side="left")
-    return [int(min(item, mechanism.domain_size - 1)) for item in items]
+    # Clamp by the CDF's own length: mechanisms whose item domain differs
+    # from `domain_size` (the 2-D grid reports its side length but walks the
+    # flattened D^2 domain) would otherwise clip every quantile to the
+    # wrong end of the domain.
+    return [int(min(item, cdf.shape[0] - 1)) for item in items]
 
 
 def estimate_median(mechanism: RangeQueryMechanism) -> int:

@@ -5,6 +5,11 @@ mechanism, collect a population once, then answer arbitrary analytic
 questions (ranges, CDF, quantiles, histograms) — behind a single object, so
 the examples and downstream users do not have to assemble the lower-level
 components by hand.
+
+:class:`Grid2DSession` is the two-dimensional counterpart: the same
+collect / persist / async surface over a
+:class:`~repro.core.multidim.HierarchicalGrid2D`, speaking ``(x, y)`` points
+and rectangle queries instead of items and ranges.
 """
 
 from __future__ import annotations
@@ -22,7 +27,7 @@ from repro.data.workloads import RangeWorkload
 from repro.exceptions import ConfigurationError, NotFittedError
 from repro.privacy.randomness import RandomState
 
-__all__ = ["LdpRangeQuerySession"]
+__all__ = ["Grid2DSession", "LdpRangeQuerySession"]
 
 
 def _unfitted_clone(mechanism: RangeQueryMechanism) -> RangeQueryMechanism:
@@ -283,3 +288,91 @@ class LdpRangeQuerySession:
             "domain_size": self._domain_size,
             "n_users": self._mechanism.n_users,
         }
+
+
+class Grid2DSession(LdpRangeQuerySession):
+    """Session over a two-dimensional grid population (Section 6).
+
+    Wraps a :class:`~repro.core.multidim.HierarchicalGrid2D` with the same
+    lifecycle as :class:`LdpRangeQuerySession` — one-shot, batched or async
+    collection, snapshots, shard merging — but the collection surface takes
+    ``(n, 2)`` integer point arrays and the query surface answers axis-
+    aligned rectangles.  ``domain_size`` is the grid *side length* ``D``.
+
+    The inherited item/range API remains available and operates on the
+    flattened row-major domain ``[0, D^2)`` (a point ``(x, y)`` is the item
+    ``x * D + y``), which is the representation the sharded and async
+    pipelines transport.
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        domain_size: int,
+        mechanism: "str | RangeQueryMechanism" = "grid2d",
+        **mechanism_kwargs,
+    ) -> None:
+        super().__init__(epsilon, domain_size, mechanism=mechanism, **mechanism_kwargs)
+        from repro.core.multidim import HierarchicalGrid2D
+
+        if not isinstance(self._mechanism, HierarchicalGrid2D):
+            raise ConfigurationError(
+                "Grid2DSession requires a HierarchicalGrid2D mechanism, got "
+                f"{type(self._mechanism).__name__}"
+            )
+
+    # ------------------------------------------------------------------
+    # Point collection
+    # ------------------------------------------------------------------
+    def collect_points(
+        self,
+        points: np.ndarray,
+        random_state: RandomState = None,
+        mode: str = "aggregate",
+    ) -> "Grid2DSession":
+        """Collect one report from every user's ``(x, y)`` point (one-shot)."""
+        self._mechanism.fit_points(points, random_state=random_state, mode=mode)
+        return self
+
+    def collect_points_batch(
+        self,
+        points: np.ndarray,
+        random_state: RandomState = None,
+        mode: str = "aggregate",
+    ) -> "Grid2DSession":
+        """Collect one batch of points on top of everything collected so far."""
+        self._mechanism.partial_fit_points(points, random_state=random_state, mode=mode)
+        return self
+
+    def collect_points_async(
+        self,
+        point_batches: Sequence[np.ndarray],
+        **kwargs,
+    ) -> "Grid2DSession":
+        """Collect 2-D point batches through the async ingestion tier.
+
+        Each batch is validated and flattened to row-major items, then fed
+        through :meth:`LdpRangeQuerySession.collect_async` (same sharding,
+        routing, backpressure and accuracy contract).
+        """
+        flattened = [self._mechanism.flatten_points(batch) for batch in point_batches]
+        self.collect_async(flattened, **kwargs)
+        return self
+
+    # ------------------------------------------------------------------
+    # Rectangle analysis
+    # ------------------------------------------------------------------
+    def rectangle_query(
+        self, x_range: "tuple[int, int]", y_range: "tuple[int, int]"
+    ) -> float:
+        """Estimated fraction of users inside an axis-aligned rectangle."""
+        return self._mechanism.answer_rectangle(x_range, y_range)
+
+    def rectangle_queries(self, queries: np.ndarray) -> np.ndarray:
+        """Vectorised rectangle queries over ``(n, 4)`` rows
+        ``(x_start, x_end, y_start, y_end)``."""
+        return self._mechanism.answer_rectangles(queries)
+
+    def heatmap(self) -> np.ndarray:
+        """Leaf-resolution ``D x D`` density estimate."""
+        return self._mechanism.estimate_heatmap()

@@ -3,6 +3,7 @@
 from repro.data.synthetic import (
     bimodal_probabilities,
     cauchy_probabilities,
+    clustered_grid_points,
     expected_counts,
     gaussian_probabilities,
     sample_counts,
@@ -17,6 +18,7 @@ from repro.data.workloads import (
     fixed_length_queries,
     prefix_queries,
     random_range_queries,
+    random_rectangles,
     sampled_range_queries,
 )
 
@@ -28,6 +30,7 @@ __all__ = [
     "bimodal_probabilities",
     "sample_counts",
     "sample_items",
+    "clustered_grid_points",
     "expected_counts",
     "RangeWorkload",
     "all_range_queries",
@@ -35,5 +38,6 @@ __all__ = [
     "fixed_length_queries",
     "prefix_queries",
     "random_range_queries",
+    "random_rectangles",
     "evaluate_exact",
 ]

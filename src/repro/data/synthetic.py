@@ -28,6 +28,7 @@ __all__ = [
     "bimodal_probabilities",
     "sample_counts",
     "sample_items",
+    "clustered_grid_points",
     "expected_counts",
 ]
 
@@ -147,6 +148,44 @@ def sample_items(
         raise ConfigurationError(f"n_users must be non-negative, got {n_users!r}")
     rng = as_generator(random_state)
     return rng.choice(probabilities.shape[0], size=int(n_users), p=_normalize(probabilities))
+
+
+def clustered_grid_points(
+    side: int,
+    n_users: int,
+    random_state: RandomState = None,
+    hotspot_fraction: float = 0.7,
+) -> np.ndarray:
+    """Draw ``(x, y)`` points on a ``side x side`` grid with two hotspots.
+
+    ``hotspot_fraction`` of the population concentrates around two Gaussian
+    clusters (the spatial analogue of the 1-D Cauchy workloads) and the rest
+    is uniform background.  Returns an ``(n_users, 2)`` ``int64`` array
+    inside ``[0, side)^2`` — the shape the 2-D mechanisms collect.
+    """
+    side = _check_domain(side)
+    if n_users < 0:
+        raise ConfigurationError(f"n_users must be non-negative, got {n_users!r}")
+    if not 0.0 <= hotspot_fraction <= 1.0:
+        raise ConfigurationError(
+            f"hotspot_fraction must be in [0, 1], got {hotspot_fraction!r}"
+        )
+    rng = as_generator(random_state)
+    n_hot = int(round(n_users * hotspot_fraction))
+    n_first = n_hot // 2
+    clusters = [
+        rng.normal(
+            loc=(side * 0.3, side * 0.7), scale=side * 0.08, size=(n_first, 2)
+        ),
+        rng.normal(
+            loc=(side * 0.75, side * 0.25),
+            scale=side * 0.05,
+            size=(n_hot - n_first, 2),
+        ),
+        rng.uniform(0, side, size=(int(n_users) - n_hot, 2)),
+    ]
+    points = np.concatenate(clusters) if n_users else np.empty((0, 2))
+    return np.clip(np.floor(points), 0, side - 1).astype(np.int64)
 
 
 def expected_counts(probabilities: np.ndarray, n_users: int) -> np.ndarray:

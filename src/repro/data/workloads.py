@@ -31,6 +31,7 @@ __all__ = [
     "fixed_length_queries",
     "prefix_queries",
     "random_range_queries",
+    "random_rectangles",
     "evaluate_exact",
 ]
 
@@ -203,3 +204,26 @@ def random_range_queries(
     return RangeWorkload(
         domain_size=domain_size, queries=queries, name=name or f"random-{count}"
     )
+
+
+def random_rectangles(
+    side: int,
+    count: int,
+    random_state: RandomState = None,
+) -> np.ndarray:
+    """Uniformly random axis-aligned rectangles on a ``side x side`` grid.
+
+    Returns an ``(count, 4)`` ``int64`` array of
+    ``(x_start, x_end, y_start, y_end)`` rows (inclusive bounds, each axis's
+    endpoints drawn independently and sorted) — the query format of
+    :meth:`repro.core.multidim.HierarchicalGrid2D.answer_rectangles`.
+    """
+    side = int(side)
+    if side < 1:
+        raise ConfigurationError(f"side must be a positive integer, got {side!r}")
+    if count < 0:
+        raise ConfigurationError(f"count must be non-negative, got {count!r}")
+    rng = as_generator(random_state)
+    x = np.sort(rng.integers(0, side, size=(int(count), 2)), axis=1)
+    y = np.sort(rng.integers(0, side, size=(int(count), 2)), axis=1)
+    return np.concatenate([x, y], axis=1)

@@ -2,8 +2,10 @@
 
 Every suite runs a fixed set of hot-path benchmarks — per-oracle encode and
 aggregate throughput (packed vs dense unary payloads), the blocked OLH
-decode, sharded collection with a merge reduce, constrained inference, and
-an end-to-end epsilon grid (serial vs parallel) — and writes the
+decode, sharded collection with a merge reduce, constrained inference, the
+2-D grid rectangle workload (one-shot fit and sharded reduce with a
+checkpoint/restore bit-identity check), and an end-to-end epsilon grid
+(serial vs parallel) — and writes the
 measurements to ``BENCH_<suite>.json`` so the perf trajectory of the repo is
 recorded rather than anecdotal.
 
@@ -85,6 +87,11 @@ SUITES: Dict[str, Dict[str, object]] = {
         grid_specs=("hhc_4", "haar"),
         grid_epsilons=(0.5, 1.1),
         grid_repetitions=3,
+        grid2d_users=50_000,
+        grid2d_side=32,
+        grid2d_branching=2,
+        grid2d_shards=4,
+        grid2d_batches=8,
     ),
     "full": dict(
         repeats=5,
@@ -105,6 +112,11 @@ SUITES: Dict[str, Dict[str, object]] = {
         grid_specs=("hhc_4", "hh_4", "haar", "flat_oue"),
         grid_epsilons=(0.2, 0.6, 1.1, 1.4),
         grid_repetitions=3,
+        grid2d_users=500_000,
+        grid2d_side=64,
+        grid2d_branching=2,
+        grid2d_shards=8,
+        grid2d_batches=16,
     ),
 }
 
@@ -322,6 +334,85 @@ def _bench_consistency(params: dict) -> List[BenchRecord]:
     ]
 
 
+def _bench_grid2d(params: dict) -> List[BenchRecord]:
+    """Rectangle-workload throughput: one-shot 2-D fit and sharded reduce.
+
+    Also verifies (and records under ``extras``) that a checkpoint taken
+    mid-stream and restored reproduces the uninterrupted sharded run's leaf
+    heatmap bit-for-bit — the 2-D crash-recovery contract.
+    """
+    from repro.core.multidim import HierarchicalGrid2D
+    from repro.data.synthetic import clustered_grid_points
+
+    n_users = int(params["grid2d_users"])
+    side = int(params["grid2d_side"])
+    branching = int(params["grid2d_branching"])
+    n_shards = int(params["grid2d_shards"])
+    epsilon = float(params["epsilon"])
+    repeats = int(params["repeats"])
+    points = clustered_grid_points(side, n_users, random_state=12)
+    flat = HierarchicalGrid2D(epsilon, side, branching=branching).flatten_points(points)
+    batches = np.array_split(flat, max(2, int(params["grid2d_batches"])))
+
+    wall_fit = _best_wall(
+        lambda: HierarchicalGrid2D(epsilon, side, branching=branching).fit_points(
+            points, random_state=13
+        ),
+        repeats,
+    )
+
+    def sharded_run(interrupt: bool) -> HierarchicalGrid2D:
+        collector = ShardedCollector(
+            f"grid2d_{branching}",
+            epsilon=epsilon,
+            domain_size=side,
+            n_shards=n_shards,
+            random_state=14,
+        )
+        half = len(batches) // 2
+        for batch in batches[:half]:
+            collector.submit(batch)
+        if interrupt:
+            collector = ShardedCollector.from_checkpoint_bytes(
+                collector.checkpoint_bytes()
+            )
+        for batch in batches[half:]:
+            collector.submit(batch)
+        return collector.reduce()
+
+    wall_sharded = _best_wall(lambda: sharded_run(False), repeats)
+    restore_identical = bool(
+        np.array_equal(
+            sharded_run(False).estimate_heatmap(),
+            sharded_run(True).estimate_heatmap(),
+        )
+    )
+    shared = {"side": side, "branching": branching}
+    return [
+        BenchRecord(
+            name="grid2d_fit_points",
+            wall_seconds=wall_fit,
+            work_items=n_users,
+            unit="users/s",
+            rss_max_kb=_rss_max_kb(),
+            extras=dict(shared),
+        ),
+        BenchRecord(
+            name="grid2d_shard_collect_reduce",
+            wall_seconds=wall_sharded,
+            work_items=n_users,
+            unit="users/s",
+            rss_max_kb=_rss_max_kb(),
+            extras=dict(
+                shared,
+                shards=n_shards,
+                batches=len(batches),
+                restore_bit_identical=restore_identical,
+            ),
+        ),
+    ]
+
+
 def _bench_epsilon_grid(params: dict, workers: int) -> List[BenchRecord]:
     domain = int(params["grid_domain"])
     counts = DataConfig().counts(domain, int(params["grid_users"]))
@@ -423,11 +514,13 @@ def run_suite(
     records.extend(_bench_olh_decode(params))
     records.extend(_bench_shard_reduce(params))
     records.extend(_bench_consistency(params))
+    records.extend(_bench_grid2d(params))
     records.extend(_bench_epsilon_grid(params, workers))
 
     by_name = {record.name: record for record in records}
     packed = by_name["unary_aggregate_packed"]
     grid_parallel = by_name["epsilon_grid_parallel"]
+    grid2d = by_name["grid2d_shard_collect_reduce"]
     checks: Dict[str, object] = {
         "packed_payload_ratio": packed.extras["payload_ratio"],
         "packed_aggregate_speedup": packed.extras["speedup_vs_dense"],
@@ -435,6 +528,7 @@ def run_suite(
         "parallel_grid_bit_identical": grid_parallel.extras[
             "bit_identical_to_serial"
         ],
+        "grid2d_restore_bit_identical": grid2d.extras["restore_bit_identical"],
     }
 
     payload: Dict[str, object] = {

@@ -38,6 +38,7 @@ import numpy as np
 from repro.core.base import RangeQueryMechanism
 from repro.core.flat import FlatMechanism
 from repro.core.hierarchical import HierarchicalHistogramMechanism
+from repro.core.multidim import HierarchicalGrid2D
 from repro.core.wavelet import HaarWaveletMechanism
 from repro.exceptions import ConfigurationError
 from repro.frequency_oracles.accumulators import OracleAccumulator
@@ -137,6 +138,16 @@ def mechanism_config(mechanism: RangeQueryMechanism) -> Dict[str, Any]:
             "level_probabilities": [float(p) for p in mechanism.level_probabilities],
             "name": mechanism._name,
         }
+    if isinstance(mechanism, HierarchicalGrid2D):
+        return {
+            "kind": "grid2d",
+            "epsilon": float(mechanism.epsilon),
+            "domain_size": int(mechanism.domain_size),  # grid side length
+            "branching": int(mechanism.branching),
+            "oracle": mechanism._oracle_name,
+            "oracle_kwargs": dict(mechanism._oracle_kwargs),
+            "name": mechanism._name,
+        }
     raise ConfigurationError(
         f"{type(mechanism).__name__} has no snapshot configuration; "
         "pass an explicit template when restoring"
@@ -175,6 +186,15 @@ def mechanism_from_config(config: Dict[str, Any]) -> RangeQueryMechanism:
                 domain_size=config["domain_size"],
                 level_probabilities=config.get("level_probabilities"),
                 name=name,
+            )
+        if kind == "grid2d":
+            return HierarchicalGrid2D(
+                epsilon=config["epsilon"],
+                domain_size=config["domain_size"],
+                branching=config.get("branching", 2),
+                oracle=config.get("oracle", "oue"),
+                name=name,
+                **config.get("oracle_kwargs", {}),
             )
     except KeyError as error:
         raise ConfigurationError(f"mechanism config is missing {error}")

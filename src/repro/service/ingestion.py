@@ -244,6 +244,28 @@ class IngestionService:
         self._submitted_users += int(items.shape[0]) if items.ndim else 0
         return shard
 
+    async def submit_points(
+        self,
+        points: np.ndarray,
+        mode: Optional[str] = None,
+        key: RoutingKey = None,
+    ) -> int:
+        """Route one batch of 2-D ``(x, y)`` points and enqueue it.
+
+        The async counterpart of
+        :meth:`~repro.streaming.ShardedCollector.submit_points`: points are
+        validated and flattened by the collector's 2-D mechanism *before*
+        any routing decision is consumed, then follow the normal
+        :meth:`submit` path (backpressure included).
+        """
+        flatten = getattr(self._collector.shards[0], "flatten_points", None)
+        if flatten is None:
+            raise ConfigurationError(
+                "the collector's mechanism has no 2-D point surface; "
+                "submit flattened items with submit() instead"
+            )
+        return await self.submit(flatten(points), mode=mode, key=key)
+
     # ------------------------------------------------------------------
     # Reduction
     # ------------------------------------------------------------------

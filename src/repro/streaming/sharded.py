@@ -269,6 +269,28 @@ class ShardedCollector:
             self._n_batches += 1
         return index
 
+    def submit_points(
+        self,
+        points: np.ndarray,
+        shard: Optional[int] = None,
+        mode: Optional[str] = None,
+        key: RoutingKey = None,
+    ) -> int:
+        """Route one batch of 2-D ``(x, y)`` points to a shard.
+
+        Only available when the collector's mechanism is two-dimensional
+        (e.g. a ``grid2d`` spec): the points are validated — float
+        coordinates rejected, bounds checked — and flattened to row-major
+        items by the mechanism itself, then submitted like any other batch.
+        """
+        flatten = getattr(self._shards[0], "flatten_points", None)
+        if flatten is None:
+            raise ConfigurationError(
+                f"mechanism {self._spec!r} has no 2-D point surface; "
+                "submit flattened items with submit() instead"
+            )
+        return self.submit(flatten(points), shard=shard, mode=mode, key=key)
+
     def extend(self, batches: Iterable[np.ndarray]) -> "ShardedCollector":
         """Submit a stream of batches with policy routing."""
         for batch in batches:

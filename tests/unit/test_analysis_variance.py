@@ -9,6 +9,7 @@ from repro.analysis.variance import (
     flat_average_variance,
     flat_range_variance,
     frequency_oracle_variance,
+    grid2d_rectangle_variance,
     haar_range_variance,
     hh_average_variance,
     hh_consistent_range_variance,
@@ -97,6 +98,35 @@ class TestHaarVariance:
         haar = haar_range_variance(eps, n, domain)
         hh8 = hh_consistent_range_variance(eps, n, domain, domain, 8)
         assert haar == pytest.approx(hh8, rel=0.35)
+
+
+class TestGrid2DVariance:
+    def test_formula_at_single_cell(self):
+        eps, n, side, b = 1.0, 50_000, 16, 2
+        # r = 1: one run level per axis, 2(B-1) nodes each, h = 4 pairs^0.5.
+        expected = 4**2 * (2.0 * (b - 1) * 1) ** 2 * frequency_oracle_variance(eps, n)
+        assert grid2d_rectangle_variance(eps, n, 1, side, b) == pytest.approx(expected)
+
+    def test_grows_with_rectangle_size(self):
+        eps, n, side, b = 1.0, 50_000, 256, 4
+        bounds = [grid2d_rectangle_variance(eps, n, r, side, b) for r in (1, 16, 256)]
+        assert bounds[0] < bounds[1] < bounds[2]
+
+    def test_quartic_log_growth_vs_1d(self):
+        # 2-D pays (h * per-axis-run-count) squared relative to the 1-D
+        # per-axis quantities: the log^4 growth Section 6 sketches.
+        eps, n, b = 1.0, 1 << 20, 2
+        small = grid2d_rectangle_variance(eps, n, 16, 16, b)
+        large = grid2d_rectangle_variance(eps, n, 256, 256, b)
+        assert large / small == pytest.approx((8 / 4) ** 4, rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(InvalidQueryError):
+            grid2d_rectangle_variance(1.0, 1000, 0, 16, 2)
+        with pytest.raises(InvalidQueryError):
+            grid2d_rectangle_variance(1.0, 1000, 17, 16, 2)
+        with pytest.raises(ConfigurationError):
+            grid2d_rectangle_variance(1.0, 1000, 4, 16, 1)
 
 
 class TestOptimalBranching:

@@ -26,6 +26,11 @@ TINY = dict(
     grid_specs=("hhc_4",),
     grid_epsilons=(1.1,),
     grid_repetitions=1,
+    grid2d_users=400,
+    grid2d_side=8,
+    grid2d_branching=2,
+    grid2d_shards=2,
+    grid2d_batches=4,
 )
 
 EXPECTED_BENCHMARKS = {
@@ -38,6 +43,8 @@ EXPECTED_BENCHMARKS = {
     "olh_decode",
     "shard_collect_reduce",
     "consistency_enforce",
+    "grid2d_fit_points",
+    "grid2d_shard_collect_reduce",
     "epsilon_grid_serial",
     "epsilon_grid_parallel",
 }
@@ -71,6 +78,7 @@ class TestRunSuite:
         assert checks["parallel_grid_bit_identical"] is True
         assert checks["packed_aggregate_speedup"] > 0
         assert checks["parallel_grid_speedup"] > 0
+        assert checks["grid2d_restore_bit_identical"] is True
 
     def test_environment_metadata(self, payload):
         environment = payload["environment"]

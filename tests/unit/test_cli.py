@@ -149,6 +149,11 @@ class TestMain:
             grid_specs=("hhc_4",),
             grid_epsilons=(1.1,),
             grid_repetitions=1,
+            grid2d_users=400,
+            grid2d_side=8,
+            grid2d_branching=2,
+            grid2d_shards=2,
+            grid2d_batches=4,
         )
         tiny_suites = {"smoke": dict(bench_module.SUITES["smoke"], **tiny)}
         monkeypatch.setattr(bench_module, "SUITES", tiny_suites)
@@ -156,6 +161,52 @@ class TestMain:
         output = capsys.readouterr().out
         assert "Benchmark suite 'smoke'" in output
         assert "bit-identical to serial:     True" in output
+        assert "grid2d restore bit-identical:              True" in output
         written = json.loads((tmp_path / "BENCH_smoke.json").read_text())
         assert written["suite"] == "smoke"
         assert written["results"]
+
+    def test_grid2d_runs(self, capsys):
+        assert (
+            main(
+                [
+                    "grid2d",
+                    "--users",
+                    "4000",
+                    "--side",
+                    "8",
+                    "--shards",
+                    "2",
+                    "--batches",
+                    "4",
+                    "--rectangles",
+                    "32",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "2-D grid" in output and "one-shot" in output and "sharded" in output
+
+    def test_grid2d_checkpoint_recovery(self, capsys, tmp_path):
+        path = tmp_path / "grid2d.snap"
+        args = [
+            "grid2d",
+            "--users",
+            "4000",
+            "--side",
+            "8",
+            "--shards",
+            "2",
+            "--batches",
+            "4",
+            "--rectangles",
+            "16",
+            "--checkpoint",
+            str(path),
+        ]
+        assert main(args) == 0
+        output = capsys.readouterr().out
+        assert "Crash recovery" in output
+        assert "bit-for-bit: True" in output
+        assert path.exists()

@@ -6,6 +6,7 @@ import pytest
 from repro.core.factory import make_mechanism, mechanism_from_spec
 from repro.core.flat import FlatMechanism
 from repro.core.hierarchical import HierarchicalHistogramMechanism
+from repro.core.multidim import HierarchicalGrid2D
 from repro.core.session import LdpRangeQuerySession
 from repro.core.wavelet import HaarWaveletMechanism
 from repro.exceptions import ConfigurationError, NotFittedError
@@ -18,6 +19,10 @@ class TestMakeMechanism:
         assert isinstance(make_mechanism("hierarchical", 1.0, 64), HierarchicalHistogramMechanism)
         assert isinstance(make_mechanism("haar", 1.0, 64), HaarWaveletMechanism)
         assert isinstance(make_mechanism("wavelet", 1.0, 64), HaarWaveletMechanism)
+        assert isinstance(make_mechanism("grid2d", 1.0, 16), HierarchicalGrid2D)
+        assert isinstance(make_mechanism("grid", 1.0, 16), HierarchicalGrid2D)
+        assert make_mechanism("grid2d", 1.0, 16).branching == 2
+        assert make_mechanism("grid2d", 1.0, 16, branching=4).branching == 4
 
     def test_options_forwarded(self):
         mechanism = make_mechanism("hh", 1.0, 64, branching=8, oracle="hrr", consistency=False)
@@ -42,10 +47,20 @@ class TestSpecParser:
             ("hhc_16", HierarchicalHistogramMechanism),
             ("tree_8", HierarchicalHistogramMechanism),
             ("hhc_8_hrr", HierarchicalHistogramMechanism),
+            ("grid2d", HierarchicalGrid2D),
+            ("grid2d_4", HierarchicalGrid2D),
+            ("grid2d_2_hrr", HierarchicalGrid2D),
         ],
     )
     def test_accepted_specs(self, spec, expected_type):
         assert isinstance(mechanism_from_spec(spec, 1.0, 64), expected_type)
+
+    def test_grid2d_spec_options(self):
+        grid = mechanism_from_spec("grid2d_4_hrr", 1.0, 32)
+        assert grid.branching == 4
+        assert grid.domain_size == 32
+        assert grid._oracle_name == "hrr"
+        assert mechanism_from_spec("grid2d", 1.0, 32).branching == 2
 
     def test_consistency_flag(self):
         assert not mechanism_from_spec("hh_4", 1.0, 64).consistency

@@ -33,6 +33,7 @@ MECHANISM_SPECS = [
     "hhc_8_hrr",
     "hhc_4_olh",
     "haar",
+    "grid2d_2",
 ]
 
 
