@@ -19,6 +19,7 @@ Examples
     python -m repro serve-demo --producers 1 2 4 8 --router least-loaded
     python -m repro table5 --domain 1024 --workers 4
     python -m repro bench --suite smoke
+    python -m repro bench --suite smoke --compare BENCH_smoke.json
     python -m repro grid2d --side 32 --shards 4 --checkpoint /tmp/grid.snap
 """
 
@@ -186,6 +187,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=".",
         metavar="DIR",
         help="bench only: directory receiving BENCH_<suite>.json",
+    )
+    parser.add_argument(
+        "--compare",
+        type=str,
+        default=None,
+        metavar="BASELINE.json",
+        help=(
+            "bench only: diff this run's records against a stored "
+            "BENCH_<suite>.json and exit non-zero when any record's "
+            "throughput regresses past --fail-threshold"
+        ),
+    )
+    parser.add_argument(
+        "--fail-threshold",
+        type=float,
+        default=0.5,
+        metavar="FRACTION",
+        help=(
+            "bench --compare only: maximum tolerated fractional throughput "
+            "drop per record before the comparison fails (default 0.5 = "
+            "flag >2x slowdowns; lenient on purpose for cross-machine CI "
+            "comparisons)"
+        ),
     )
     return parser
 
@@ -552,9 +576,18 @@ def _run_grid2d_recovery(config, args, spec, side, batches) -> str:
     )
 
 
-def _run_bench(config: ExperimentConfig, args: argparse.Namespace) -> str:
-    """Run a benchmark suite and persist BENCH_<suite>.json."""
-    from repro.experiments.bench import run_suite
+def _run_bench(config: ExperimentConfig, args: argparse.Namespace):
+    """Run a benchmark suite, persist BENCH_<suite>.json and (optionally)
+    diff the records against a stored baseline, failing on regressions."""
+    from repro.experiments.bench import compare_payloads, load_payload, run_suite
+
+    # Read the baseline *before* running the suite: run_suite writes
+    # BENCH_<suite>.json into --out, which may be the very file --compare
+    # points at (the documented default invocation runs from the repo root)
+    # — loading afterwards would silently compare the run against itself.
+    # This also fails fast on a bad baseline path instead of after minutes
+    # of benchmarking.
+    baseline = None if args.compare is None else load_payload(args.compare)
 
     payload = run_suite(suite=args.suite, workers=args.workers, out_dir=args.out)
     rows = [
@@ -577,9 +610,48 @@ def _run_bench(config: ExperimentConfig, args: argparse.Namespace) -> str:
         f"parallel grid speedup vs serial:           {checks['parallel_grid_speedup']:.2f}x",
         f"parallel grid bit-identical to serial:     {checks['parallel_grid_bit_identical']}",
         f"grid2d restore bit-identical:              {checks['grid2d_restore_bit_identical']}",
+        f"hh stream-ingest speedup (lazy vs eager):  {checks['hh_stream_ingest_speedup']:.2f}x",
+        f"grid2d stream-ingest speedup:              {checks['grid2d_stream_ingest_speedup']:.2f}x",
+        f"lazy vs eager bit-identical:               {checks['lazy_vs_eager_bit_identical']}",
+        f"grid2d rectangle batch speedup:            {checks['grid2d_rectangle_batch_speedup']:.2f}x",
         "",
         f"wrote {payload.get('path', '(no file)')}",
     ]
+    if baseline is None:
+        return "\n".join(lines)
+
+    diff = compare_payloads(payload, baseline, fail_threshold=args.fail_threshold)
+    diff_rows = []
+    for row in diff["rows"]:
+        if row["status"] == "new":
+            diff_rows.append([row["name"], "-", round(row["current_throughput"], 1), "-", "new"])
+            continue
+        diff_rows.append(
+            [
+                row["name"],
+                round(row["baseline_throughput"], 1),
+                round(row["current_throughput"], 1),
+                f"{row['throughput_ratio']:.2f}x",
+                row["status"],
+            ]
+        )
+    lines += [
+        "",
+        f"Comparison vs {args.compare} (fail below "
+        f"{1.0 - diff['fail_threshold']:.2f}x of baseline throughput)",
+        format_table(
+            ["benchmark", "baseline thr", "current thr", "ratio", "status"], diff_rows
+        ),
+    ]
+    if diff["missing"]:
+        lines.append(f"baseline-only records (not run): {', '.join(diff['missing'])}")
+    if diff["regressions"]:
+        lines.append(
+            f"REGRESSION: {len(diff['regressions'])} record(s) regressed: "
+            f"{', '.join(diff['regressions'])}"
+        )
+        return "\n".join(lines), 1
+    lines.append("no regressions")
     return "\n".join(lines)
 
 
@@ -603,8 +675,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "bench": _run_bench,
         "grid2d": _run_grid2d,
     }
-    print(runners[args.experiment](config, args))
-    return 0
+    result = runners[args.experiment](config, args)
+    if isinstance(result, tuple):
+        output, exit_code = result
+    else:
+        output, exit_code = result, 0
+    print(output)
+    return int(exit_code)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -17,9 +17,23 @@ A mechanism's lifecycle has two phases:
    and :meth:`quantile` are available.  All answers are *fractions of the
    population*, matching the problem definition in Section 4.1 of the paper.
 
+The two phases are decoupled by **lazy estimate materialization**: the
+collection entry points only accumulate sufficient statistics and bump a
+dirty generation counter; the post-processed estimates (consistency least
+squares, inverse transforms, prefix sums) are rebuilt at most once per
+generation, on the first read after a mutation (every query surface calls
+:meth:`_require_fitted`, which calls :meth:`materialize`).  A streaming run
+of ``k`` small batches therefore pays the reconstruction cost once instead
+of ``k`` times, and the answers are bit-identical to refreshing after every
+batch because the estimates are a deterministic function of the accumulated
+statistics (no randomness is consumed by a refresh).
+
 Subclasses implement :meth:`_collect` (store aggregate state) and
 :meth:`_answer_range` (answer a single validated range query); the base
 class provides validation, workload evaluation and the quantile search.
+Accumulator-backed subclasses additionally implement
+:meth:`_refresh_estimates` and call :meth:`_mark_dirty` from every path
+that mutates their sufficient statistics without refreshing.
 """
 
 from __future__ import annotations
@@ -67,6 +81,12 @@ class RangeQueryMechanism(abc.ABC):
         self._domain_size = int(domain_size)
         self._n_users: Optional[int] = None
         self._name = name
+        # Lazy materialization bookkeeping: every mutation of the sufficient
+        # statistics bumps the ingest generation; the estimates are rebuilt
+        # (at most once per generation) when a read surface needs them.
+        self._ingest_generation = 0
+        self._materialized_generation = 0
+        self._n_materializations = 0
 
     # ------------------------------------------------------------------
     # Configuration
@@ -97,6 +117,63 @@ class RangeQueryMechanism(abc.ABC):
         return self._n_users is not None
 
     # ------------------------------------------------------------------
+    # Lazy materialization
+    # ------------------------------------------------------------------
+    @property
+    def is_materialized(self) -> bool:
+        """Whether the queryable estimates reflect the current statistics.
+
+        ``True`` for a freshly constructed mechanism (there is nothing to
+        materialize) and after every read; ``False`` between a statistics
+        mutation (``partial_fit``, ``merge_from``, ``fit_*``,
+        ``load_state_dict``) and the next read or :meth:`materialize` call.
+        """
+        return self._materialized_generation == self._ingest_generation
+
+    @property
+    def ingest_generation(self) -> int:
+        """Number of statistics mutations absorbed so far (monotone)."""
+        return self._ingest_generation
+
+    @property
+    def materialization_count(self) -> int:
+        """Number of estimate rebuilds actually performed so far.
+
+        Under lazy materialization this stays far below
+        :attr:`ingest_generation` on streaming workloads; the difference is
+        the number of reconstructions the laziness saved (the ``deferred``
+        counter exported by :meth:`repro.service.IngestionService.stats`).
+        """
+        return self._n_materializations
+
+    def materialize(self) -> "RangeQueryMechanism":
+        """Rebuild the queryable estimates if they are stale.
+
+        Idempotent and cheap when already materialized (one integer
+        comparison).  Called automatically by every read surface via
+        :meth:`_require_fitted`; exposed publicly so callers can move the
+        reconstruction cost off a latency-critical read path (e.g. after a
+        shard reduce, before serving queries).
+        """
+        if self.is_fitted and not self.is_materialized:
+            self._refresh_estimates()
+            self._materialized_generation = self._ingest_generation
+            self._n_materializations += 1
+        return self
+
+    def _mark_dirty(self) -> None:
+        """Record a statistics mutation: estimates are stale until the next
+        :meth:`materialize`.  Accumulator-backed subclasses call this from
+        ``_collect`` and ``load_state_dict``; the base class calls it for
+        ``partial_fit`` and ``merge_from`` (which only ever succeed on
+        mechanisms with accumulator support)."""
+        self._ingest_generation += 1
+
+    def _mark_clean(self) -> None:
+        """Reset the dirty tracking (state was cleared, nothing to rebuild)."""
+        self._materialized_generation = self._ingest_generation
+
+    # ------------------------------------------------------------------
     # Collection phase
     # ------------------------------------------------------------------
     def fit_items(
@@ -122,8 +199,9 @@ class RangeQueryMechanism(abc.ABC):
         items = self._validate_items(items)
         self._check_mode(mode)
         rng = as_generator(random_state)
-        counts = np.bincount(items, minlength=self._domain_size)
-        self._collect(items=items, counts=counts, rng=rng, mode=mode)
+        self._collect(
+            items=items, counts=self._counts_for(items, mode), rng=rng, mode=mode
+        )
         self._n_users = int(items.shape[0])
         return self
 
@@ -138,10 +216,13 @@ class RangeQueryMechanism(abc.ABC):
         Each call accumulates the batch's sufficient statistics on top of
         whatever has been collected so far (by previous :meth:`partial_fit`
         calls, a one-shot :meth:`fit_items` / :meth:`fit_counts`, or
-        :meth:`merge_from`), then refreshes the queryable estimates.  The
-        final state follows the same distribution as a one-shot fit of the
-        concatenated population.  Every user must still appear in exactly
-        one batch for the privacy accounting to hold.
+        :meth:`merge_from`) and marks the estimates dirty; the post-processed
+        estimates are rebuilt lazily on the next read (see
+        :meth:`materialize`), so a stream of small batches pays pure
+        accumulation cost per batch.  The final state follows the same
+        distribution as a one-shot fit of the concatenated population.
+        Every user must still appear in exactly one batch for the privacy
+        accounting to hold.
 
         Pass a shared :class:`numpy.random.Generator` (or distinct seeds)
         across batches: repeating the same integer seed replays the same
@@ -154,14 +235,26 @@ class RangeQueryMechanism(abc.ABC):
         items = self._validate_items(items)
         self._check_mode(mode)
         rng = as_generator(random_state)
-        counts = np.bincount(items, minlength=self._domain_size)
-        self._partial_collect(items=items, counts=counts, rng=rng, mode=mode)
+        self._partial_collect(
+            items=items, counts=self._counts_for(items, mode), rng=rng, mode=mode
+        )
+        self._mark_dirty()
         self._n_users = (self._n_users or 0) + int(items.shape[0])
         return self
 
-    def merge_from(
-        self, other: "RangeQueryMechanism", refresh: bool = True
-    ) -> "RangeQueryMechanism":
+    def _counts_for(self, items: np.ndarray, mode: str) -> Optional[np.ndarray]:
+        """Per-item counts of a batch, or ``None`` when the mode ignores them.
+
+        Only the ``aggregate`` simulation consumes per-item counts; the
+        ``per_user`` protocol paths work from the item array directly, so
+        skipping the ``O(D)`` bincount keeps tiny streaming batches at
+        ``O(batch)`` validation cost.
+        """
+        if mode != "aggregate":
+            return None
+        return np.bincount(items, minlength=self._domain_size)
+
+    def merge_from(self, other: "RangeQueryMechanism") -> "RangeQueryMechanism":
         """Fold another (identically configured) instance's state into this one.
 
         The other mechanism must be fitted; this one may be fresh or already
@@ -169,17 +262,14 @@ class RangeQueryMechanism(abc.ABC):
         queries as if it had collected both populations itself — the shard
         reduction step of distributed collection.
 
-        Parameters
-        ----------
-        other:
-            The fitted source mechanism whose state is folded in.
-        refresh:
-            Rebuild the queryable estimates after merging (the default).
-            When folding many shards, pass ``False`` for all but the last
-            merge so the reconstruction (consistency, prefix sums, inverse
-            transforms) runs once instead of once per shard; until a
-            refreshing merge or :meth:`partial_fit` runs, query answers
-            reflect only the state before the unrefreshed merges.
+        Only the sufficient statistics are touched: the queryable estimates
+        are rebuilt lazily on the next read, so folding ``K`` shards costs
+        ``K`` statistic merges plus one reconstruction, no matter how the
+        merges interleave with other ingestion.  (Earlier versions exposed a
+        ``refresh=`` flag for exactly this batching — and with it a
+        stale-answer footgun when a caller forgot the final refreshing
+        merge; lazy materialization made the flag redundant and it has been
+        removed.)
 
         Raises :class:`~repro.exceptions.ConfigurationError` when the
         configurations differ or the mechanism has no accumulator support,
@@ -198,9 +288,8 @@ class RangeQueryMechanism(abc.ABC):
         if not other.is_fitted:
             raise NotFittedError("merge_from requires a fitted source mechanism")
         self._merge_state(other)
+        self._mark_dirty()
         self._n_users = (self._n_users or 0) + int(other._n_users)
-        if refresh:
-            self._refresh_estimates()
         return self
 
     def fit_counts(
@@ -234,21 +323,27 @@ class RangeQueryMechanism(abc.ABC):
     def _collect(
         self,
         items: Optional[np.ndarray],
-        counts: np.ndarray,
+        counts: Optional[np.ndarray],
         rng: np.random.Generator,
         mode: str,
     ) -> None:
         """Store the mechanism's aggregate state for the given population.
 
         ``items`` is guaranteed to be present when ``mode == "per_user"``;
-        ``counts`` is always present.  One-shot semantics: any previously
-        accumulated state is discarded.
+        ``counts`` is guaranteed to be present when ``mode == "aggregate"``
+        (and always from :meth:`fit_counts`) — the per-user protocol paths
+        never consume counts, so the item-fit entry points skip building
+        them.  One-shot semantics: any previously accumulated state is
+        discarded.  Accumulator-backed implementations only touch
+        sufficient statistics and call :meth:`_mark_dirty`; implementations
+        that build their estimates eagerly (no :meth:`_refresh_estimates`)
+        simply never mark dirty.
         """
 
     def _partial_collect(
         self,
         items: np.ndarray,
-        counts: np.ndarray,
+        counts: Optional[np.ndarray],
         rng: np.random.Generator,
         mode: str,
     ) -> None:
@@ -266,8 +361,8 @@ class RangeQueryMechanism(abc.ABC):
 
         Called by :meth:`merge_from` after the configuration check; ``self``
         may be unfitted (treat as empty).  Must only update the sufficient
-        statistics — :meth:`merge_from` decides when to
-        :meth:`_refresh_estimates`.  Default refuses.
+        statistics — :meth:`merge_from` marks the estimates dirty and
+        :meth:`materialize` rebuilds them on the next read.  Default refuses.
         """
         raise ConfigurationError(f"{self.name} does not support state merging")
 
@@ -275,6 +370,10 @@ class RangeQueryMechanism(abc.ABC):
         """Rebuild the queryable estimates from the accumulated statistics.
 
         Implemented by every mechanism that implements :meth:`_merge_state`.
+        Must be a pure function of the sufficient statistics (no randomness,
+        no statistic mutation) — that determinism is what makes lazy and
+        eager materialization bit-identical.  Only ever called through
+        :meth:`materialize`, which handles the generation bookkeeping.
         """
         raise ConfigurationError(f"{self.name} does not support state merging")
 
@@ -304,8 +403,11 @@ class RangeQueryMechanism(abc.ABC):
 
         The mechanism must be configured identically to the one that
         produced the state (``load`` callers verify the merge signature
-        first; shape checks here catch the rest).  Queryable estimates are
-        rebuilt, so answers equal the snapshotted mechanism's bit-for-bit.
+        first; shape checks here catch the rest).  Only the sufficient
+        statistics are restored — the queryable estimates are rebuilt
+        lazily on the first read and equal the snapshotted mechanism's
+        bit-for-bit (a snapshot taken dirty and one taken materialized hold
+        the same statistics, so round-trips are bit-exact either way).
         """
         raise ConfigurationError(f"{self.name} does not support state snapshots")
 
@@ -442,10 +544,12 @@ class RangeQueryMechanism(abc.ABC):
     # Helpers
     # ------------------------------------------------------------------
     def _require_fitted(self) -> None:
+        """Gate of every read surface: fitted check + lazy materialization."""
         if not self.is_fitted:
             raise NotFittedError(
                 f"{self.name} has not collected any reports yet; call fit_items/fit_counts"
             )
+        self.materialize()
 
     def _validate_items(self, items: np.ndarray) -> np.ndarray:
         """Validate a per-user item array and return it as ``int64``.

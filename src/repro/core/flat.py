@@ -71,7 +71,7 @@ class FlatMechanism(RangeQueryMechanism):
     ) -> None:
         self._accumulator = self._oracle.accumulator()
         self._accumulate_batch(items, counts, rng, mode)
-        self._refresh_estimates()
+        self._mark_dirty()
 
     def _partial_collect(
         self,
@@ -83,7 +83,6 @@ class FlatMechanism(RangeQueryMechanism):
         if self._accumulator is None:
             self._accumulator = self._oracle.accumulator()
         self._accumulate_batch(items, counts, rng, mode)
-        self._refresh_estimates()
 
     def _accumulate_batch(
         self,
@@ -124,11 +123,12 @@ class FlatMechanism(RangeQueryMechanism):
             accumulator = self._oracle.accumulator()
             accumulator.load_state_dict(state["accumulator"])
             self._accumulator = accumulator
-            self._refresh_estimates()
+            self._mark_dirty()
         else:
             self._accumulator = None
             self._frequencies = None
             self._prefix = None
+            self._mark_clean()
         self._n_users = n_users
         return self
 
@@ -142,6 +142,12 @@ class FlatMechanism(RangeQueryMechanism):
         """Per-item estimates straight from the frequency oracle."""
         self._require_fitted()
         return self._frequencies.copy()
+
+    def estimate_cdf(self) -> np.ndarray:
+        """The materialized prefix sums, reused instead of re-deriving the
+        CDF from per-item frequencies (bit-identical, zero extra work)."""
+        self._require_fitted()
+        return self._prefix[1:].copy()
 
     def answer_ranges(self, queries: np.ndarray) -> np.ndarray:
         """Vectorised evaluation via prefix sums (O(1) per query)."""

@@ -186,7 +186,7 @@ class HierarchicalHistogramMechanism(RangeQueryMechanism):
     ) -> None:
         self._reset_accumulators()
         self._accumulate_batch(items, counts, rng, mode)
-        self._refresh_estimates()
+        self._mark_dirty()
 
     def _partial_collect(
         self,
@@ -198,7 +198,6 @@ class HierarchicalHistogramMechanism(RangeQueryMechanism):
         if self._accumulators is None:
             self._reset_accumulators()
         self._accumulate_batch(items, counts, rng, mode)
-        self._refresh_estimates()
 
     def _merge_state(self, other: "HierarchicalHistogramMechanism") -> None:
         if self._accumulators is None:
@@ -230,13 +229,14 @@ class HierarchicalHistogramMechanism(RangeQueryMechanism):
         if accumulators is not None:
             self._accumulators = accumulators
             self._level_user_counts = counts
-            self._refresh_estimates()
+            self._mark_dirty()
         else:
             self._accumulators = None
             self._raw_levels = None
             self._levels = None
             self._level_prefix = None
             self._level_user_counts = None
+            self._mark_clean()
         self._n_users = n_users
         return self
 
@@ -257,15 +257,21 @@ class HierarchicalHistogramMechanism(RangeQueryMechanism):
     def _accumulate_sampling_per_user(
         self, items: np.ndarray, rng: np.random.Generator
     ) -> None:
-        """Each user samples one level and runs the real local protocol."""
+        """Each user samples one level and runs the real local protocol.
+
+        Only levels that actually received users are visited (they are also
+        the only ones that consume protocol randomness, so the skip changes
+        no random stream), keeping a tiny streaming batch at O(active
+        levels) instead of O(h) mask scans.
+        """
         height = self._tree.height
         n_users = items.shape[0]
         assignments = rng.choice(height, size=n_users, p=self._level_probabilities)
-        self._level_user_counts += np.bincount(assignments, minlength=height)
-        for level in self._tree.levels:
-            level_items = items[assignments == level - 1]
-            if level_items.size == 0:
-                continue
+        batch_level_counts = np.bincount(assignments, minlength=height)
+        self._level_user_counts += batch_level_counts
+        for level_index in np.flatnonzero(batch_level_counts):
+            level = int(level_index) + 1
+            level_items = items[assignments == level_index]
             nodes = self._tree.nodes_of_items(level, level_items)
             oracle = self._oracles[level]
             self._accumulators[level].add(oracle.encode_batch(nodes, rng))
@@ -282,27 +288,38 @@ class HierarchicalHistogramMechanism(RangeQueryMechanism):
         split of the union, which is what makes this path incremental.  Each
         level's node counts then drive the oracle accumulator's fast
         simulated-aggregate path.
+
+        The thinning and the node histograms operate on the batch's
+        *support* (items with non-zero count) only — a small streaming batch
+        touches O(nnz · h) entries instead of O(D · h), leaving the
+        per-level noise sampling inside ``add_counts`` as the only
+        full-domain work.
         """
         height = self._tree.height
-        remaining = counts.astype(np.int64).copy()
+        support = np.flatnonzero(counts)
+        remaining = counts[support].astype(np.int64)  # fancy indexing copies
         remaining_probability = 1.0
         for level in self._tree.levels:
             probability = self._level_probabilities[level - 1]
             if level == height:
-                level_counts = remaining.copy()
+                level_counts = remaining
             else:
                 share = 0.0 if remaining_probability <= 0 else min(
                     1.0, probability / remaining_probability
                 )
                 level_counts = rng.binomial(remaining, share)
-                remaining -= level_counts
+                remaining = remaining - level_counts
                 remaining_probability -= probability
             batch_users = int(level_counts.sum())
             self._level_user_counts[level - 1] += batch_users
             if batch_users == 0:
                 continue
-            node_counts = self._tree.level_histogram_from_counts(level, level_counts)
-            self._accumulators[level].add_counts(node_counts.astype(np.int64), rng)
+            node_counts = np.bincount(
+                self._tree.nodes_of_items(level, support),
+                weights=level_counts,
+                minlength=self._tree.nodes_at_level(level),
+            ).astype(np.int64)
+            self._accumulators[level].add_counts(node_counts, rng)
 
     def _accumulate_splitting(
         self,
@@ -312,7 +329,7 @@ class HierarchicalHistogramMechanism(RangeQueryMechanism):
         mode: str,
     ) -> None:
         """Ablation path: every user reports every level with ``eps / h``."""
-        n_users = int(counts.sum())
+        n_users = int(items.shape[0]) if counts is None else int(counts.sum())
         self._level_user_counts += n_users
         for level in self._tree.levels:
             oracle = self._oracles[level]
@@ -382,6 +399,17 @@ class HierarchicalHistogramMechanism(RangeQueryMechanism):
         self._require_fitted()
         leaves = self._levels[-1]
         return leaves[: self._domain_size].copy()
+
+    def estimate_cdf(self) -> np.ndarray:
+        """The materialized leaf prefix sums, sliced to the original domain.
+
+        Bit-identical to ``cumsum(estimate_frequencies())`` (a prefix of a
+        sequential cumulative sum equals the cumulative sum of the prefix)
+        but free: the leaf prefix array already exists for range answering.
+        """
+        self._require_fitted()
+        leaf_prefix = self._level_prefix[self._tree.height]
+        return leaf_prefix[1 : self._domain_size + 1].copy()
 
     def per_query_variance_bound(self, range_length: int) -> float:
         """The theoretical bound of eq. (1) / Section 4.5 for this instance."""

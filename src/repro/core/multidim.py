@@ -46,7 +46,11 @@ from repro.exceptions import (
 )
 from repro.frequency_oracles.accumulators import OracleAccumulator
 from repro.frequency_oracles.registry import make_oracle
-from repro.hierarchy.decomposition import NodeRun, decompose_to_runs
+from repro.hierarchy.decomposition import (
+    NodeRun,
+    batched_axis_runs,
+    decompose_to_runs,
+)
 from repro.hierarchy.tree import DomainTree
 from repro.privacy.randomness import RandomState, as_generator
 
@@ -247,7 +251,7 @@ class HierarchicalGrid2D(RangeQueryMechanism):
     ) -> None:
         self._reset_accumulators()
         self._accumulate_batch(items, counts, rng, mode)
-        self._refresh_estimates()
+        self._mark_dirty()
 
     def _partial_collect(
         self,
@@ -259,7 +263,6 @@ class HierarchicalGrid2D(RangeQueryMechanism):
         if self._accumulators is None:
             self._reset_accumulators()
         self._accumulate_batch(items, counts, rng, mode)
-        self._refresh_estimates()
 
     def _accumulate_batch(
         self,
@@ -276,21 +279,31 @@ class HierarchicalGrid2D(RangeQueryMechanism):
     def _accumulate_per_user(
         self, items: np.ndarray, rng: np.random.Generator
     ) -> None:
-        """Each user samples one level pair and runs the real local protocol."""
+        """Each user samples one level pair and runs the real local protocol.
+
+        Only pairs that actually received users are visited (they are the
+        only ones that consume protocol randomness, so the skip changes no
+        random stream), and per-axis node indices are computed once per
+        active axis level rather than once per pair — a tiny streaming
+        batch costs O(active pairs), not O(h^2) mask scans.
+        """
         n_pairs = len(self._pairs)
         assignments = rng.integers(0, n_pairs, size=items.shape[0])
-        self._pair_user_counts += np.bincount(assignments, minlength=n_pairs)
+        batch_pair_counts = np.bincount(assignments, minlength=n_pairs)
+        self._pair_user_counts += batch_pair_counts
         x = items // self._side
         y = items - x * self._side
-        for pair_index, (lx, ly) in enumerate(self._pairs):
+        x_nodes: Dict[int, np.ndarray] = {}
+        y_nodes: Dict[int, np.ndarray] = {}
+        for pair_index in np.flatnonzero(batch_pair_counts):
+            lx, ly = self._pairs[pair_index]
+            if lx not in x_nodes:
+                x_nodes[lx] = self._tree.nodes_of_items(lx, x)
+            if ly not in y_nodes:
+                y_nodes[ly] = self._tree.nodes_of_items(ly, y)
             mask = assignments == pair_index
-            if not np.any(mask):
-                continue
             ny = self._tree.nodes_at_level(ly)
-            cells = (
-                self._tree.nodes_of_items(lx, x[mask]) * ny
-                + self._tree.nodes_of_items(ly, y[mask])
-            )
+            cells = x_nodes[lx][mask] * ny + y_nodes[ly][mask]
             oracle = self._oracles[(lx, ly)]
             self._accumulators[(lx, ly)].add(oracle.encode_batch(cells, rng))
 
@@ -305,45 +318,48 @@ class HierarchicalGrid2D(RangeQueryMechanism):
         multinomial splits of separate batches add up to the split of the
         union, which is what makes this path incremental.  Each pair's cell
         counts then drive the oracle accumulator's simulated-aggregate path.
+
+        The thinning and the per-pair cell histograms operate on the batch's
+        *support* (cells with non-zero count) only — a small streaming batch
+        costs O(nnz · h^2) entries instead of a padded ``B^h x B^h`` reshape
+        and block-sum per pair, leaving the per-pair noise sampling inside
+        ``add_counts`` as the only full-grid work.
         """
         n_pairs = len(self._pairs)
-        remaining = counts.astype(np.int64).copy()
+        support = np.flatnonzero(counts)
+        remaining = counts[support].astype(np.int64)  # fancy indexing copies
+        support_x = support // self._side
+        support_y = support - support_x * self._side
+        x_nodes: Dict[int, np.ndarray] = {}
+        y_nodes: Dict[int, np.ndarray] = {}
         remaining_probability = 1.0
         probability = 1.0 / n_pairs
         for pair_index, pair in enumerate(self._pairs):
             if pair_index == n_pairs - 1:
-                pair_counts = remaining.copy()
+                pair_counts = remaining
             else:
                 share = 0.0 if remaining_probability <= 0 else min(
                     1.0, probability / remaining_probability
                 )
                 pair_counts = rng.binomial(remaining, share)
-                remaining -= pair_counts
+                remaining = remaining - pair_counts
                 remaining_probability -= probability
             batch_users = int(pair_counts.sum())
             self._pair_user_counts[pair_index] += batch_users
             if batch_users == 0:
                 continue
-            node_counts = self._pair_histogram_from_counts(pair, pair_counts)
+            lx, ly = pair
+            if lx not in x_nodes:
+                x_nodes[lx] = self._tree.nodes_of_items(lx, support_x)
+            if ly not in y_nodes:
+                y_nodes[ly] = self._tree.nodes_of_items(ly, support_y)
+            ny = self._tree.nodes_at_level(ly)
+            node_counts = np.bincount(
+                x_nodes[lx] * ny + y_nodes[ly],
+                weights=pair_counts,
+                minlength=self._tree.nodes_at_level(lx) * ny,
+            ).astype(np.int64)
             self._accumulators[pair].add_counts(node_counts, rng)
-
-    def _pair_histogram_from_counts(
-        self, pair: LevelPair, counts: np.ndarray
-    ) -> np.ndarray:
-        """Per-cell counts of one level pair's grid, from flattened counts.
-
-        ``counts`` has length ``D^2`` (row-major); the grid is padded to the
-        complete tree's ``B^h x B^h`` leaves and block-summed to the pair's
-        ``n_x x n_y`` resolution, then flattened row-major to match the
-        pair's oracle domain.
-        """
-        lx, ly = pair
-        padded = np.zeros((self._tree.padded_size, self._tree.padded_size), dtype=np.int64)
-        padded[: self._side, : self._side] = counts.reshape(self._side, self._side)
-        nx = self._tree.nodes_at_level(lx)
-        ny = self._tree.nodes_at_level(ly)
-        blocks = padded.reshape(nx, self._tree.block_size(lx), ny, self._tree.block_size(ly))
-        return blocks.sum(axis=(1, 3)).reshape(nx * ny)
 
     # ------------------------------------------------------------------
     # Merging / persistence
@@ -373,12 +389,13 @@ class HierarchicalGrid2D(RangeQueryMechanism):
         if accumulators is not None:
             self._accumulators = accumulators
             self._pair_user_counts = counts
-            self._refresh_estimates()
+            self._mark_dirty()
         else:
             self._accumulators = None
             self._pair_user_counts = None
             self._estimates = None
             self._pair_prefix = None
+            self._mark_clean()
         self._n_users = n_users
         return self
 
@@ -415,7 +432,16 @@ class HierarchicalGrid2D(RangeQueryMechanism):
 
     def answer_rectangles(self, queries: np.ndarray) -> np.ndarray:
         """Vectorised :meth:`answer_rectangle` over ``(n, 4)`` rows
-        ``(x_start, x_end, y_start, y_end)``."""
+        ``(x_start, x_end, y_start, y_end)``.
+
+        All queries are decomposed together per axis
+        (:func:`~repro.hierarchy.decomposition.batched_axis_runs`, the 2-D
+        sibling of the 1-D ``batched_range_sums`` walk); each level pair
+        then contributes through a handful of fancy-indexed inclusion–
+        exclusion gathers from its 2-D prefix-sum grid, so a workload of
+        ``n`` rectangles costs ``O(h^2)`` numpy passes over length-``n``
+        arrays instead of ``n`` Python-level run products.
+        """
         self._require_fitted()
         queries = np.asarray(queries, dtype=np.int64)
         if queries.ndim != 2 or queries.shape[1] != 4:
@@ -423,12 +449,37 @@ class HierarchicalGrid2D(RangeQueryMechanism):
                 "rectangle queries must be an (n, 4) array of "
                 "(x_start, x_end, y_start, y_end) rows"
             )
-        return np.array(
-            [
-                self.answer_rectangle((int(x0), int(x1)), (int(y0), int(y1)))
-                for x0, x1, y0, y1 in queries
-            ]
-        )
+        if queries.shape[0] == 0:
+            return np.zeros(0, dtype=np.float64)
+        if (
+            queries.min() < 0
+            or queries[:, 1].max() >= self._side
+            or queries[:, 3].max() >= self._side
+            or np.any(queries[:, 0] > queries[:, 1])
+            or np.any(queries[:, 2] > queries[:, 3])
+        ):
+            # Fall back to the per-query path for its precise errors.
+            return np.array(
+                [
+                    self.answer_rectangle((int(x0), int(x1)), (int(y0), int(y1)))
+                    for x0, x1, y0, y1 in queries
+                ]
+            )
+        x_runs = batched_axis_runs(self._tree, queries[:, 0], queries[:, 1])
+        y_runs = batched_axis_runs(self._tree, queries[:, 2], queries[:, 3])
+        answers = np.zeros(queries.shape[0], dtype=np.float64)
+        for lx, ly in self._pairs:
+            prefix = self._pair_prefix[(lx, ly)]
+            for x_first, x_last in x_runs[lx]:
+                for y_first, y_last in y_runs[ly]:
+                    # Empty run slots (first == last) cancel to exactly 0.
+                    answers += (
+                        prefix[x_last, y_last]
+                        - prefix[x_first, y_last]
+                        - prefix[x_last, y_first]
+                        + prefix[x_first, y_first]
+                    )
+        return answers
 
     def _sum_runs(self, x_runs: List[NodeRun], y_runs: List[NodeRun]) -> float:
         answer = 0.0

@@ -119,7 +119,10 @@ class LdpRangeQuerySession:
 
         Incremental counterpart of :meth:`collect` (each user must still
         appear in exactly one batch); answers are queryable after every
-        batch.  See :meth:`RangeQueryMechanism.partial_fit`.
+        batch.  Batches only accumulate sufficient statistics — the
+        estimates are rebuilt lazily on the next query (or an explicit
+        :meth:`materialize`), so tight ingest loops pay pure accumulation
+        cost.  See :meth:`RangeQueryMechanism.partial_fit`.
         """
         self._mechanism.partial_fit(items, random_state=random_state, mode=mode)
         return self
@@ -249,6 +252,23 @@ class LdpRangeQuerySession:
     @property
     def n_users(self) -> Optional[int]:
         return self._mechanism.n_users
+
+    @property
+    def is_materialized(self) -> bool:
+        """Whether the mechanism's estimates reflect everything collected."""
+        return self._mechanism.is_materialized
+
+    def materialize(self) -> "LdpRangeQuerySession":
+        """Rebuild the queryable estimates now instead of on the next query.
+
+        Collection (``collect_batch``, ``merge_from``, ``collect_async``)
+        only accumulates sufficient statistics; the first query after a
+        mutation pays one reconstruction.  Call this to move that cost off a
+        latency-critical read path — it is idempotent and answers are
+        bit-identical either way.
+        """
+        self._mechanism.materialize()
+        return self
 
     def range_query(self, start: int, end: int) -> float:
         """Estimated fraction of the population inside ``[start, end]``."""

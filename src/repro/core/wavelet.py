@@ -153,7 +153,7 @@ class HaarWaveletMechanism(RangeQueryMechanism):
     ) -> None:
         self._reset_accumulators()
         self._accumulate_batch(items, counts, rng, mode)
-        self._refresh_estimates()
+        self._mark_dirty()
 
     def _partial_collect(
         self,
@@ -165,7 +165,6 @@ class HaarWaveletMechanism(RangeQueryMechanism):
         if self._accumulators is None:
             self._reset_accumulators()
         self._accumulate_batch(items, counts, rng, mode)
-        self._refresh_estimates()
 
     def _merge_state(self, other: "HaarWaveletMechanism") -> None:
         if self._accumulators is None:
@@ -195,13 +194,14 @@ class HaarWaveletMechanism(RangeQueryMechanism):
         if accumulators is not None:
             self._accumulators = accumulators
             self._level_user_counts = counts
-            self._refresh_estimates()
+            self._mark_dirty()
         else:
             self._accumulators = None
             self._coefficients = None
             self._frequencies = None
             self._prefix = None
             self._level_user_counts = None
+            self._mark_clean()
         self._n_users = n_users
         return self
 
@@ -238,14 +238,19 @@ class HaarWaveletMechanism(RangeQueryMechanism):
         return blocks.astype(np.int64), signs.astype(np.int64)
 
     def _accumulate_per_user(self, items: np.ndarray, rng: np.random.Generator) -> None:
-        """Run the real local protocol with each user sampling a level."""
+        """Run the real local protocol with each user sampling a level.
+
+        Only levels that received users are visited (empty levels never
+        consumed randomness anyway), so tiny streaming batches cost
+        O(active levels) instead of O(h) mask scans.
+        """
         n_users = items.shape[0]
         assignments = rng.choice(self._height, size=n_users, p=self._level_probabilities)
-        self._level_user_counts += np.bincount(assignments, minlength=self._height)
-        for level in range(1, self._height + 1):
-            level_items = items[assignments == level - 1]
-            if level_items.size == 0:
-                continue
+        batch_level_counts = np.bincount(assignments, minlength=self._height)
+        self._level_user_counts += batch_level_counts
+        for level_index in np.flatnonzero(batch_level_counts):
+            level = int(level_index) + 1
+            level_items = items[assignments == level_index]
             blocks, signs = self._user_blocks_and_signs(level_items, level)
             oracle = self._oracles[level]
             self._accumulators[level].add(oracle.encode_batch(blocks, rng, signs=signs))
@@ -307,6 +312,12 @@ class HaarWaveletMechanism(RangeQueryMechanism):
         """Per-item estimates from the inverted coefficient vector."""
         self._require_fitted()
         return self._frequencies.copy()
+
+    def estimate_cdf(self) -> np.ndarray:
+        """The materialized prefix sums, reused instead of re-deriving the
+        CDF from the reconstructed frequencies (bit-identical)."""
+        self._require_fitted()
+        return self._prefix[1:].copy()
 
     def answer_ranges(self, queries: np.ndarray) -> np.ndarray:
         """Vectorised evaluation via prefix sums (O(1) per query)."""

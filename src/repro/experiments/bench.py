@@ -3,11 +3,19 @@
 Every suite runs a fixed set of hot-path benchmarks — per-oracle encode and
 aggregate throughput (packed vs dense unary payloads), the blocked OLH
 decode, sharded collection with a merge reduce, constrained inference, the
-2-D grid rectangle workload (one-shot fit and sharded reduce with a
-checkpoint/restore bit-identity check), and an end-to-end epsilon grid
-(serial vs parallel) — and writes the
+2-D grid rectangle workload (one-shot fit, batched rectangle answering and
+sharded reduce with a checkpoint/restore bit-identity check), small-batch
+streaming ingest under lazy materialization (vs the eager
+refresh-per-batch baseline, with a lazy-vs-eager bit-identity check), and
+an end-to-end epsilon grid (serial vs parallel) — and writes the
 measurements to ``BENCH_<suite>.json`` so the perf trajectory of the repo is
 recorded rather than anecdotal.
+
+:func:`compare_payloads` diffs a fresh run against a stored baseline
+payload and flags per-record throughput regressions;
+``python -m repro bench --suite smoke --compare BENCH_smoke.json`` prints
+the diff and exits non-zero when any record dropped below the threshold,
+which is what the CI bench job runs on every PR.
 
 Output schema (``schema_version`` 1)::
 
@@ -62,7 +70,7 @@ try:  # pragma: no cover - resource is Unix-only
 except ImportError:  # pragma: no cover
     resource = None  # type: ignore[assignment]
 
-__all__ = ["SUITES", "BenchRecord", "run_suite"]
+__all__ = ["SUITES", "BenchRecord", "compare_payloads", "load_payload", "run_suite"]
 
 #: Size knobs per named suite.  ``smoke`` finishes in well under a minute on
 #: a laptop and is what CI runs on every PR; ``full`` is for before/after
@@ -92,6 +100,14 @@ SUITES: Dict[str, Dict[str, object]] = {
         grid2d_branching=2,
         grid2d_shards=4,
         grid2d_batches=8,
+        grid2d_rectangles=2000,
+        stream_batch_users=6,
+        stream_hh_domain=16384,
+        stream_hh_branching=2,
+        stream_hh_batches=300,
+        stream_grid_side=128,
+        stream_grid_branching=2,
+        stream_grid_batches=200,
     ),
     "full": dict(
         repeats=5,
@@ -117,6 +133,14 @@ SUITES: Dict[str, Dict[str, object]] = {
         grid2d_branching=2,
         grid2d_shards=8,
         grid2d_batches=16,
+        grid2d_rectangles=5000,
+        stream_batch_users=8,
+        stream_hh_domain=32768,
+        stream_hh_branching=2,
+        stream_hh_batches=600,
+        stream_grid_side=256,
+        stream_grid_branching=2,
+        stream_grid_batches=300,
     ),
 }
 
@@ -343,6 +367,7 @@ def _bench_grid2d(params: dict) -> List[BenchRecord]:
     """
     from repro.core.multidim import HierarchicalGrid2D
     from repro.data.synthetic import clustered_grid_points
+    from repro.data.workloads import random_rectangles
 
     n_users = int(params["grid2d_users"])
     side = int(params["grid2d_side"])
@@ -360,6 +385,18 @@ def _bench_grid2d(params: dict) -> List[BenchRecord]:
         ),
         repeats,
     )
+
+    # Rectangle-workload answering: the batched per-level-pair gathers vs a
+    # Python loop over answer_rectangle (timed once — it is the slow side).
+    fitted = HierarchicalGrid2D(epsilon, side, branching=branching).fit_points(
+        points, random_state=13
+    )
+    rectangles = random_rectangles(side, int(params["grid2d_rectangles"]), random_state=15)
+    wall_rect = _best_wall(lambda: fitted.answer_rectangles(rectangles), repeats)
+    loop_start = time.perf_counter()
+    for x0, x1, y0, y1 in rectangles:
+        fitted.answer_rectangle((int(x0), int(x1)), (int(y0), int(y1)))
+    wall_rect_loop = time.perf_counter() - loop_start
 
     def sharded_run(interrupt: bool) -> HierarchicalGrid2D:
         collector = ShardedCollector(
@@ -398,6 +435,18 @@ def _bench_grid2d(params: dict) -> List[BenchRecord]:
             extras=dict(shared),
         ),
         BenchRecord(
+            name="grid2d_rectangle_queries",
+            wall_seconds=wall_rect,
+            work_items=int(rectangles.shape[0]),
+            unit="queries/s",
+            rss_max_kb=_rss_max_kb(),
+            extras=dict(
+                shared,
+                per_query_loop_wall_seconds=wall_rect_loop,
+                speedup_vs_per_query_loop=wall_rect_loop / wall_rect,
+            ),
+        ),
+        BenchRecord(
             name="grid2d_shard_collect_reduce",
             wall_seconds=wall_sharded,
             work_items=n_users,
@@ -411,6 +460,111 @@ def _bench_grid2d(params: dict) -> List[BenchRecord]:
             ),
         ),
     ]
+
+
+def _bench_stream_ingest(params: dict) -> List[BenchRecord]:
+    """Small-batch streaming ingest: lazy materialization vs eager refresh.
+
+    The headline numbers of the lazy-materialization work: a stream of tiny
+    ``per_user``-mode batches (real local-protocol reports trickling in) is
+    absorbed with pure statistics accumulation plus one final
+    materialization — the new write path — versus the previous behaviour of
+    rebuilding the post-processed estimates (consistency least squares /
+    double-cumsum per level pair) after every batch, emulated by calling
+    ``materialize()`` per batch.  Both runs replay the same seed, so the
+    final estimates must be bit-identical; the comparison is recorded in
+    ``extras`` and surfaces as the ``lazy_vs_eager_bit_identical`` check.
+    """
+    from repro.core.hierarchical import HierarchicalHistogramMechanism
+    from repro.core.multidim import HierarchicalGrid2D
+    from repro.data.synthetic import clustered_grid_points
+    from repro.data.workloads import random_rectangles
+
+    repeats = int(params["repeats"])
+    batch_users = int(params["stream_batch_users"])
+    epsilon = float(params["epsilon"])
+    records: List[BenchRecord] = []
+
+    def run_stream(make, batches, eager: bool):
+        mechanism = make()
+        rng = np.random.default_rng(21)
+        for batch in batches:
+            mechanism.partial_fit(batch, rng, mode="per_user")
+            if eager:
+                mechanism.materialize()
+        mechanism.materialize()
+        return mechanism
+
+    def measure(name, make, batches, extras, read_surfaces) -> None:
+        wall_lazy = _best_wall(lambda: run_stream(make, batches, False), repeats)
+        wall_eager = _best_wall(lambda: run_stream(make, batches, True), repeats)
+        lazy = run_stream(make, batches, False)
+        eager = run_stream(make, batches, True)
+        identical = all(
+            np.array_equal(read(lazy), read(eager)) for read in read_surfaces
+        )
+        records.append(
+            BenchRecord(
+                name=name,
+                wall_seconds=wall_lazy,
+                work_items=sum(int(batch.shape[0]) for batch in batches),
+                unit="users/s",
+                rss_max_kb=_rss_max_kb(),
+                extras=dict(
+                    extras,
+                    mode="per_user",
+                    batch_users=batch_users,
+                    n_batches=len(batches),
+                    eager_wall_seconds=wall_eager,
+                    speedup_vs_eager=wall_eager / wall_lazy,
+                    lazy_vs_eager_bit_identical=identical,
+                ),
+            )
+        )
+
+    hh_domain = int(params["stream_hh_domain"])
+    hh_branching = int(params["stream_hh_branching"])
+    n_hh_batches = int(params["stream_hh_batches"])
+    hh_items = np.random.default_rng(20).integers(
+        0, hh_domain, size=batch_users * n_hh_batches
+    )
+    hh_queries = random_range_queries(
+        hh_domain, 64, random_state=22, name="stream-hh"
+    ).queries
+    measure(
+        "hh_consistent_stream_ingest",
+        lambda: HierarchicalHistogramMechanism(
+            epsilon, hh_domain, branching=hh_branching, consistency=True
+        ),
+        np.array_split(hh_items, n_hh_batches),
+        {"domain_size": hh_domain, "branching": hh_branching},
+        [
+            lambda m: m.estimate_frequencies(),
+            lambda m: m.answer_ranges(hh_queries),
+        ],
+    )
+
+    side = int(params["stream_grid_side"])
+    grid_branching = int(params["stream_grid_branching"])
+    n_grid_batches = int(params["stream_grid_batches"])
+    points = clustered_grid_points(
+        side, batch_users * n_grid_batches, random_state=23
+    )
+    flat = HierarchicalGrid2D(epsilon, side, branching=grid_branching).flatten_points(
+        points
+    )
+    rectangles = random_rectangles(side, 64, random_state=24)
+    measure(
+        "grid2d_stream_ingest",
+        lambda: HierarchicalGrid2D(epsilon, side, branching=grid_branching),
+        np.array_split(flat, n_grid_batches),
+        {"side": side, "branching": grid_branching},
+        [
+            lambda m: m.estimate_heatmap(),
+            lambda m: m.answer_rectangles(rectangles),
+        ],
+    )
+    return records
 
 
 def _bench_epsilon_grid(params: dict, workers: int) -> List[BenchRecord]:
@@ -515,12 +669,15 @@ def run_suite(
     records.extend(_bench_shard_reduce(params))
     records.extend(_bench_consistency(params))
     records.extend(_bench_grid2d(params))
+    records.extend(_bench_stream_ingest(params))
     records.extend(_bench_epsilon_grid(params, workers))
 
     by_name = {record.name: record for record in records}
     packed = by_name["unary_aggregate_packed"]
     grid_parallel = by_name["epsilon_grid_parallel"]
     grid2d = by_name["grid2d_shard_collect_reduce"]
+    hh_stream = by_name["hh_consistent_stream_ingest"]
+    grid_stream = by_name["grid2d_stream_ingest"]
     checks: Dict[str, object] = {
         "packed_payload_ratio": packed.extras["payload_ratio"],
         "packed_aggregate_speedup": packed.extras["speedup_vs_dense"],
@@ -529,6 +686,15 @@ def run_suite(
             "bit_identical_to_serial"
         ],
         "grid2d_restore_bit_identical": grid2d.extras["restore_bit_identical"],
+        "hh_stream_ingest_speedup": hh_stream.extras["speedup_vs_eager"],
+        "grid2d_stream_ingest_speedup": grid_stream.extras["speedup_vs_eager"],
+        "lazy_vs_eager_bit_identical": bool(
+            hh_stream.extras["lazy_vs_eager_bit_identical"]
+            and grid_stream.extras["lazy_vs_eager_bit_identical"]
+        ),
+        "grid2d_rectangle_batch_speedup": by_name["grid2d_rectangle_queries"].extras[
+            "speedup_vs_per_query_loop"
+        ],
     }
 
     payload: Dict[str, object] = {
@@ -551,3 +717,101 @@ def run_suite(
             handle.write("\n")
         payload["path"] = path
     return payload
+
+
+# ----------------------------------------------------------------------
+# Baseline comparison (``python -m repro bench --compare BASELINE.json``)
+# ----------------------------------------------------------------------
+def load_payload(path: str) -> Dict[str, object]:
+    """Read a ``BENCH_<suite>.json`` payload written by :func:`run_suite`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "results" not in payload:
+        raise ConfigurationError(
+            f"{path!r} does not look like a bench payload (no 'results' key)"
+        )
+    return payload
+
+
+def compare_payloads(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    fail_threshold: float = 0.5,
+) -> Dict[str, object]:
+    """Per-record throughput/wall regression diff of two bench payloads.
+
+    Parameters
+    ----------
+    current, baseline:
+        Payloads as produced by :func:`run_suite` / read by
+        :func:`load_payload`.
+    fail_threshold:
+        Maximum tolerated fractional throughput drop per record: a record
+        *regresses* when ``current_throughput < (1 - fail_threshold) *
+        baseline_throughput``.  The default ``0.5`` only flags >2x
+        slowdowns — deliberately lenient because records are compared
+        across commits *and machines* (CI diffs the runner's numbers
+        against the committed baseline), so only drastic cliffs should
+        gate; tighten it for same-machine before/after comparisons.
+
+    Returns
+    -------
+    dict
+        ``rows`` — one entry per current record (name, baseline/current
+        throughput and wall, ``throughput_ratio``, ``status`` of ``ok`` /
+        ``regression`` / ``new``); ``regressions`` — names of regressed
+        records; ``missing`` — baseline records absent from the current
+        run; ``fail_threshold`` echoed back.
+    """
+    if not 0.0 <= float(fail_threshold) < 1.0:
+        raise ConfigurationError(
+            f"fail_threshold must be in [0, 1), got {fail_threshold!r}"
+        )
+    fail_threshold = float(fail_threshold)
+    baseline_by_name = {
+        record["name"]: record for record in baseline.get("results", [])
+    }
+    rows: List[Dict[str, object]] = []
+    regressions: List[str] = []
+    for record in current.get("results", []):
+        name = record["name"]
+        base = baseline_by_name.pop(name, None)
+        if base is None:
+            rows.append(
+                {
+                    "name": name,
+                    "status": "new",
+                    "current_throughput": record["throughput"],
+                    "current_wall": record["wall_seconds"],
+                    "baseline_throughput": None,
+                    "baseline_wall": None,
+                    "throughput_ratio": None,
+                }
+            )
+            continue
+        base_throughput = float(base["throughput"])
+        ratio = (
+            record["throughput"] / base_throughput
+            if base_throughput > 0
+            else float("inf")
+        )
+        regressed = ratio < (1.0 - fail_threshold)
+        rows.append(
+            {
+                "name": name,
+                "status": "regression" if regressed else "ok",
+                "current_throughput": record["throughput"],
+                "current_wall": record["wall_seconds"],
+                "baseline_throughput": base_throughput,
+                "baseline_wall": base["wall_seconds"],
+                "throughput_ratio": ratio,
+            }
+        )
+        if regressed:
+            regressions.append(name)
+    return {
+        "rows": rows,
+        "regressions": regressions,
+        "missing": sorted(baseline_by_name),
+        "fail_threshold": fail_threshold,
+    }

@@ -19,7 +19,13 @@ from repro.exceptions import InvalidQueryError
 from repro.hierarchy.tree import DomainTree
 from repro.transforms.badic import badic_decompose
 
-__all__ = ["NodeRun", "decompose_to_runs", "runs_per_level", "batched_range_sums"]
+__all__ = [
+    "NodeRun",
+    "batched_axis_runs",
+    "batched_range_sums",
+    "decompose_to_runs",
+    "runs_per_level",
+]
 
 
 @dataclass(frozen=True)
@@ -93,6 +99,69 @@ def runs_per_level(runs: List[NodeRun]) -> Dict[int, List[NodeRun]]:
     return grouped
 
 
+def batched_axis_runs(
+    tree: DomainTree,
+    starts: np.ndarray,
+    ends: np.ndarray,
+) -> Dict[int, List[tuple]]:
+    """Per-level node runs of many 1-D B-adic decompositions at once.
+
+    Vectorised counterpart of grouping :func:`decompose_to_runs` output with
+    :func:`runs_per_level` for a whole workload.  For every tree level the
+    result holds a small fixed number of *run slots*; each slot is a pair of
+    integer arrays ``(first, last_exclusive)`` giving, per query, the
+    node-index bounds of one contiguous run at that level in prefix-sum
+    coordinates (``first == last_exclusive`` marks an empty run for that
+    query, which contributes zero through any prefix-difference evaluation).
+
+    This is the single authoritative peeling schedule: one left and one
+    right peel per level (up to the next coarser alignment and down from
+    the last one), with queries that survive every level (the whole padded
+    domain, the implicit root) charged as the full level-1 run — the same
+    convention as :func:`decompose_to_runs`.  :func:`batched_range_sums`
+    evaluates the slots as 1-D prefix differences, and
+    :meth:`repro.core.multidim.HierarchicalGrid2D.answer_rectangles`
+    combines *pairs* of axis decompositions into B-adic rectangle products
+    without a Python loop per query.
+
+    Parameters
+    ----------
+    tree:
+        Domain tree describing the hierarchy geometry.
+    starts, ends:
+        Length-``n`` arrays of inclusive, already validated query bounds
+        inside the original domain.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    ends = np.asarray(ends, dtype=np.int64)
+    lo = starts.copy()
+    hi = ends + 1  # exclusive upper bounds
+    branching = tree.branching
+    runs: Dict[int, List[tuple]] = {}
+    block = 1
+    for level in range(tree.height, 0, -1):
+        coarse = block * branching
+        left_end = np.minimum(hi, ((lo + coarse - 1) // coarse) * coarse)
+        right_start = np.maximum(left_end, (hi // coarse) * coarse)
+        runs[level] = [
+            (lo // block, left_end // block),
+            (right_start // block, hi // block),
+        ]
+        lo, hi = left_end, right_start
+        block = coarse
+    # Only the full padded domain survives every level: charge the implicit
+    # root as the full level-1 run, exactly like decompose_to_runs.
+    survivors = lo < hi
+    if np.any(survivors):
+        runs[1].append(
+            (
+                np.zeros(starts.shape[0], dtype=np.int64),
+                np.where(survivors, tree.nodes_at_level(1), 0),
+            )
+        )
+    return runs
+
+
 def batched_range_sums(
     tree: DomainTree,
     level_prefix: Mapping[int, np.ndarray],
@@ -105,12 +174,9 @@ def batched_range_sums(
     workload of ``n`` queries costs ``O(h)`` numpy passes over length-``n``
     arrays instead of ``n`` Python-level decompositions.
 
-    The peeling mirrors the canonical greedy decomposition.  With exclusive
-    bounds ``[lo, hi)`` that are multiples of the current block size ``s``,
-    the level contributes the left run up to the next coarser alignment and
-    the right run down from it; what survives all levels is exactly the full
-    padded domain (the implicit root), charged as the full level-1 run — the
-    same convention as :func:`decompose_to_runs`.
+    The decomposition itself lives in :func:`batched_axis_runs` (the single
+    authoritative peel, shared with the 2-D rectangle path); this function
+    just evaluates each run slot as a prefix difference.
 
     Parameters
     ----------
@@ -132,30 +198,10 @@ def batched_range_sums(
     queries = np.asarray(queries, dtype=np.int64)
     if queries.ndim != 2 or queries.shape[1] != 2:
         raise InvalidQueryError("queries must be an (n, 2) array")
-    lo = queries[:, 0].copy()
-    hi = queries[:, 1] + 1  # exclusive upper bounds
     answers = np.zeros(queries.shape[0], dtype=np.float64)
-    branching = tree.branching
-    block = 1
+    runs = batched_axis_runs(tree, queries[:, 0], queries[:, 1])
     for level in range(tree.height, 0, -1):
-        if np.all(lo >= hi):
-            return answers
-        coarse = block * branching
         prefix = level_prefix[level]
-        # Left peel: up to the next multiple of the coarser block (or the
-        # whole remainder if it ends first); right peel: down to the last
-        # coarser multiple, never crossing the left peel.
-        left_end = np.minimum(hi, ((lo + coarse - 1) // coarse) * coarse)
-        right_start = np.maximum(left_end, (hi // coarse) * coarse)
-        answers += (prefix[left_end // block] - prefix[lo // block]) + (
-            prefix[hi // block] - prefix[right_start // block]
-        )
-        lo, hi = left_end, right_start
-        block = coarse
-    # Only the full padded domain survives every level: charge the implicit
-    # root as the full level-1 run, exactly like decompose_to_runs.
-    survivors = lo < hi
-    if np.any(survivors):
-        prefix = level_prefix[1]
-        answers[survivors] += prefix[-1] - prefix[0]
+        for first, last in runs[level]:
+            answers += prefix[last] - prefix[first]
     return answers

@@ -16,6 +16,12 @@ hierarchical histogram, Haar wavelet).  A snapshot carries three layers:
    rebuild it from scratch, and its *merge signature*;
 3. the sufficient-statistic arrays, bit-exact.
 
+Snapshots interact cleanly with lazy estimate materialization: only the
+sufficient statistics are serialised, so saving a *dirty* mechanism (one
+with batches absorbed but estimates not yet rebuilt) neither forces a
+materialization nor loses anything — the restored mechanism materializes on
+its first query and answers bit-identically to the snapshotted one.
+
 Restoring is allowed in two modes.  With no ``template``, the object is
 rebuilt from the stored configuration (so a snapshot is fully
 self-contained).  With a ``template`` — an existing oracle, accumulator or

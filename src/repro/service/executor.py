@@ -135,8 +135,8 @@ def collect_across_processes(
             )
 
     reduced = persist.clone_unfitted(template)
-    restored = [persist.from_bytes(result) for result in results]
-    for shard_mechanism in restored[:-1]:
-        reduced.merge_from(shard_mechanism, refresh=False)
-    reduced.merge_from(restored[-1])
+    # Statistic-only merges; the reduced mechanism materializes its
+    # estimates lazily on the first query.
+    for shard_mechanism in (persist.from_bytes(result) for result in results):
+        reduced.merge_from(shard_mechanism)
     return reduced

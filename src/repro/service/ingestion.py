@@ -162,6 +162,59 @@ class IngestionService:
     def n_submitted_batches(self) -> int:
         return self._submitted_batches
 
+    def stats(self) -> dict:
+        """Queue and ingest counters, one JSON-ready dictionary.
+
+        The metrics-export surface of the service (ROADMAP "queue metrics
+        export"): submission totals, per-shard absorption counters, live
+        queue depths and high-water marks, and the lazy-materialization
+        counters of every shard mechanism — ``ingest_generation`` (batches
+        absorbed into the statistics), ``materializations_performed``
+        (estimate rebuilds that actually ran) and
+        ``materializations_deferred`` (rebuilds the lazy read-path saved
+        compared to refreshing after every batch).  Safe to call at any
+        point of the lifecycle, including before :meth:`start` and while
+        producers are running (counters are updated on the event-loop
+        thread; a concurrent snapshot may be one batch stale, never torn
+        mid-shard).
+        """
+        per_shard = []
+        for index, shard in enumerate(self._collector.shards):
+            stat = self._stats[index]
+            queue = self._queues[index] if self._queues is not None else None
+            ingest = int(getattr(shard, "ingest_generation", 0))
+            performed = int(getattr(shard, "materialization_count", 0))
+            per_shard.append(
+                {
+                    "shard": index,
+                    "batches": int(stat.batches),
+                    "users": int(stat.users),
+                    "queue_depth": queue.qsize() if queue is not None else 0,
+                    "queue_peak": int(stat.queue_peak),
+                    "ingest_generation": ingest,
+                    "materializations_performed": performed,
+                    "materializations_deferred": max(0, ingest - performed),
+                }
+            )
+        return {
+            "started": self.started,
+            "n_shards": self._collector.n_shards,
+            "router": self._collector.router.name,
+            "submitted_batches": int(self._submitted_batches),
+            "submitted_users": int(self._submitted_users),
+            "absorbed_batches": sum(entry["batches"] for entry in per_shard),
+            "absorbed_users": sum(entry["users"] for entry in per_shard),
+            "queue_depths": [entry["queue_depth"] for entry in per_shard],
+            "queue_peaks": [entry["queue_peak"] for entry in per_shard],
+            "materializations_performed": sum(
+                entry["materializations_performed"] for entry in per_shard
+            ),
+            "materializations_deferred": sum(
+                entry["materializations_deferred"] for entry in per_shard
+            ),
+            "per_shard": per_shard,
+        }
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------

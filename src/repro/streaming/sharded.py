@@ -306,15 +306,19 @@ class ShardedCollector:
         The shards keep their state, so ingestion may continue and
         :meth:`reduce` may be called again later — the streaming analytics
         pattern of querying a live collection.
+
+        Merging only folds sufficient statistics; the returned mechanism
+        materializes its estimates (consistency, prefix sums, inverse
+        transforms) lazily on the first query.  Call
+        :meth:`~repro.core.base.RangeQueryMechanism.materialize` on the
+        result to move that one-time cost off the first read.
         """
         fitted = [shard for shard in self._shards if shard.is_fitted]
         if not fitted:
             raise NotFittedError("no shard has collected any reports yet")
         reduced = self._make_mechanism()
-        # Fold the statistics of all shards first, rebuild estimates once.
-        for shard in fitted[:-1]:
-            reduced.merge_from(shard, refresh=False)
-        reduced.merge_from(fitted[-1])
+        for shard in fitted:
+            reduced.merge_from(shard)
         return reduced
 
     def session(self) -> LdpRangeQuerySession:

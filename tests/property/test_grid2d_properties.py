@@ -59,9 +59,8 @@ class TestShardCountInvariance:
             for batch in batches
         ]
         merged = HierarchicalGrid2D(EPSILON, SIDE)
-        for shard in shards[:-1]:
-            merged.merge_from(shard, refresh=False)
-        merged.merge_from(shards[-1])
+        for shard in shards:
+            merged.merge_from(shard)
 
         assert merged.n_users == N_USERS
         assert np.array_equal(merged.estimate_heatmap(), sequential.estimate_heatmap())

@@ -1,0 +1,169 @@
+"""Lazy-vs-eager materialization bit-identity, for every mechanism family.
+
+The contract of the lazy write path: because ``_refresh_estimates`` is a
+pure, randomness-free function of the accumulated sufficient statistics,
+*when* it runs cannot matter.  These properties replay one scripted
+collection history — interleaving ``partial_fit`` batches, shard
+``merge_from`` folds and a snapshot/restore round-trip of a still-dirty
+mechanism — twice with the same seeds: once materializing after every
+mutation (the old eager behaviour) and once only at the final read.  Every
+query surface must agree bit-for-bit.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.factory import mechanism_from_spec
+from repro.persist import snapshots
+
+DOMAIN = 64
+
+SPECS = ["flat_oue", "hh_4", "hhc_4", "haar", "grid2d_2"]
+
+specs = st.sampled_from(SPECS)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+modes = st.sampled_from(["aggregate", "per_user"])
+
+
+def _make(spec):
+    return mechanism_from_spec(spec, epsilon=1.1, domain_size=DOMAIN)
+
+
+def _read_surfaces(mechanism):
+    """Concatenate every read surface into one comparable vector."""
+    queries = np.sort(
+        np.random.default_rng(99).integers(
+            0, mechanism.domain_size, size=(32, 2)
+        ),
+        axis=1,
+    )
+    parts = [
+        mechanism.estimate_frequencies(),
+        mechanism.estimate_cdf(),
+        mechanism.answer_ranges(queries),
+        np.asarray(mechanism.quantiles((0.1, 0.5, 0.9)), dtype=np.float64),
+    ]
+    heatmap = getattr(mechanism, "estimate_heatmap", None)
+    if heatmap is not None:
+        parts.append(heatmap().reshape(-1))
+    return np.concatenate(parts)
+
+
+def _run_history(spec, seed, mode, eager):
+    """One scripted ingest history; ``eager`` materializes after every step."""
+
+    def settle(mechanism):
+        if eager:
+            mechanism.materialize()
+        return mechanism
+
+    # grid2d walks the flattened D^2 domain through the same item API.
+    target = _make(spec)
+    item_domain = (
+        target.flat_domain_size
+        if hasattr(target, "flat_domain_size")
+        else target.domain_size
+    )
+    rng_items = np.random.default_rng(seed)
+    batches = [rng_items.integers(0, item_domain, size=400) for _ in range(4)]
+
+    stream = np.random.default_rng(seed + 1)
+    settle(target.partial_fit(batches[0], stream, mode=mode))
+
+    shard = _make(spec)
+    settle(shard.partial_fit(batches[1], stream, mode=mode))
+    settle(target.merge_from(shard))
+
+    # Snapshot the (possibly dirty) mechanism and continue on the restored
+    # copy: statistics-only round-trips must not disturb the history.
+    restored = snapshots.from_bytes(snapshots.to_bytes(target))
+    settle(restored)
+    settle(restored.partial_fit(batches[2], stream, mode=mode))
+
+    second = _make(spec)
+    settle(second.partial_fit(batches[3], stream, mode=mode))
+    settle(restored.merge_from(second))
+    return restored
+
+
+class TestLazyEagerBitIdentity:
+    @given(spec=specs, seed=seeds, mode=modes)
+    @settings(max_examples=20, deadline=None)
+    def test_interleaved_history_is_bit_identical(self, spec, seed, mode):
+        lazy = _run_history(spec, seed, mode, eager=False)
+        eager = _run_history(spec, seed, mode, eager=True)
+        assert lazy.n_users == eager.n_users
+        np.testing.assert_array_equal(_read_surfaces(lazy), _read_surfaces(eager))
+
+    @given(spec=specs, seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_dirty_save_load_round_trip_is_bit_exact(self, spec, seed):
+        mechanism = _make(spec)
+        item_domain = getattr(mechanism, "flat_domain_size", mechanism.domain_size)
+        stream = np.random.default_rng(seed)
+        batches = [
+            np.random.default_rng(seed + i).integers(0, item_domain, size=500)
+            for i in range(2)
+        ]
+        mechanism.partial_fit(batches[0], stream)
+        mechanism.partial_fit(batches[1], stream)
+        assert not mechanism.is_materialized
+        assert mechanism.materialization_count == 0
+
+        # Saving a dirty mechanism must not force a materialization ...
+        data = snapshots.to_bytes(mechanism)
+        assert not mechanism.is_materialized
+        assert mechanism.materialization_count == 0
+
+        # ... and the restored copy answers bit-identically.
+        restored = snapshots.from_bytes(data)
+        assert not restored.is_materialized
+        np.testing.assert_array_equal(
+            _read_surfaces(restored), _read_surfaces(mechanism)
+        )
+        assert restored.materialization_count == 1
+
+
+class TestMaterializationBookkeeping:
+    @pytest.mark.parametrize("spec", SPECS)
+    def test_reads_materialize_once_per_generation(self, spec):
+        mechanism = _make(spec)
+        item_domain = getattr(mechanism, "flat_domain_size", mechanism.domain_size)
+        items = np.random.default_rng(0).integers(0, item_domain, size=1000)
+        assert mechanism.is_materialized  # nothing collected, nothing stale
+
+        mechanism.partial_fit(items, random_state=1)
+        assert not mechanism.is_materialized
+        assert mechanism.ingest_generation == 1
+
+        mechanism.estimate_frequencies()
+        mechanism.estimate_cdf()
+        mechanism.answer_range(0, mechanism.domain_size - 1)
+        assert mechanism.is_materialized
+        assert mechanism.materialization_count == 1
+
+        mechanism.partial_fit(items, random_state=2)
+        assert not mechanism.is_materialized
+        assert mechanism.ingest_generation == 2
+        mechanism.materialize()
+        assert mechanism.materialization_count == 2
+        # materialize is idempotent
+        mechanism.materialize()
+        assert mechanism.materialization_count == 2
+
+    @pytest.mark.parametrize("spec", SPECS)
+    def test_merge_marks_dirty(self, spec):
+        first = _make(spec)
+        second = _make(spec)
+        item_domain = getattr(first, "flat_domain_size", first.domain_size)
+        items = np.random.default_rng(3).integers(0, item_domain, size=800)
+        first.partial_fit(items[:400], random_state=4)
+        second.partial_fit(items[400:], random_state=5)
+        first.estimate_frequencies()
+        assert first.is_materialized
+        first.merge_from(second)
+        assert not first.is_materialized
+        first.estimate_frequencies()
+        assert first.is_materialized

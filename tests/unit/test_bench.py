@@ -5,7 +5,12 @@ import json
 import pytest
 
 from repro.exceptions import ConfigurationError
-from repro.experiments.bench import SUITES, run_suite
+from repro.experiments.bench import (
+    SUITES,
+    compare_payloads,
+    load_payload,
+    run_suite,
+)
 
 #: Shrunk size knobs so the whole suite runs in well under a second.
 TINY = dict(
@@ -31,6 +36,14 @@ TINY = dict(
     grid2d_branching=2,
     grid2d_shards=2,
     grid2d_batches=4,
+    grid2d_rectangles=50,
+    stream_batch_users=4,
+    stream_hh_domain=64,
+    stream_hh_branching=2,
+    stream_hh_batches=8,
+    stream_grid_side=8,
+    stream_grid_branching=2,
+    stream_grid_batches=8,
 )
 
 EXPECTED_BENCHMARKS = {
@@ -44,7 +57,10 @@ EXPECTED_BENCHMARKS = {
     "shard_collect_reduce",
     "consistency_enforce",
     "grid2d_fit_points",
+    "grid2d_rectangle_queries",
     "grid2d_shard_collect_reduce",
+    "hh_consistent_stream_ingest",
+    "grid2d_stream_ingest",
     "epsilon_grid_serial",
     "epsilon_grid_parallel",
 }
@@ -79,6 +95,10 @@ class TestRunSuite:
         assert checks["packed_aggregate_speedup"] > 0
         assert checks["parallel_grid_speedup"] > 0
         assert checks["grid2d_restore_bit_identical"] is True
+        assert checks["hh_stream_ingest_speedup"] > 0
+        assert checks["grid2d_stream_ingest_speedup"] > 0
+        assert checks["lazy_vs_eager_bit_identical"] is True
+        assert checks["grid2d_rectangle_batch_speedup"] > 0
 
     def test_environment_metadata(self, payload):
         environment = payload["environment"]
@@ -103,3 +123,62 @@ class TestRunSuite:
 
     def test_suites_registry(self):
         assert {"smoke", "full"} <= set(SUITES)
+
+
+def _payload_with(throughputs):
+    return {
+        "results": [
+            {
+                "name": name,
+                "throughput": value,
+                "wall_seconds": 1.0 / value if value else 0.0,
+            }
+            for name, value in throughputs.items()
+        ]
+    }
+
+
+class TestComparePayloads:
+    def test_flags_only_drops_past_threshold(self):
+        baseline = _payload_with({"a": 100.0, "b": 100.0, "c": 100.0})
+        current = _payload_with({"a": 120.0, "b": 60.0, "c": 40.0})
+        diff = compare_payloads(current, baseline, fail_threshold=0.5)
+        by_name = {row["name"]: row for row in diff["rows"]}
+        assert by_name["a"]["status"] == "ok"
+        assert by_name["b"]["status"] == "ok"  # 0.6x is above the 0.5x floor
+        assert by_name["c"]["status"] == "regression"
+        assert diff["regressions"] == ["c"]
+
+    def test_new_and_missing_records(self):
+        baseline = _payload_with({"a": 100.0, "gone": 50.0})
+        current = _payload_with({"a": 100.0, "fresh": 10.0})
+        diff = compare_payloads(current, baseline)
+        by_name = {row["name"]: row for row in diff["rows"]}
+        assert by_name["fresh"]["status"] == "new"
+        assert diff["missing"] == ["gone"]
+        assert diff["regressions"] == []
+
+    def test_zero_baseline_throughput_never_regresses(self):
+        baseline = _payload_with({"a": 0.0})
+        current = _payload_with({"a": 10.0})
+        assert compare_payloads(current, baseline)["regressions"] == []
+
+    def test_invalid_threshold_rejected(self):
+        payload = _payload_with({"a": 1.0})
+        with pytest.raises(ConfigurationError):
+            compare_payloads(payload, payload, fail_threshold=1.5)
+
+    def test_load_payload_round_trip_and_validation(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps(_payload_with({"a": 1.0})))
+        assert load_payload(str(path))["results"][0]["name"] == "a"
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        with pytest.raises(ConfigurationError):
+            load_payload(str(bad))
+
+    def test_identical_payloads_compare_clean(self, payload):
+        diff = compare_payloads(payload, payload, fail_threshold=0.1)
+        assert diff["regressions"] == []
+        assert diff["missing"] == []
+        assert all(row["status"] == "ok" for row in diff["rows"])

@@ -154,6 +154,14 @@ class TestMain:
             grid2d_branching=2,
             grid2d_shards=2,
             grid2d_batches=4,
+            grid2d_rectangles=50,
+            stream_batch_users=4,
+            stream_hh_domain=64,
+            stream_hh_branching=2,
+            stream_hh_batches=8,
+            stream_grid_side=8,
+            stream_grid_branching=2,
+            stream_grid_batches=8,
         )
         tiny_suites = {"smoke": dict(bench_module.SUITES["smoke"], **tiny)}
         monkeypatch.setattr(bench_module, "SUITES", tiny_suites)
@@ -162,9 +170,62 @@ class TestMain:
         assert "Benchmark suite 'smoke'" in output
         assert "bit-identical to serial:     True" in output
         assert "grid2d restore bit-identical:              True" in output
+        assert "lazy vs eager bit-identical:               True" in output
         written = json.loads((tmp_path / "BENCH_smoke.json").read_text())
         assert written["suite"] == "smoke"
         assert written["results"]
+
+        # Comparing a run against its own record is clean (exit 0) ...
+        baseline = tmp_path / "BENCH_smoke.json"
+        assert (
+            main(
+                [
+                    "bench",
+                    "--suite",
+                    "smoke",
+                    "--out",
+                    str(tmp_path),
+                    "--workers",
+                    "2",
+                    "--compare",
+                    str(baseline),
+                    "--fail-threshold",
+                    "0.99",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "no regressions" in output
+
+        # ... and an impossible baseline fails with a non-zero exit code —
+        # written over BENCH_smoke.json itself, so this also pins that the
+        # baseline is read *before* run_suite overwrites the file (reading
+        # afterwards would compare the run against itself and pass).
+        inflated = json.loads(baseline.read_text())
+        for record in inflated["results"]:
+            record["throughput"] = record["throughput"] * 1e9
+        baseline.write_text(json.dumps(inflated))
+        assert (
+            main(
+                [
+                    "bench",
+                    "--suite",
+                    "smoke",
+                    "--out",
+                    str(tmp_path),
+                    "--workers",
+                    "2",
+                    "--compare",
+                    str(baseline),
+                    "--fail-threshold",
+                    "0.5",
+                ]
+            )
+            == 1
+        )
+        output = capsys.readouterr().out
+        assert "REGRESSION" in output
 
     def test_grid2d_runs(self, capsys):
         assert (

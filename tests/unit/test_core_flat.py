@@ -58,6 +58,15 @@ class TestAnswers:
         scalar = [mechanism.answer_range(a, b) for a, b in queries]
         np.testing.assert_allclose(vectorised, scalar)
 
+    def test_estimate_cdf_reuses_prefix_bit_exactly(self, small_counts):
+        """The CDF is the materialized prefix array, not a re-derivation."""
+        mechanism = FlatMechanism(1.0, small_counts.shape[0])
+        mechanism.fit_counts(small_counts, random_state=0)
+        np.testing.assert_array_equal(
+            mechanism.estimate_cdf(), np.cumsum(mechanism.estimate_frequencies())
+        )
+        assert mechanism.estimate_cdf().shape == (small_counts.shape[0],)
+
     def test_invalid_queries(self, small_counts):
         mechanism = FlatMechanism(1.0, small_counts.shape[0])
         mechanism.fit_counts(small_counts, random_state=0)

@@ -125,6 +125,19 @@ class TestAnswers:
             truth = medium_counts[start : end + 1].sum() / total
             assert mechanism.answer_range(start, end) == pytest.approx(truth, abs=0.05)
 
+    @pytest.mark.parametrize("domain", [256, 100])  # exact and padded trees
+    def test_estimate_cdf_reuses_leaf_prefix_bit_exactly(self, domain):
+        """The CDF slices the materialized leaf prefix sums — identical to
+        cumsum(frequencies) even when the tree pads the domain."""
+        counts = np.random.default_rng(0).integers(0, 50, size=domain)
+        mechanism = HierarchicalHistogramMechanism(
+            1.1, domain, branching=4, consistency=True
+        ).fit_counts(counts, random_state=1)
+        np.testing.assert_array_equal(
+            mechanism.estimate_cdf(), np.cumsum(mechanism.estimate_frequencies())
+        )
+        assert mechanism.estimate_cdf().shape == (domain,)
+
     def test_full_domain_is_one_with_consistency(self, medium_counts):
         domain = medium_counts.shape[0]
         mechanism = HierarchicalHistogramMechanism(1.0, domain, branching=4, consistency=True)

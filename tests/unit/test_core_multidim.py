@@ -107,7 +107,7 @@ class TestStreamingSurface:
         first = HierarchicalGrid2D(1.5, 16).fit_points(grid_points[:20_000], shared)
         second = HierarchicalGrid2D(1.5, 16).fit_points(grid_points[20_000:], shared)
         merged = HierarchicalGrid2D(1.5, 16)
-        merged.merge_from(first, refresh=False)
+        merged.merge_from(first)
         merged.merge_from(second)
 
         assert merged.n_users == sequential.n_users
@@ -189,6 +189,34 @@ class TestAnswers:
         assert np.allclose(batched, singles)
         with pytest.raises(InvalidQueryError):
             grid.answer_rectangles(np.array([[0, 1, 2]]))
+
+    @pytest.mark.parametrize("side,branching", [(16, 2), (11, 3), (27, 4)])
+    def test_batched_rectangles_match_per_query_path(self, rng, side, branching):
+        """The per-level-pair gathers agree with the run-product loop on a
+        dense random workload, including padded (non-power) domains."""
+        points = np.random.default_rng(1).integers(0, side, size=(20_000, 2))
+        grid = HierarchicalGrid2D(1.5, side, branching=branching).fit_points(
+            points, rng
+        )
+        starts = np.random.default_rng(2).integers(0, side, size=(300, 2))
+        spans = np.random.default_rng(3).integers(0, side, size=(300, 2))
+        x0, y0 = starts[:, 0], starts[:, 1]
+        x1 = np.minimum(side - 1, x0 + spans[:, 0])
+        y1 = np.minimum(side - 1, y0 + spans[:, 1])
+        queries = np.stack([x0, x1, y0, y1], axis=1)
+        batched = grid.answer_rectangles(queries)
+        singles = np.array(
+            [grid.answer_rectangle((a, b), (c, d)) for a, b, c, d in queries]
+        )
+        np.testing.assert_allclose(batched, singles, atol=1e-12)
+
+    def test_answer_rectangles_empty_and_invalid(self, grid_points, rng):
+        grid = HierarchicalGrid2D(1.0, 16).fit_points(grid_points, rng)
+        assert grid.answer_rectangles(np.empty((0, 4), dtype=np.int64)).shape == (0,)
+        with pytest.raises(InvalidQueryError):
+            grid.answer_rectangles(np.array([[0, 16, 0, 15]]))  # x_end out of range
+        with pytest.raises(InvalidQueryError):
+            grid.answer_rectangles(np.array([[5, 2, 0, 15]]))  # reversed x range
 
     def test_flattened_range_equals_rectangles(self, grid_points, rng):
         """A row-major item range is answered as its rectangle cover."""

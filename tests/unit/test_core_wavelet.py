@@ -84,6 +84,14 @@ class TestAnswers:
         split = mechanism.answer_range(3, 30) + mechanism.answer_range(31, 60)
         assert whole == pytest.approx(split, abs=1e-9)
 
+    def test_estimate_cdf_reuses_prefix_bit_exactly(self, small_counts):
+        """The CDF is the materialized prefix array, not a re-derivation."""
+        mechanism = HaarWaveletMechanism(1.0, 64).fit_counts(small_counts, random_state=0)
+        np.testing.assert_array_equal(
+            mechanism.estimate_cdf(), np.cumsum(mechanism.estimate_frequencies())
+        )
+        assert mechanism.estimate_cdf().shape == (64,)
+
     def test_answer_ranges_vectorised_matches_scalar(self, small_counts):
         mechanism = HaarWaveletMechanism(1.0, 64).fit_counts(small_counts, random_state=0)
         queries = np.array([[0, 5], [3, 3], [10, 63]])

@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.exceptions import InvalidQueryError
-from repro.hierarchy.decomposition import NodeRun, decompose_to_runs, runs_per_level
+from repro.hierarchy.decomposition import (
+    NodeRun,
+    batched_axis_runs,
+    decompose_to_runs,
+    runs_per_level,
+)
 from repro.hierarchy.tree import DomainTree
 
 
@@ -73,3 +78,45 @@ class TestRunsPerLevel:
             assert all(run.level == level for run in level_runs)
             # At most a left and a right fringe run per level.
             assert len(level_runs) <= 2
+
+
+class TestBatchedAxisRuns:
+    def _slot_nodes(self, runs, query_index):
+        """Node set per level covered by one query's run slots."""
+        covered = {}
+        for level, slots in runs.items():
+            nodes = []
+            for first, last in slots:
+                nodes.extend(range(int(first[query_index]), int(last[query_index])))
+            covered[level] = sorted(nodes)
+        return covered
+
+    @pytest.mark.parametrize("domain,branching", [(256, 2), (256, 4), (100, 4), (81, 3)])
+    def test_matches_decompose_to_runs(self, domain, branching):
+        tree = DomainTree(domain, branching)
+        rng = np.random.default_rng(7)
+        endpoints = np.sort(rng.integers(0, domain, size=(64, 2)), axis=1)
+        queries = np.concatenate(
+            [endpoints, [[0, domain - 1], [0, 0], [domain - 1, domain - 1]]]
+        )
+        runs = batched_axis_runs(tree, queries[:, 0], queries[:, 1])
+        for index, (start, end) in enumerate(queries):
+            expected = {level: [] for level in tree.levels}
+            for run in decompose_to_runs(tree, int(start), int(end)):
+                expected[run.level].extend(range(run.first, run.last + 1))
+            got = self._slot_nodes(runs, index)
+            for level in tree.levels:
+                assert got.get(level, []) == sorted(expected[level]), (
+                    f"level {level} mismatch for query [{start}, {end}]"
+                )
+
+    def test_empty_slots_have_zero_width(self):
+        tree = DomainTree(64, 2)
+        runs = batched_axis_runs(tree, np.array([10]), np.array([10]))
+        total = sum(
+            int(last[0] - first[0])
+            for slots in runs.values()
+            for first, last in slots
+        )
+        # A point query covers exactly one leaf node.
+        assert total == 1

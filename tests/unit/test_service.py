@@ -199,6 +199,53 @@ class TestIngestionService:
         assert sum(s.batches for s in stats) == len(batches)
         assert all(s.queue_peak <= 2 for s in stats)
 
+    def test_stats_exposes_queue_and_materialization_counters(self, items):
+        collector = make_collector(spec="hhc_4")
+        service = IngestionService(collector)
+
+        # Safe before start: no queues yet, all counters zero.
+        idle = service.stats()
+        assert idle["started"] is False
+        assert idle["submitted_batches"] == 0
+        assert idle["queue_depths"] == [0] * collector.n_shards
+        assert idle["materializations_performed"] == 0
+
+        batches = np.array_split(items, 12)
+
+        async def scenario():
+            async with IngestionService(collector, queue_size=4) as running:
+                for batch in batches:
+                    await running.submit(batch)
+                await running.join()
+                return running.stats()
+
+        stats = asyncio.run(scenario())
+        assert stats["started"] is True
+        assert stats["n_shards"] == collector.n_shards
+        assert stats["submitted_batches"] == len(batches)
+        assert stats["submitted_users"] == items.size
+        assert stats["absorbed_batches"] == len(batches)
+        assert stats["absorbed_users"] == items.size
+        # Ingestion is pure accumulation: every absorbed batch bumped a
+        # shard's generation and not a single materialization ran.
+        assert stats["materializations_performed"] == 0
+        assert stats["materializations_deferred"] == len(batches)
+        assert sum(
+            entry["ingest_generation"] for entry in stats["per_shard"]
+        ) == len(batches)
+        for entry in stats["per_shard"]:
+            assert entry["queue_depth"] == 0  # drained by join()
+            assert entry["queue_peak"] <= 4
+
+        # Reading the reduced mechanism does not touch the shards ...
+        collector.reduce().estimate_frequencies()
+        after = service.stats()
+        assert after["materializations_performed"] == 0
+        # ... but reading a shard directly is counted.
+        shard = next(s for s in collector.shards if s.is_fitted)
+        shard.estimate_frequencies()
+        assert service.stats()["materializations_performed"] == 1
+
     def test_invalid_batch_rejected_at_submit_without_routing(self, items):
         """Validation precedes routing: a bad batch costs no routing state."""
         collector = make_collector(router="least-loaded")

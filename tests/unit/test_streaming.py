@@ -114,24 +114,27 @@ class TestMergeFrom:
         target.merge_from(source)
         assert target.n_users == items.size
 
-    def test_deferred_refresh_folds_shards_once(self, items):
-        # refresh=False defers the estimate rebuild; the final refreshing
-        # merge must land on exactly the all-at-once result.
+    def test_lazy_merges_fold_shards_with_one_materialization(self, items):
+        # Merging only touches statistics; the estimates are rebuilt once,
+        # on the first read, and land exactly on the eager per-merge result.
         parts = [
             FlatMechanism(1.0, DOMAIN).fit_items(chunk, random_state=index)
             for index, chunk in enumerate(np.array_split(items, 3))
         ]
         eager = FlatMechanism(1.0, DOMAIN)
         for part in parts:
-            eager.merge_from(part)
+            eager.merge_from(part).materialize()
         lazy = FlatMechanism(1.0, DOMAIN)
-        lazy.merge_from(parts[0], refresh=False)
-        lazy.merge_from(parts[1], refresh=False)
-        lazy.merge_from(parts[2])
+        for part in parts:
+            lazy.merge_from(part)
+        assert not lazy.is_materialized
+        assert lazy.materialization_count == 0
         assert lazy.n_users == eager.n_users == items.size
         np.testing.assert_array_equal(
             lazy.estimate_frequencies(), eager.estimate_frequencies()
         )
+        assert lazy.is_materialized
+        assert lazy.materialization_count == 1
 
     def test_unsupported_mechanism_raises_configuration_error(self):
         from repro.core.base import RangeQueryMechanism
