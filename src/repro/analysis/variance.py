@@ -31,7 +31,7 @@ from __future__ import annotations
 import math
 
 from repro.exceptions import ConfigurationError, InvalidQueryError
-from repro.privacy.budget import validate_epsilon
+from repro.privacy.budget import exp_epsilon
 
 __all__ = [
     "frequency_oracle_variance",
@@ -79,9 +79,8 @@ def _check_range_length(range_length: int, domain_size: int) -> int:
 
 def frequency_oracle_variance(epsilon: float, n_users: int) -> float:
     """``V_F = 4 e^eps / (N (e^eps - 1)^2)`` shared by OUE, OLH and HRR."""
-    eps = validate_epsilon(epsilon)
     n_users = _check_users(n_users)
-    e = math.exp(eps)
+    e = exp_epsilon(epsilon)
     return 4.0 * e / (n_users * (e - 1.0) ** 2)
 
 

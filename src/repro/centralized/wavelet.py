@@ -124,9 +124,9 @@ class PriveletWavelet:
                 0.0, self.noise_scale(height), size=start
             )
         self._coefficients = noisy
-        reconstructed = haar_inverse(noisy)
-        self._frequencies = reconstructed[: self._domain_size]
-        self._prefix = np.concatenate([[0.0], np.cumsum(self._frequencies)])
+        frequencies = haar_inverse(noisy)[: self._domain_size]
+        self._frequencies = frequencies
+        self._prefix = np.concatenate([[0.0], np.cumsum(frequencies)])
         self._n_users = int(round(counts.sum()))
         return self
 

@@ -21,11 +21,19 @@ Examples
     python -m repro bench --suite smoke
     python -m repro bench --suite smoke --compare BENCH_smoke.json
     python -m repro grid2d --side 32 --shards 4 --checkpoint /tmp/grid.snap
+    python -m repro lint --format json
+    python -m repro lint --baseline LINT_BASELINE.json
+
+``lint`` is the odd one out: instead of an experiment it runs the
+AST-based DP-contract linter of :mod:`repro.devtools.lint` (rule table:
+``python -m repro lint --list-rules``) and owns its own flags, so it is
+dispatched before the experiment parser.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import List, Optional, Sequence
 
 from repro.core.quantiles import DECILES
@@ -65,6 +73,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate tables/figures from 'Answering Range Queries Under LDP'.",
+        epilog="'python -m repro lint' runs the DP-contract linter instead "
+        "(own flags; see 'python -m repro lint --help').",
     )
     parser.add_argument("experiment", choices=EXPERIMENTS, help="which experiment to run")
     parser.add_argument("--domain", type=int, default=1 << 10, help="domain size D")
@@ -657,7 +667,17 @@ def _run_bench(config: ExperimentConfig, args: argparse.Namespace):
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "lint":
+        # The linter has its own argument surface (paths, --format,
+        # --baseline, ...); hand over before the experiment parser rejects
+        # them.  Imported lazily: linting is a dev/CI surface and the
+        # experiment CLI should not pay for it.
+        from repro.devtools.lint import main as lint_main
+
+        return lint_main(arguments[1:])
     parser = build_parser()
+    argv = arguments
     args = parser.parse_args(argv)
     config = _config(args)
 

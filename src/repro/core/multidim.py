@@ -52,7 +52,7 @@ from repro.hierarchy.decomposition import (
     decompose_to_runs,
 )
 from repro.hierarchy.tree import DomainTree
-from repro.privacy.randomness import RandomState, as_generator
+from repro.privacy.randomness import RandomState
 
 __all__ = ["HierarchicalGrid2D"]
 

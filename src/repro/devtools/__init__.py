@@ -1,0 +1,15 @@
+"""Developer tooling for the ``repro`` codebase.
+
+:mod:`repro.devtools.lint` is an AST-based static-analysis pass that turns
+the repository's correctness *conventions* — RNG hygiene, epsilon flow,
+write-path purity, asyncio discipline, persist coverage, exception
+discipline — into machine-checked rules.  It ships as
+``python -m repro lint`` and runs in CI next to the test suite.
+
+Nothing in this package is imported by the library at runtime; it exists so
+the invariants the library documents stay true as the code grows.
+"""
+
+from repro.devtools.lint import Finding, lint_paths, main
+
+__all__ = ["Finding", "lint_paths", "main"]

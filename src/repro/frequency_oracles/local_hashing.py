@@ -16,7 +16,6 @@ domains.
 
 from __future__ import annotations
 
-import math
 from typing import Any, Dict, Optional
 
 import numpy as np
@@ -179,14 +178,14 @@ class OptimalLocalHashing(FrequencyOracle):
     ) -> None:
         super().__init__(epsilon, domain_size)
         if hash_range is None:
-            hash_range = int(round(math.exp(self.epsilon))) + 1
+            hash_range = int(round(self._budget.exp_epsilon)) + 1
         if hash_range < 2:
             raise ConfigurationError(
                 f"hash range must be at least 2, got {hash_range!r}"
             )
         self._hash_range = int(hash_range)
         self._family = UniversalHashFamily(self._domain_size, self._hash_range)
-        exp_eps = math.exp(self.epsilon)
+        exp_eps = self._budget.exp_epsilon
         #: probability of reporting the *true* hashed symbol (GRR over [g])
         self._p = exp_eps / (exp_eps + self._hash_range - 1)
         #: support probability of any non-true item in the original domain

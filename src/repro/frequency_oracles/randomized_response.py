@@ -18,6 +18,7 @@ from typing import Any, Dict
 
 import numpy as np
 
+from repro.exceptions import ConfigurationError, InvalidDomainError, InvalidQueryError
 from repro.frequency_oracles.accumulators import OracleAccumulator
 from repro.frequency_oracles.base import FrequencyOracle, OracleReports
 from repro.privacy.budget import PrivacyBudget
@@ -64,7 +65,7 @@ class BinaryRandomizedResponse:
         rng = as_generator(random_state)
         bits = np.asarray(bits)
         if bits.size and not np.all(np.isin(bits, (-1, 1))):
-            raise ValueError("bits must be -1 or +1")
+            raise InvalidQueryError("bits must be -1 or +1")
         keep = rng.random(bits.shape) < self._keep_probability
         return np.where(keep, bits, -bits).astype(np.int64)
 
@@ -128,7 +129,7 @@ class GeneralizedRandomizedResponse(FrequencyOracle):
         super().__init__(epsilon, domain_size)
         if domain_size < 2:
             # A one-item domain has nothing to hide; GRR needs >= 2 symbols.
-            raise ValueError("GRR requires a domain of at least two items")
+            raise InvalidDomainError("GRR requires a domain of at least two items")
         self._probabilities = grr_probabilities(epsilon, self._domain_size)
 
     @property
@@ -196,6 +197,6 @@ class GeneralizedRandomizedResponse(FrequencyOracle):
     def theoretical_variance(self, n_users: int) -> float:
         """Small-frequency variance ``q (1 - q) / (N (p - q)^2)``."""
         if n_users <= 0:
-            raise ValueError(f"n_users must be positive, got {n_users!r}")
+            raise ConfigurationError(f"n_users must be positive, got {n_users!r}")
         p, q = self.p, self.q
         return q * (1.0 - q) / (n_users * (p - q) ** 2)

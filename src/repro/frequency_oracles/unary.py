@@ -34,7 +34,7 @@ from typing import Any, Dict, Optional
 
 import numpy as np
 
-from repro.exceptions import InvalidQueryError
+from repro.exceptions import ConfigurationError, InvalidQueryError
 from repro.frequency_oracles.accumulators import OracleAccumulator
 from repro.frequency_oracles.base import FrequencyOracle, OracleReports
 from repro.privacy.mechanisms import (
@@ -229,7 +229,7 @@ class _UnaryEncodingOracle(FrequencyOracle):
         For OUE this equals the canonical ``4 e^eps / (N (e^eps - 1)^2)``.
         """
         if n_users <= 0:
-            raise ValueError(f"n_users must be positive, got {n_users!r}")
+            raise ConfigurationError(f"n_users must be positive, got {n_users!r}")
         p, q = self.p, self.q
         return q * (1.0 - q) / (n_users * (p - q) ** 2)
 

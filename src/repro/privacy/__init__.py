@@ -14,7 +14,7 @@ than any particular mechanism:
   so that every experiment is reproducible from a single seed.
 """
 
-from repro.privacy.budget import PrivacyBudget, validate_epsilon
+from repro.privacy.budget import PrivacyBudget, exp_epsilon, validate_epsilon
 from repro.privacy.mechanisms import (
     PerturbationProbabilities,
     binary_rr_probability,
@@ -27,6 +27,7 @@ from repro.privacy.randomness import RandomState, as_generator, spawn_generators
 
 __all__ = [
     "PrivacyBudget",
+    "exp_epsilon",
     "validate_epsilon",
     "PerturbationProbabilities",
     "binary_rr_probability",

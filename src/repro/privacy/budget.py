@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 from repro.exceptions import InvalidPrivacyBudgetError
 
-__all__ = ["PrivacyBudget", "validate_epsilon"]
+__all__ = ["PrivacyBudget", "exp_epsilon", "validate_epsilon"]
 
 
 def validate_epsilon(epsilon: float) -> float:
@@ -54,6 +54,19 @@ def validate_epsilon(epsilon: float) -> float:
             f"epsilon={value!r} is implausibly large (no privacy); refusing"
         )
     return value
+
+
+def exp_epsilon(epsilon: float) -> float:
+    """Validate ``epsilon`` and return ``exp(epsilon)``.
+
+    The likelihood-ratio bound of the LDP guarantee.  All probability
+    arithmetic on ``epsilon`` is confined to :mod:`repro.privacy`
+    (lint rule LDP-R002); modules that need ``e^eps`` — variance bounds,
+    oracle perturbation probabilities — call this helper (or
+    :attr:`PrivacyBudget.exp_epsilon`) instead of ``math.exp`` so that
+    every epsilon crossing into arithmetic has been validated exactly once.
+    """
+    return math.exp(validate_epsilon(epsilon))
 
 
 @dataclass(frozen=True)

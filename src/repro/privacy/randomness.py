@@ -13,6 +13,8 @@ from typing import Iterable, List, Union
 
 import numpy as np
 
+from repro.exceptions import ConfigurationError
+
 __all__ = ["RandomState", "as_generator", "spawn_generators"]
 
 #: Anything accepted as a source of randomness by the library.
@@ -42,7 +44,7 @@ def spawn_generators(random_state: RandomState, count: int) -> List[np.random.Ge
     results.
     """
     if count < 0:
-        raise ValueError(f"count must be non-negative, got {count!r}")
+        raise ConfigurationError(f"count must be non-negative, got {count!r}")
     if isinstance(random_state, np.random.SeedSequence):
         seq = random_state
     elif isinstance(random_state, np.random.Generator):

@@ -34,7 +34,7 @@ import asyncio
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -238,15 +238,31 @@ class IngestionService:
         return self
 
     async def stop(self) -> None:
-        """Cancel the workers and release the thread pool (no draining)."""
+        """Cancel the workers and release the thread pool (no draining).
+
+        A worker task is only ever supposed to end via cancellation; any
+        other exception that killed one (a bug in the queue plumbing, a
+        corrupted job) is collected here and re-raised after cleanup —
+        previously those results were gathered and silently discarded
+        (lint rule LDP-R004), so a dead shard looked like a clean stop.
+        """
         for task in self._workers:
             task.cancel()
-        await asyncio.gather(*self._workers, return_exceptions=True)
+        results = await asyncio.gather(*self._workers, return_exceptions=True)
         self._workers = []
         self._queues = None
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        failures = [
+            result
+            for result in results
+            if isinstance(result, BaseException)
+            and not isinstance(result, asyncio.CancelledError)
+        ]
+        if failures:
+            self._errors.extend(failures)
+            raise failures[0]
 
     async def join(self) -> None:
         """Wait until every queued batch has been aggregated.

@@ -276,6 +276,50 @@ class TestIngestionService:
         with pytest.raises(InvalidQueryError, match="shard died"):
             asyncio.run(scenario())
 
+    def test_stop_surfaces_dead_worker_exceptions(self, items):
+        """Regression: stop() used to gather worker results with
+        ``return_exceptions=True`` and discard them, so a worker task that
+        died of anything but cancellation looked like a clean shutdown.
+        stop() must complete the teardown and then re-raise the failure."""
+        collector = make_collector()
+        boom = RuntimeError("shard worker died")
+
+        async def dying_worker():
+            raise boom
+
+        async def scenario():
+            service = await IngestionService(collector).start()
+            # Simulate a worker task killed by a plumbing bug (not by a bad
+            # batch, which the workers catch and report via join()).
+            service._workers.append(
+                asyncio.get_running_loop().create_task(dying_worker())
+            )
+            await asyncio.sleep(0)  # let the dying task reach its exception
+            with pytest.raises(RuntimeError, match="shard worker died"):
+                await service.stop()
+            # Teardown still completed, and the failure is kept for
+            # post-mortem inspection alongside batch errors.
+            assert not service.started
+            assert service._workers == []
+            assert boom in service._errors
+
+        asyncio.run(scenario())
+
+    def test_stop_without_worker_failures_raises_nothing(self, items):
+        """The happy teardown path stays silent (cancellations are not
+        failures)."""
+        collector = make_collector()
+
+        async def scenario():
+            service = await IngestionService(collector).start()
+            await service.submit(items[:100])
+            await service.join()
+            await service.stop()
+            assert service._errors == []
+            assert not service.started
+
+        asyncio.run(scenario())
+
     def test_workers_stopped_even_when_exit_raises(self, items, monkeypatch):
         """A failing drain must still tear the service down (no task leak)."""
         collector = make_collector()
