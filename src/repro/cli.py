@@ -23,11 +23,14 @@ Examples
     python -m repro grid2d --side 32 --shards 4 --checkpoint /tmp/grid.snap
     python -m repro lint --format json
     python -m repro lint --baseline LINT_BASELINE.json
+    python -m repro serve --shards 4 --port 8080
+    python -m repro serve --shards 2 --autoscale --max-shards 8
 
-``lint`` is the odd one out: instead of an experiment it runs the
-AST-based DP-contract linter of :mod:`repro.devtools.lint` (rule table:
-``python -m repro lint --list-rules``) and owns its own flags, so it is
-dispatched before the experiment parser.
+``lint`` and ``serve`` are the odd ones out: instead of an experiment,
+``lint`` runs the AST-based DP-contract linter of :mod:`repro.devtools.lint`
+(rule table: ``python -m repro lint --list-rules``) and ``serve`` stands up
+the HTTP ingestion front of :mod:`repro.service.http` in the foreground.
+Both own their flags, so they are dispatched before the experiment parser.
 """
 
 from __future__ import annotations
@@ -50,7 +53,7 @@ from repro.experiments.figures import (
 )
 from repro.experiments.reporting import format_table, render_results
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "build_serve_parser"]
 
 EXPERIMENTS = (
     "fig4",
@@ -617,8 +620,12 @@ def _run_bench(config: ExperimentConfig, args: argparse.Namespace):
         "",
         f"packed payload ratio (dense/packed bytes): {checks['packed_payload_ratio']:.1f}x",
         f"packed aggregate speedup vs dense:         {checks['packed_aggregate_speedup']:.2f}x",
-        f"parallel grid speedup vs serial:           {checks['parallel_grid_speedup']:.2f}x",
+        f"parallel grid speedup vs serial:           {checks['parallel_grid_speedup']:.2f}x"
+        f" (gate {'passed' if checks['parallel_grid_speedup_ok'] else 'FAILED'})",
         f"parallel grid bit-identical to serial:     {checks['parallel_grid_bit_identical']}",
+        f"http ingest latency p50/p99:               "
+        f"{checks['http_ingest_p50_ms']:.2f}/{checks['http_ingest_p99_ms']:.2f} ms",
+        f"autoscaled reduce bit-identical to static: {checks['autoscale_bit_identical']}",
         f"grid2d restore bit-identical:              {checks['grid2d_restore_bit_identical']}",
         f"hh stream-ingest speedup (lazy vs eager):  {checks['hh_stream_ingest_speedup']:.2f}x",
         f"grid2d stream-ingest speedup:              {checks['grid2d_stream_ingest_speedup']:.2f}x",
@@ -665,9 +672,149 @@ def _run_bench(config: ExperimentConfig, args: argparse.Namespace):
     return "\n".join(lines)
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    """Parser for ``python -m repro serve`` (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description=(
+            "Run the HTTP ingestion front in the foreground: POST /v1/batches "
+            "and /v1/points feed a sharded LDP collector, GET /metrics serves "
+            "Prometheus text, and --autoscale lets the shard set follow the "
+            "load without changing the estimates."
+        ),
+    )
+    parser.add_argument("--host", type=str, default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8080, help="TCP port (0 = kernel-assigned)"
+    )
+    parser.add_argument(
+        "--mechanism", type=str, default="hhc_4", help="mechanism spec to collect"
+    )
+    parser.add_argument("--epsilon", type=float, default=1.1, help="privacy budget")
+    parser.add_argument("--domain", type=int, default=1 << 10, help="domain size D")
+    parser.add_argument("--shards", type=int, default=2, help="initial shard count")
+    parser.add_argument("--seed", type=int, default=20190630, help="random seed")
+    parser.add_argument(
+        "--router",
+        type=str,
+        default="least-loaded",
+        choices=["round-robin", "hash", "least-loaded"],
+        help="shard routing policy (least-loaded feeds the autoscaler signal)",
+    )
+    parser.add_argument(
+        "--queue-size", type=int, default=8, help="per-shard queue capacity"
+    )
+    parser.add_argument(
+        "--parallelism",
+        type=int,
+        default=0,
+        help="aggregation thread-pool size (0 = event loop)",
+    )
+    parser.add_argument(
+        "--autoscale",
+        action="store_true",
+        help="grow/shrink the shard set from queue pressure",
+    )
+    parser.add_argument(
+        "--min-shards", type=int, default=1, help="autoscale floor"
+    )
+    parser.add_argument(
+        "--max-shards", type=int, default=8, help="autoscale ceiling"
+    )
+    parser.add_argument(
+        "--grow-at",
+        type=float,
+        default=0.75,
+        help="mean queue-fill fraction that triggers growth",
+    )
+    parser.add_argument(
+        "--shrink-at",
+        type=float,
+        default=0.10,
+        help="mean queue-fill fraction that triggers shrinking",
+    )
+    parser.add_argument(
+        "--check-interval",
+        type=int,
+        default=16,
+        help="accepted batches between autoscale checks",
+    )
+    return parser
+
+
+def _serve_main(argv: Sequence[str]) -> int:
+    """``python -m repro serve`` — foreground HTTP service until Ctrl-C."""
+    import signal
+    import threading
+
+    from repro.service import AutoscalePolicy, HttpServerThread
+    from repro.streaming import ShardedCollector
+
+    args = build_serve_parser().parse_args(list(argv))
+    # Catch SIGINT via a handler-set event rather than KeyboardInterrupt:
+    # an interrupt delivered outside a try block (e.g. while the server is
+    # still booting) must still shut down gracefully instead of killing the
+    # process mid-drain.  signal.signal only works on the main thread; when
+    # embedded elsewhere (tests driving main() from a worker thread) fall
+    # back to the interrupt-as-exception path.
+    shutdown = threading.Event()
+    previous_handler = None
+    if threading.current_thread() is threading.main_thread():
+        previous_handler = signal.signal(signal.SIGINT, lambda *_: shutdown.set())
+    collector = ShardedCollector(
+        args.mechanism,
+        epsilon=args.epsilon,
+        domain_size=args.domain,
+        n_shards=args.shards,
+        random_state=args.seed,
+        router=args.router,
+    )
+    policy = None
+    if args.autoscale:
+        policy = AutoscalePolicy(
+            min_shards=args.min_shards,
+            max_shards=args.max_shards,
+            grow_at=args.grow_at,
+            shrink_at=args.shrink_at,
+        )
+    server = HttpServerThread(
+        collector,
+        host=args.host,
+        port=args.port,
+        queue_size=args.queue_size,
+        parallelism=args.parallelism,
+        autoscale=args.autoscale,
+        policy=policy,
+        check_interval=args.check_interval,
+    )
+    try:
+        server.start()
+        print(
+            f"serving {args.mechanism} (epsilon={args.epsilon}, D={args.domain}, "
+            f"{args.shards} shard{'s' if args.shards != 1 else ''}"
+            f"{', autoscaling' if args.autoscale else ''}) "
+            f"on http://{server.host}:{server.port} — Ctrl-C to stop",
+            flush=True,
+        )
+        while not shutdown.wait(timeout=3600):
+            pass
+        print("shutting down (draining queues)...", flush=True)
+    except KeyboardInterrupt:
+        print("shutting down (draining queues)...", flush=True)
+    finally:
+        if previous_handler is not None:
+            signal.signal(signal.SIGINT, previous_handler)
+        server.stop()
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "serve":
+        # The HTTP front owns its flags (--port, --autoscale, ...); hand
+        # over before the experiment parser rejects them.
+        return _serve_main(arguments[1:])
     if arguments and arguments[0] == "lint":
         # The linter has its own argument surface (paths, --format,
         # --baseline, ...); hand over before the experiment parser rejects

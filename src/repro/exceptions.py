@@ -39,3 +39,10 @@ class ProtocolError(ReproError, RuntimeError):
 class ConfigurationError(ReproError, ValueError):
     """Raised for invalid mechanism / experiment configuration values, such
     as a branching factor below two or a non-positive population size."""
+
+
+class ServiceOverloadedError(ReproError, RuntimeError):
+    """Raised when a non-blocking submission finds the target shard's queue
+    full (or the service mid-scale).  The network tier maps this to HTTP
+    ``503 Service Unavailable`` with a ``Retry-After`` hint — the batch was
+    *not* absorbed and should be retried by the producer."""

@@ -6,10 +6,12 @@ decode, sharded collection with a merge reduce, constrained inference, the
 2-D grid rectangle workload (one-shot fit, batched rectangle answering and
 sharded reduce with a checkpoint/restore bit-identity check), small-batch
 streaming ingest under lazy materialization (vs the eager
-refresh-per-batch baseline, with a lazy-vs-eager bit-identity check), and
-an end-to-end epsilon grid (serial vs parallel) — and writes the
-measurements to ``BENCH_<suite>.json`` so the perf trajectory of the repo is
-recorded rather than anecdotal.
+refresh-per-batch baseline, with a lazy-vs-eager bit-identity check), an
+end-to-end HTTP batch ingest against a localhost service (raw p50/p99
+request latency, with explicit mid-run scale events and a static-replay
+bit-identity check), and an end-to-end epsilon grid (serial vs parallel)
+— and writes the measurements to ``BENCH_<suite>.json`` so the perf
+trajectory of the repo is recorded rather than anecdotal.
 
 :func:`compare_payloads` diffs a fresh run against a stored baseline
 payload and flags per-record throughput regressions;
@@ -108,6 +110,11 @@ SUITES: Dict[str, Dict[str, object]] = {
         stream_grid_side=128,
         stream_grid_branching=2,
         stream_grid_batches=200,
+        http_domain=256,
+        http_shards=2,
+        http_queue_size=8,
+        http_batches=60,
+        http_batch_users=500,
     ),
     "full": dict(
         repeats=5,
@@ -141,6 +148,11 @@ SUITES: Dict[str, Dict[str, object]] = {
         stream_grid_side=256,
         stream_grid_branching=2,
         stream_grid_batches=300,
+        http_domain=1024,
+        http_shards=4,
+        http_queue_size=8,
+        http_batches=200,
+        http_batch_users=2000,
     ),
 }
 
@@ -568,6 +580,20 @@ def _bench_stream_ingest(params: dict) -> List[BenchRecord]:
 
 
 def _bench_epsilon_grid(params: dict, workers: int) -> List[BenchRecord]:
+    """Serial vs parallel epsilon-grid sweep, clamped to available cores.
+
+    Requesting more worker processes than the machine has cores cannot
+    speed anything up — it only adds fork/pickle overhead — so the
+    effective worker count is ``min(workers, cpu_count)``.  On a one-core
+    host that clamp makes the parallel configuration *identical* to the
+    serial execution plan (``run_epsilon_grid`` dispatches ``workers=1``
+    in-process), so its wall is measured but the speedup is ``1.0`` by
+    construction; the second run still earns its keep as a same-seed rerun
+    determinism check.  On multicore hosts both configurations are timed
+    and the honest speedup recorded — the chunked submissions (one worker
+    round trip per chunk of cells, not per repetition) are what keep the
+    pool overhead from drowning small grids.
+    """
     domain = int(params["grid_domain"])
     counts = DataConfig().counts(domain, int(params["grid_users"]))
     workload = random_range_queries(domain, 2000, random_state=10, name="bench-grid")
@@ -575,6 +601,7 @@ def _bench_epsilon_grid(params: dict, workers: int) -> List[BenchRecord]:
     epsilons = list(params["grid_epsilons"])
     repetitions = int(params["grid_repetitions"])
     cells = len(specs) * len(epsilons) * repetitions
+    effective_workers = max(1, min(int(workers), os.cpu_count() or 1))
 
     def run(n_workers: int):
         return run_epsilon_grid(
@@ -591,9 +618,11 @@ def _bench_epsilon_grid(params: dict, workers: int) -> List[BenchRecord]:
     serial = run(1)
     wall_serial = time.perf_counter() - start
     start = time.perf_counter()
-    parallel = run(workers)
+    parallel = run(effective_workers)
     wall_parallel = time.perf_counter() - start
     bit_identical = serial == parallel
+    degenerate = effective_workers == 1
+    speedup = 1.0 if degenerate else wall_serial / wall_parallel
     return [
         BenchRecord(
             name="epsilon_grid_serial",
@@ -611,11 +640,126 @@ def _bench_epsilon_grid(params: dict, workers: int) -> List[BenchRecord]:
             rss_max_kb=_rss_max_kb(),
             extras={
                 "domain_size": domain,
-                "workers": workers,
-                "speedup_vs_serial": wall_serial / wall_parallel,
+                "workers": effective_workers,
+                "workers_requested": int(workers),
+                "single_cpu_degenerate": degenerate,
+                "speedup_vs_serial": speedup,
+                "measured_wall_ratio": wall_serial / wall_parallel,
                 "bit_identical_to_serial": bit_identical,
             },
         ),
+    ]
+
+
+def _bench_http_ingest(params: dict) -> List[BenchRecord]:
+    """End-to-end HTTP batch ingest: localhost service, real wire latency.
+
+    A :class:`~repro.service.http.HttpServerThread` serves a sharded
+    collector on ``127.0.0.1``; a synchronous
+    :class:`~repro.service.client.ServiceClient` (one fleet producer) posts
+    ``http_batches`` JSON batches and the per-request wall — JSON encode,
+    TCP round trip, parse, validate, route, enqueue, respond — is sampled
+    raw, yielding exact p50/p99 rather than bucketed estimates.
+
+    Midway through, the bench drives two explicit scale events (grow, then
+    shrink) through :meth:`HttpServerThread.scale_to`, logging the stream
+    id each accepted batch landed on (the 202 response carries it).  After
+    the run, a *static* collector with one shard per spawned stream
+    replays the same batches pinned to those logged streams: its
+    ``reduce()`` must match the autoscaled run bit-for-bit — the
+    scale-events-don't-change-estimates contract, measured over the real
+    wire (surfaced as the ``autoscale_bit_identical`` check).
+    """
+    from repro.service.client import ServiceClient
+    from repro.service.http import HttpServerThread
+
+    domain = int(params["http_domain"])
+    n_shards = int(params["http_shards"])
+    queue_size = int(params["http_queue_size"])
+    n_batches = int(params["http_batches"])
+    batch_users = int(params["http_batch_users"])
+    epsilon = float(params["epsilon"])
+    rng = np.random.default_rng(30)
+    batches = [
+        rng.integers(0, domain, size=batch_users) for _ in range(n_batches)
+    ]
+    # Scale at the third points: grow by one, later shrink back.
+    grow_after = n_batches // 3
+    shrink_after = (2 * n_batches) // 3
+
+    collector = ShardedCollector(
+        "hhc_4",
+        epsilon=epsilon,
+        domain_size=domain,
+        n_shards=n_shards,
+        random_state=31,
+        router="least-loaded",
+    )
+    latencies: List[float] = []
+    placements: List[tuple] = []
+    rejected = 0
+    with HttpServerThread(collector, queue_size=queue_size) as server:
+        client = ServiceClient(server.host, server.port)
+        start = time.perf_counter()
+        for index, batch in enumerate(batches):
+            if index == grow_after:
+                server.scale_to(n_shards + 1)
+            elif index == shrink_after:
+                server.scale_to(n_shards)
+            request_start = time.perf_counter()
+            response = client.post_batch_retrying(batch)
+            latencies.append(time.perf_counter() - request_start)
+            if response.status != 202:
+                rejected += 1
+                continue
+            placements.append((batch, int(response.json()["stream"])))
+        wall = time.perf_counter() - start
+        client.close()
+        stats = server.stats()
+    autoscaled = server.reduce().estimate_frequencies()
+
+    # Static replay: one shard per stream ever spawned, batches pinned to
+    # the logged stream ids — the reference run autoscaling must match.
+    streams_spawned = int(stats["totals"]["streams_spawned"])
+    static = ShardedCollector(
+        "hhc_4",
+        epsilon=epsilon,
+        domain_size=domain,
+        n_shards=streams_spawned,
+        random_state=31,
+        router="least-loaded",
+    )
+    for batch, stream in placements:
+        static.submit(batch, shard=stream)
+    autoscale_identical = bool(
+        np.array_equal(autoscaled, static.reduce().estimate_frequencies())
+    )
+
+    ordered = np.sort(np.asarray(latencies))
+    p50 = float(ordered[int(0.50 * (ordered.size - 1))])
+    p99 = float(ordered[int(0.99 * (ordered.size - 1))])
+    return [
+        BenchRecord(
+            name="http_ingest",
+            wall_seconds=wall,
+            work_items=len(placements) * batch_users,
+            unit="users/s",
+            rss_max_kb=_rss_max_kb(),
+            extras={
+                "domain_size": domain,
+                "shards": n_shards,
+                "queue_size": queue_size,
+                "batches": n_batches,
+                "batch_users": batch_users,
+                "rejected_batches": rejected,
+                "latency_p50_ms": p50 * 1000.0,
+                "latency_p99_ms": p99 * 1000.0,
+                "grow_events": int(stats["totals"]["grow_events"]),
+                "shrink_events": int(stats["totals"]["shrink_events"]),
+                "streams_spawned": streams_spawned,
+                "autoscale_bit_identical": autoscale_identical,
+            },
+        )
     ]
 
 
@@ -670,6 +814,7 @@ def run_suite(
     records.extend(_bench_consistency(params))
     records.extend(_bench_grid2d(params))
     records.extend(_bench_stream_ingest(params))
+    records.extend(_bench_http_ingest(params))
     records.extend(_bench_epsilon_grid(params, workers))
 
     by_name = {record.name: record for record in records}
@@ -678,13 +823,29 @@ def run_suite(
     grid2d = by_name["grid2d_shard_collect_reduce"]
     hh_stream = by_name["hh_consistent_stream_ingest"]
     grid_stream = by_name["grid2d_stream_ingest"]
+    http_ingest = by_name["http_ingest"]
+    # The speedup number is informational at smoke scale (tiny grids, and
+    # one-core hosts degenerate to the serial plan); only a full-suite run
+    # with real parallelism is expected to beat serial, so only there does
+    # the _ok flag actually depend on the measurement.
+    speedup_gates = (
+        suite == "full" and not grid_parallel.extras["single_cpu_degenerate"]
+    )
     checks: Dict[str, object] = {
         "packed_payload_ratio": packed.extras["payload_ratio"],
         "packed_aggregate_speedup": packed.extras["speedup_vs_dense"],
         "parallel_grid_speedup": grid_parallel.extras["speedup_vs_serial"],
+        "parallel_grid_speedup_ok": (
+            bool(grid_parallel.extras["speedup_vs_serial"] > 1.0)
+            if speedup_gates
+            else True
+        ),
         "parallel_grid_bit_identical": grid_parallel.extras[
             "bit_identical_to_serial"
         ],
+        "autoscale_bit_identical": http_ingest.extras["autoscale_bit_identical"],
+        "http_ingest_p50_ms": http_ingest.extras["latency_p50_ms"],
+        "http_ingest_p99_ms": http_ingest.extras["latency_p99_ms"],
         "grid2d_restore_bit_identical": grid2d.extras["restore_bit_identical"],
         "hh_stream_ingest_speedup": hh_stream.extras["speedup_vs_eager"],
         "grid2d_stream_ingest_speedup": grid_stream.extras["speedup_vs_eager"],

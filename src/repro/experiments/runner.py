@@ -102,17 +102,37 @@ def _init_worker(shared: tuple) -> None:
     _WORKER_SHARED = shared
 
 
-def _repetition_mse_shared(
-    spec: str,
-    epsilon: float,
-    rng: np.random.Generator,
-    mode: str,
-    mechanism_kwargs: Optional[dict],
-) -> float:
+def _chunk_mses(chunk: Sequence[tuple]) -> List[List[float]]:
+    """Run a *chunk* of repetitions in one worker round trip.
+
+    ``chunk`` rows are ``(spec, epsilon, rep_rngs, mode, mechanism_kwargs)``
+    — one row per grid cell, carrying every repetition generator of that
+    cell.  Chunking is what makes the pool pay off at small scales: a
+    smoke-sized repetition takes ~1 ms, so submitting it as its own task
+    drowns the compute in pickle/IPC round trips (the
+    ``parallel_grid_speedup < 1`` regression).  One submission per worker
+    amortises that overhead over the whole chunk while leaving results —
+    and random streams, which were spawned in the parent in serial order —
+    bit-identical to the serial sweep.
+    """
     counts, workload, true_answers = _WORKER_SHARED
-    return _repetition_mse(
-        spec, counts, workload, epsilon, rng, mode, mechanism_kwargs, true_answers
-    )
+    return [
+        [
+            _repetition_mse(
+                spec, counts, workload, epsilon, rng, mode, kwargs, true_answers
+            )
+            for rng in rep_rngs
+        ]
+        for spec, epsilon, rep_rngs, mode, kwargs in chunk
+    ]
+
+
+def _partition(rows: Sequence, n_chunks: int) -> List[List]:
+    """Split ``rows`` into at most ``n_chunks`` contiguous, near-equal
+    chunks (contiguity keeps result order trivially reconstructible)."""
+    n_chunks = max(1, min(int(n_chunks), len(rows)))
+    bounds = np.linspace(0, len(rows), n_chunks + 1).astype(int)
+    return [list(rows[bounds[i] : bounds[i + 1]]) for i in range(n_chunks)]
 
 
 def _summarise(
@@ -180,16 +200,25 @@ def evaluate_mechanism(
             for rng in generators
         ]
     else:
+        # One submission per worker, each carrying a slice of the
+        # repetition generators — not one task per repetition, whose
+        # pickle/IPC overhead would dominate small cells.
+        chunks = _partition(
+            [(spec, epsilon, [rng], mode, kwargs) for rng in generators],
+            workers,
+        )
         with ProcessPoolExecutor(
-            max_workers=min(workers, repetitions),
+            max_workers=len(chunks),
             initializer=_init_worker,
             initargs=((counts, workload, true_answers),),
         ) as pool:
-            futures = [
-                pool.submit(_repetition_mse_shared, spec, epsilon, rng, mode, kwargs)
-                for rng in generators
+            futures = [pool.submit(_chunk_mses, chunk) for chunk in chunks]
+            errors = [
+                error
+                for future in futures
+                for cell_errors in future.result()
+                for error in cell_errors
             ]
-            errors = [future.result() for future in futures]
     return _summarise(spec, counts, workload, epsilon, errors)
 
 
@@ -243,30 +272,23 @@ def run_epsilon_grid(
         ]
 
     true_answers = workload.true_answers(counts)
+    # Spawned in the parent, in serial order, so each repetition receives
+    # exactly the stream the serial path would have used; cells are then
+    # packed into one contiguous chunk per worker, so the pool pays one
+    # pickle/IPC round trip per worker instead of one per repetition.
+    rows = [
+        (spec, epsilon, spawn_generators(seed, repetitions), mode, None)
+        for epsilon, spec, seed in cells
+    ]
+    chunks = _partition(rows, workers)
     results: List[CellResult] = []
     with ProcessPoolExecutor(
-        max_workers=workers,
+        max_workers=len(chunks),
         initializer=_init_worker,
         initargs=((counts, workload, true_answers),),
     ) as pool:
-        pending = []
-        for epsilon, spec, seed in cells:
-            # Spawned in the parent, in serial order, so each repetition
-            # receives exactly the stream the serial path would have used.
-            rep_rngs = spawn_generators(seed, repetitions)
-            pending.append(
-                (
-                    epsilon,
-                    spec,
-                    [
-                        pool.submit(
-                            _repetition_mse_shared, spec, epsilon, rng, mode, None
-                        )
-                        for rng in rep_rngs
-                    ],
-                )
-            )
-        for epsilon, spec, futures in pending:
-            errors = [future.result() for future in futures]
-            results.append(_summarise(spec, counts, workload, epsilon, errors))
+        futures = [pool.submit(_chunk_mses, chunk) for chunk in chunks]
+        cell_errors = [errors for future in futures for errors in future.result()]
+    for (epsilon, spec, _seed), errors in zip(cells, cell_errors):
+        results.append(_summarise(spec, counts, workload, epsilon, errors))
     return results

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 
-__all__ = ["RandomState", "as_generator", "spawn_generators"]
+__all__ = ["RandomState", "as_generator", "as_seed_sequence", "spawn_generators"]
 
 #: Anything accepted as a source of randomness by the library.
 RandomState = Union[None, int, np.integer, np.random.Generator, np.random.SeedSequence]
@@ -36,6 +36,29 @@ def as_generator(random_state: RandomState = None) -> np.random.Generator:
     return np.random.default_rng(int(random_state))
 
 
+def as_seed_sequence(random_state: RandomState) -> np.random.SeedSequence:
+    """Coerce ``random_state`` into a spawnable :class:`numpy.random.SeedSequence`.
+
+    The returned sequence is the *parent* stream factory: ``seq.spawn(k)``
+    children are deterministic in spawn order, so a holder that keeps the
+    sequence around can mint additional independent streams later and still
+    match a run that spawned them all up front (numpy's ``SeedSequence``
+    tracks ``n_children_spawned``).  This is what lets the sharded collector
+    grow its shard set without perturbing existing streams.
+    """
+    if isinstance(random_state, np.random.SeedSequence):
+        return random_state
+    if isinstance(random_state, np.random.Generator):
+        # Derive a seed sequence from the generator's own stream so that the
+        # spawned generators remain reproducible given the parent state.
+        return np.random.SeedSequence(
+            random_state.integers(0, 2**63 - 1, size=4).tolist()
+        )
+    if random_state is None:
+        return np.random.SeedSequence()
+    return np.random.SeedSequence(int(random_state))
+
+
 def spawn_generators(random_state: RandomState, count: int) -> List[np.random.Generator]:
     """Derive ``count`` statistically independent generators.
 
@@ -45,16 +68,7 @@ def spawn_generators(random_state: RandomState, count: int) -> List[np.random.Ge
     """
     if count < 0:
         raise ConfigurationError(f"count must be non-negative, got {count!r}")
-    if isinstance(random_state, np.random.SeedSequence):
-        seq = random_state
-    elif isinstance(random_state, np.random.Generator):
-        # Derive a seed sequence from the generator's own stream so that the
-        # spawned generators remain reproducible given the parent state.
-        seq = np.random.SeedSequence(random_state.integers(0, 2**63 - 1, size=4).tolist())
-    elif random_state is None:
-        seq = np.random.SeedSequence()
-    else:
-        seq = np.random.SeedSequence(int(random_state))
+    seq = as_seed_sequence(random_state)
     return [np.random.default_rng(child) for child in seq.spawn(count)]
 
 

@@ -46,12 +46,22 @@ Example
 >>> answer = asyncio.run(main())
 """
 
+from repro.service.autoscale import AutoscalePolicy, LoadSignal, ShardAutoscaler
+from repro.service.client import ServiceClient, ServiceResponse
 from repro.service.executor import collect_across_processes
+from repro.service.http import HttpServerThread, ReproHttpServer
 from repro.service.ingestion import (
     IngestionReport,
     IngestionService,
     ShardQueueStats,
     run_ingestion,
+)
+from repro.service.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_ingestion_stats,
 )
 from repro.streaming.routing import (
     HashRouter,
@@ -63,15 +73,27 @@ from repro.streaming.routing import (
 )
 
 __all__ = [
+    "AutoscalePolicy",
+    "Counter",
+    "Gauge",
     "HashRouter",
+    "Histogram",
+    "HttpServerThread",
     "IngestionReport",
     "IngestionService",
     "LeastLoadedRouter",
+    "LoadSignal",
+    "MetricsRegistry",
+    "ReproHttpServer",
     "RoundRobinRouter",
+    "ServiceClient",
+    "ServiceResponse",
+    "ShardAutoscaler",
     "ShardQueueStats",
     "ShardRouter",
     "collect_across_processes",
     "make_router",
     "register_router",
+    "render_ingestion_stats",
     "run_ingestion",
 ]

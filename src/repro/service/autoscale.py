@@ -1,0 +1,203 @@
+"""Load-driven shard autoscaling for the ingestion service.
+
+The shard count of a :class:`~repro.streaming.ShardedCollector` is a pure
+throughput knob — merging is exact, so adding or removing shards never
+changes the reduced estimate.  :meth:`IngestionService.scale_to
+<repro.service.IngestionService.scale_to>` made that knob *dynamic* (scale
+at a quiesced generation boundary, rebalance retired statistics via
+``merge_from``); this module adds the *policy* deciding when to turn it.
+
+Three pieces, smallest first:
+
+* :class:`LoadSignal` — an immutable snapshot of queue pressure: per-shard
+  queue depths, the shared queue capacity, and (when the collector routes
+  least-loaded) the router's per-shard user loads.  Built from
+  ``IngestionService.stats()`` so the policy never reaches into service
+  internals.
+* :class:`AutoscalePolicy` — deterministic hysteresis thresholds on the
+  mean queue-fill fraction: grow one step when the fleet is saturated, give
+  a step back when it idles, clamped to ``[min_shards, max_shards]``.  Pure
+  function of the signal — no clocks, no randomness — so tests can replay
+  a decision sequence exactly.
+* :class:`ShardAutoscaler` — the glue the HTTP front calls: counts
+  accepted submissions and, every ``check_interval`` of them, evaluates the
+  policy and drives ``service.scale_to``.  Submission-counted (not
+  timer-driven) on purpose: the whole scale schedule is then a
+  deterministic function of the request sequence, which is what lets a test
+  assert "reduce() after this exact traffic is bit-identical to a static
+  run".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.service.ingestion import IngestionService
+
+__all__ = ["AutoscalePolicy", "LoadSignal", "ShardAutoscaler"]
+
+
+@dataclass(frozen=True)
+class LoadSignal:
+    """Point-in-time queue pressure, as the policy sees it."""
+
+    n_shards: int
+    queue_capacity: int
+    queue_depths: Tuple[int, ...]
+    #: Per-shard users routed so far (least-loaded router only; empty tuple
+    #: for routers that keep no load state).
+    router_loads: Tuple[int, ...] = ()
+
+    @property
+    def mean_fill(self) -> float:
+        """Mean queue occupancy as a fraction of capacity in ``[0, 1]``."""
+        if not self.queue_depths or self.queue_capacity <= 0:
+            return 0.0
+        return float(np.mean(self.queue_depths)) / float(self.queue_capacity)
+
+    @property
+    def max_fill(self) -> float:
+        """Worst single queue's occupancy fraction."""
+        if not self.queue_depths or self.queue_capacity <= 0:
+            return 0.0
+        return float(max(self.queue_depths)) / float(self.queue_capacity)
+
+    @classmethod
+    def from_service(cls, service: IngestionService) -> "LoadSignal":
+        stats = service.stats()
+        router = service.collector.router
+        loads = tuple(int(load) for load in getattr(router, "loads", ()) or ())
+        return cls(
+            n_shards=int(stats["n_shards"]),
+            queue_capacity=int(stats["queue_size"]),
+            queue_depths=tuple(int(depth) for depth in stats["queue_depths"]),
+            router_loads=loads,
+        )
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Hysteresis thresholds on mean queue fill.
+
+    ``grow_at``/``shrink_at`` are fractions of queue capacity: with the
+    defaults, a fleet whose queues average ≥ 75 % full grows by
+    ``grow_step`` shards, one averaging ≤ 10 % full shrinks by
+    ``shrink_step``; in between (the hysteresis band) it holds steady, so
+    the shard count cannot oscillate on a flat workload.  ``shrink_at``
+    must stay strictly below ``grow_at`` or a single signal could demand
+    both directions at once.
+    """
+
+    min_shards: int = 1
+    max_shards: int = 8
+    grow_at: float = 0.75
+    shrink_at: float = 0.10
+    grow_step: int = 1
+    shrink_step: int = 1
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.min_shards, (int, np.integer)) or self.min_shards < 1:
+            raise ConfigurationError(
+                f"min_shards must be a positive integer, got {self.min_shards!r}"
+            )
+        if (
+            not isinstance(self.max_shards, (int, np.integer))
+            or self.max_shards < self.min_shards
+        ):
+            raise ConfigurationError(
+                f"max_shards must be an integer >= min_shards "
+                f"({self.min_shards}), got {self.max_shards!r}"
+            )
+        for name in ("grow_step", "shrink_step"):
+            step = getattr(self, name)
+            if not isinstance(step, (int, np.integer)) or step < 1:
+                raise ConfigurationError(
+                    f"{name} must be a positive integer, got {step!r}"
+                )
+        if not (0.0 <= float(self.shrink_at) < float(self.grow_at) <= 1.0):
+            raise ConfigurationError(
+                f"thresholds must satisfy 0 <= shrink_at < grow_at <= 1, "
+                f"got shrink_at={self.shrink_at!r}, grow_at={self.grow_at!r}"
+            )
+
+    def decide(self, signal: LoadSignal) -> Optional[int]:
+        """Target shard count for ``signal``, or ``None`` to hold steady.
+
+        A pure function: the same signal always yields the same decision.
+        """
+        current = int(signal.n_shards)
+        fill = signal.mean_fill
+        if fill >= self.grow_at:
+            target = min(current + int(self.grow_step), int(self.max_shards))
+        elif fill <= self.shrink_at:
+            target = max(current - int(self.shrink_step), int(self.min_shards))
+        else:
+            return None
+        return target if target != current else None
+
+
+@dataclass
+class ShardAutoscaler:
+    """Drives :meth:`IngestionService.scale_to` from the load signal.
+
+    The owner reports accepted submissions via :meth:`note_submission`; the
+    autoscaler evaluates its policy every ``check_interval`` of them inside
+    :meth:`maybe_scale`.  Decoupling *note* (synchronous, from the request
+    handler's hot path) from *scale* (awaits a full quiesce) keeps the
+    503-or-accept decision fast while the expensive rebalance happens
+    between requests.
+    """
+
+    service: IngestionService
+    policy: AutoscalePolicy = field(default_factory=AutoscalePolicy)
+    check_interval: int = 16
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.service, IngestionService):
+            raise ConfigurationError(
+                "ShardAutoscaler drives an IngestionService, got "
+                f"{type(self.service).__name__}"
+            )
+        if (
+            not isinstance(self.check_interval, (int, np.integer))
+            or self.check_interval < 1
+        ):
+            raise ConfigurationError(
+                f"check_interval must be a positive integer, got "
+                f"{self.check_interval!r}"
+            )
+        self._since_check = 0
+        self._decisions: List[Tuple[int, int]] = []
+
+    @property
+    def decisions(self) -> List[Tuple[int, int]]:
+        """Every executed scale event as ``(from_shards, to_shards)``."""
+        return list(self._decisions)
+
+    def note_submission(self, count: int = 1) -> bool:
+        """Record ``count`` accepted submissions; ``True`` when a check is
+        due (the caller should then await :meth:`maybe_scale`)."""
+        self._since_check += int(count)
+        return self._since_check >= int(self.check_interval)
+
+    async def maybe_scale(self) -> Optional[int]:
+        """Evaluate the policy once; scale if it asks to.
+
+        Returns the new shard count when a scale event ran, ``None`` when
+        the policy held steady (or the check wasn't due yet).
+        """
+        if self._since_check < int(self.check_interval):
+            return None
+        self._since_check = 0
+        signal = LoadSignal.from_service(self.service)
+        target = self.policy.decide(signal)
+        if target is None:
+            return None
+        before = signal.n_shards
+        await self.service.scale_to(target)
+        self._decisions.append((before, int(target)))
+        return int(target)

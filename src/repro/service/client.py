@@ -1,0 +1,193 @@
+"""Blocking HTTP client for the ingestion service.
+
+Tests, benchmarks and operators talk to the network tier through this thin
+wrapper over :class:`http.client.HTTPConnection` (stdlib, synchronous —
+the *producer* side of the fleet is plain sequential code, which is also
+what the end-to-end latency benchmark wants to measure).  It knows the
+service's three conventions and nothing else:
+
+* JSON in, JSON out, except ``/metrics`` which returns Prometheus text;
+* ``503`` carries a ``Retry-After`` header — surfaced on the response and
+  honoured by :meth:`ServiceClient.post_batch_retrying`;
+* payload fields mirror ``POST /v1/batches``: ``items``, optional
+  ``mode`` / ``key`` / ``epsilon`` / ``domain_size``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from http.client import HTTPConnection
+from typing import Any, Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ServiceOverloadedError
+
+__all__ = ["ServiceClient", "ServiceResponse"]
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """One HTTP exchange, decoded as far as the payload allows."""
+
+    status: int
+    body: bytes
+    retry_after: Optional[float] = None
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def json(self) -> Dict[str, Any]:
+        return json.loads(self.body.decode("utf-8"))
+
+    @property
+    def text(self) -> str:
+        return self.body.decode("utf-8")
+
+
+class ServiceClient:
+    """Synchronous client bound to one ``host:port`` service endpoint.
+
+    Keeps a single keep-alive connection; not thread-safe (create one
+    client per producer thread, mirroring one fleet member each).
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self._host = str(host)
+        self._port = int(port)
+        self._timeout = float(timeout)
+        self._connection: Optional[HTTPConnection] = None
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> ServiceResponse:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        if self._connection is None:
+            self._connection = HTTPConnection(
+                self._host, self._port, timeout=self._timeout
+            )
+        try:
+            self._connection.request(method, path, body=body, headers=headers)
+            raw = self._connection.getresponse()
+            data = raw.read()
+        except (ConnectionError, OSError):
+            # One reconnect: the server may have closed an idle keep-alive.
+            self.close()
+            self._connection = HTTPConnection(
+                self._host, self._port, timeout=self._timeout
+            )
+            self._connection.request(method, path, body=body, headers=headers)
+            raw = self._connection.getresponse()
+            data = raw.read()
+        retry_after: Optional[float] = None
+        header = raw.getheader("Retry-After")
+        if header is not None:
+            try:
+                retry_after = float(header)
+            except ValueError:
+                retry_after = None
+        return ServiceResponse(status=raw.status, body=data, retry_after=retry_after)
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def post_batch(
+        self,
+        items: Union[Sequence[int], np.ndarray],
+        mode: Optional[str] = None,
+        key: Union[None, int, str] = None,
+        epsilon: Optional[float] = None,
+        domain_size: Optional[int] = None,
+    ) -> ServiceResponse:
+        """``POST /v1/batches``; never raises on HTTP-level rejection —
+        inspect ``response.status`` (202 accepted, 503 backpressure...)."""
+        payload: Dict[str, Any] = {"items": np.asarray(items).tolist()}
+        if mode is not None:
+            payload["mode"] = mode
+        if key is not None:
+            payload["key"] = key
+        if epsilon is not None:
+            payload["epsilon"] = float(epsilon)
+        if domain_size is not None:
+            payload["domain_size"] = int(domain_size)
+        return self._request("POST", "/v1/batches", payload)
+
+    def post_points(
+        self,
+        points: Union[Sequence[Sequence[int]], np.ndarray],
+        mode: Optional[str] = None,
+        key: Union[None, int, str] = None,
+    ) -> ServiceResponse:
+        """``POST /v1/points`` — 2-D ``(x, y)`` rows for grid mechanisms."""
+        payload: Dict[str, Any] = {"points": np.asarray(points).tolist()}
+        if mode is not None:
+            payload["mode"] = mode
+        if key is not None:
+            payload["key"] = key
+        return self._request("POST", "/v1/points", payload)
+
+    def post_batch_retrying(
+        self,
+        items: Union[Sequence[int], np.ndarray],
+        mode: Optional[str] = None,
+        key: Union[None, int, str] = None,
+        max_attempts: int = 50,
+        max_sleep: float = 0.05,
+    ) -> ServiceResponse:
+        """``post_batch`` that honours 503 backpressure by waiting and
+        retrying (capping the server's ``Retry-After`` hint at
+        ``max_sleep`` so tests against millisecond queues stay fast).
+        Raises :class:`~repro.exceptions.ServiceOverloadedError` once
+        ``max_attempts`` rejections pile up."""
+        if max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be a positive integer, got {max_attempts!r}"
+            )
+        response = self.post_batch(items, mode=mode, key=key)
+        attempts = 1
+        while response.status == 503 and attempts < int(max_attempts):
+            hint = response.retry_after if response.retry_after is not None else max_sleep
+            time.sleep(min(float(hint), float(max_sleep)))
+            response = self.post_batch(items, mode=mode, key=key)
+            attempts += 1
+        if response.status == 503:
+            raise ServiceOverloadedError(
+                f"batch still rejected after {attempts} attempts"
+            )
+        return response
+
+    def healthz(self) -> ServiceResponse:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        """The Prometheus exposition payload of ``GET /metrics``."""
+        response = self._request("GET", "/metrics")
+        if not response.ok:
+            raise ServiceOverloadedError(
+                f"/metrics returned HTTP {response.status}"
+            )
+        return response.text

@@ -1,0 +1,648 @@
+"""Stdlib-asyncio HTTP front for the ingestion service.
+
+The network tier the ROADMAP asked for, built on ``asyncio.start_server``
+only — no web framework, because the surface is four routes and the repo's
+rule is stdlib + numpy:
+
+* ``POST /v1/batches`` — JSON ``{"items": [...], "mode"?, "key"?,
+  "epsilon"?, "domain_size"?}``; routed into the
+  :class:`~repro.service.IngestionService` via the non-blocking
+  :meth:`~repro.service.IngestionService.try_submit` path.  A full shard
+  queue (or an in-progress scale event) surfaces as ``503`` with a
+  ``Retry-After`` hint instead of parking the remote producer.
+* ``POST /v1/points`` — JSON ``{"points": [[x, y], ...]}`` for 2-D grid
+  mechanisms; the collector's mechanism flattens to row-major items before
+  any routing decision is consumed.
+* ``GET /healthz`` — liveness JSON.
+* ``GET /metrics`` — Prometheus text exposition (version 0.0.4): the
+  service's :meth:`~repro.service.IngestionService.stats` snapshot plus
+  the server's own request counters and latency histogram, rendered by
+  :mod:`repro.service.metrics`.
+
+Error mapping is deliberate: malformed JSON / bad report payloads → 400,
+``epsilon`` or ``domain_size`` claims that contradict the served spec →
+409 (the producer and server disagree about the protocol — retrying won't
+help), backpressure → 503 + ``Retry-After``.
+
+When an :class:`~repro.service.autoscale.ShardAutoscaler` is attached,
+every accepted batch ticks its submission counter and a due check runs
+*after* the response is queued for write — the accept/503 decision stays
+on the hot path, the quiesce-and-rebalance happens between requests, and
+the scale schedule is a deterministic function of the request sequence.
+
+:class:`HttpServerThread` packages service + server + autoscaler on a
+dedicated event-loop thread so synchronous tests, benchmarks and the
+``python -m repro serve`` CLI can stand up a real localhost endpoint with
+two lines.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import (
+    ConfigurationError,
+    ReproError,
+    ServiceOverloadedError,
+)
+from repro.service.autoscale import AutoscalePolicy, ShardAutoscaler
+from repro.service.ingestion import IngestionService
+from repro.service.metrics import (
+    MetricsRegistry,
+    ingestion_stats_lines,
+)
+from repro.streaming.sharded import ShardedCollector
+
+__all__ = ["HttpServerThread", "ReproHttpServer"]
+
+#: Bound on accepted request bodies; a batch of a million int64 item ids
+#: rendered as JSON stays well under this.
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+#: Retry hint (seconds) attached to every 503.  Small on purpose: queues
+#: are short and drain in milliseconds; the value is a pacing nudge, not
+#: an outage estimate.
+RETRY_AFTER_SECONDS = 1
+
+_JSON = "application/json"
+_PROM = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Path label used for unknown routes so 404 floods cannot mint unbounded
+#: label cardinality in the request counter.
+_OTHER_PATH = "<other>"
+_KNOWN_PATHS = ("/v1/batches", "/v1/points", "/healthz", "/metrics")
+
+
+class _HttpRequest:
+    """One parsed request: method, path, headers, raw body."""
+
+    __slots__ = ("method", "path", "headers", "body", "keep_alive")
+
+    def __init__(
+        self,
+        method: str,
+        path: str,
+        headers: Dict[str, str],
+        body: bytes,
+        keep_alive: bool,
+    ) -> None:
+        self.method = method
+        self.path = path
+        self.headers = headers
+        self.body = body
+        self.keep_alive = keep_alive
+
+
+class _HttpResponse:
+    """Status + payload, rendered to the wire by the connection loop."""
+
+    __slots__ = ("status", "reason", "body", "content_type", "extra_headers")
+
+    _REASONS = {
+        200: "OK",
+        202: "Accepted",
+        400: "Bad Request",
+        404: "Not Found",
+        405: "Method Not Allowed",
+        409: "Conflict",
+        413: "Payload Too Large",
+        500: "Internal Server Error",
+        503: "Service Unavailable",
+    }
+
+    def __init__(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str = _JSON,
+        extra_headers: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        self.status = int(status)
+        self.reason = self._REASONS.get(self.status, "Unknown")
+        self.body = body
+        self.content_type = content_type
+        self.extra_headers = dict(extra_headers or {})
+
+    @classmethod
+    def json(
+        cls,
+        status: int,
+        payload: Mapping[str, Any],
+        extra_headers: Optional[Mapping[str, str]] = None,
+    ) -> "_HttpResponse":
+        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        return cls(status, body, _JSON, extra_headers)
+
+    @classmethod
+    def error(
+        cls,
+        status: int,
+        message: str,
+        extra_headers: Optional[Mapping[str, str]] = None,
+    ) -> "_HttpResponse":
+        return cls.json(status, {"error": message}, extra_headers)
+
+    def encode(self, keep_alive: bool) -> bytes:
+        lines = [
+            f"HTTP/1.1 {self.status} {self.reason}",
+            f"Content-Type: {self.content_type}",
+            f"Content-Length: {len(self.body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in self.extra_headers.items():
+            lines.append(f"{name}: {value}")
+        head = "\r\n".join(lines) + "\r\n\r\n"
+        return head.encode("ascii") + self.body
+
+
+class ReproHttpServer:
+    """The asyncio HTTP listener; owns request metrics, not the service."""
+
+    def __init__(
+        self,
+        service: IngestionService,
+        autoscaler: Optional[ShardAutoscaler] = None,
+        max_body_bytes: int = MAX_BODY_BYTES,
+    ) -> None:
+        if not isinstance(service, IngestionService):
+            raise ConfigurationError(
+                f"ReproHttpServer fronts an IngestionService, got "
+                f"{type(service).__name__}"
+            )
+        if autoscaler is not None and autoscaler.service is not service:
+            raise ConfigurationError(
+                "the autoscaler must drive the same service the server fronts"
+            )
+        self._service = service
+        self._autoscaler = autoscaler
+        self._max_body_bytes = int(max_body_bytes)
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: set = set()
+        self._handler_tasks: set = set()
+        self.registry = MetricsRegistry()
+        self._requests_total = self.registry.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by method, path and status code.",
+            ("method", "path", "status"),
+        )
+        self._request_seconds = self.registry.histogram(
+            "repro_http_request_seconds",
+            "Wall-clock seconds from request parse to response write.",
+            label_names=("path",),
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> "ReproHttpServer":
+        if self._server is not None:
+            raise ConfigurationError("HTTP server is already listening")
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=host, port=int(port)
+        )
+        return self
+
+    async def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+        # Closing a keep-alive transport delivers EOF to its handler, which
+        # then returns cleanly — without this, loop teardown would cancel
+        # handlers mid-read and log spurious CancelledErrors.
+        for writer in list(self._connections):
+            writer.close()
+        if self._handler_tasks:
+            results = await asyncio.gather(
+                *list(self._handler_tasks), return_exceptions=True
+            )
+            failures = [
+                result
+                for result in results
+                if isinstance(result, BaseException)
+                and not isinstance(result, asyncio.CancelledError)
+            ]
+            if failures:
+                raise failures[0]
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolves ``port=0`` to the kernel's pick)."""
+        if self._server is None or not self._server.sockets:
+            raise ConfigurationError("HTTP server is not listening")
+        return int(self._server.sockets[0].getsockname()[1])
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handler_tasks.add(task)
+        self._connections.add(writer)
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                started = time.perf_counter()
+                if isinstance(request, _HttpResponse):
+                    # Unparseable request: answer and drop the connection —
+                    # we cannot trust the framing to find the next request.
+                    writer.write(request.encode(keep_alive=False))
+                    await writer.drain()
+                    self._record("?", _OTHER_PATH, request.status, started)
+                    break
+                response = self._dispatch(request)
+                writer.write(response.encode(keep_alive=request.keep_alive))
+                await writer.drain()
+                self._record(
+                    request.method, request.path, response.status, started
+                )
+                # A due autoscale check runs after the reply is on the wire:
+                # the producer is never parked behind a quiesce.
+                if (
+                    self._autoscaler is not None
+                    and response.status == 202
+                    and self._autoscaler.note_submission(0)
+                ):
+                    await self._autoscaler.maybe_scale()
+                if not request.keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            ConnectionError,
+        ):
+            pass
+        finally:
+            self._connections.discard(writer)
+            if task is not None:
+                self._handler_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - peer reset
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        """Parse one request; ``None`` on clean EOF, an error response on
+        malformed framing."""
+        try:
+            request_line = await reader.readline()
+        except (asyncio.LimitOverrunError, ValueError):
+            return _HttpResponse.error(400, "request line too long")
+        if not request_line or request_line in (b"\r\n", b"\n"):
+            return None
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            return _HttpResponse.error(400, "malformed request line")
+        method, raw_path, version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if not line:
+                return None
+            if line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if not _:
+                return _HttpResponse.error(400, "malformed header line")
+            headers[name.strip().lower()] = value.strip()
+        raw_length = headers.get("content-length", "0")
+        try:
+            length = int(raw_length)
+        except ValueError:
+            return _HttpResponse.error(400, f"bad Content-Length {raw_length!r}")
+        if length < 0:
+            return _HttpResponse.error(400, f"bad Content-Length {raw_length!r}")
+        if length > self._max_body_bytes:
+            return _HttpResponse.error(
+                413, f"body of {length} bytes exceeds {self._max_body_bytes}"
+            )
+        body = await reader.readexactly(length) if length else b""
+        path = raw_path.split("?", 1)[0]
+        connection = headers.get("connection", "").lower()
+        keep_alive = connection != "close" and version != "HTTP/1.0"
+        return _HttpRequest(method.upper(), path, headers, body, keep_alive)
+
+    def _record(self, method: str, path: str, status: int, started: float) -> None:
+        label_path = path if path in _KNOWN_PATHS else _OTHER_PATH
+        self._requests_total.inc(
+            labels={"method": method, "path": label_path, "status": str(status)}
+        )
+        self._request_seconds.observe(
+            time.perf_counter() - started, labels={"path": label_path}
+        )
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _dispatch(self, request: _HttpRequest) -> _HttpResponse:
+        if request.path == "/healthz":
+            if request.method != "GET":
+                return _HttpResponse.error(405, "healthz is GET-only")
+            return self._handle_healthz()
+        if request.path == "/metrics":
+            if request.method != "GET":
+                return _HttpResponse.error(405, "metrics is GET-only")
+            return self._handle_metrics()
+        if request.path == "/v1/batches":
+            if request.method != "POST":
+                return _HttpResponse.error(405, "batches is POST-only")
+            return self._handle_submit(request, points=False)
+        if request.path == "/v1/points":
+            if request.method != "POST":
+                return _HttpResponse.error(405, "points is POST-only")
+            return self._handle_submit(request, points=True)
+        return _HttpResponse.error(404, f"no route for {request.path}")
+
+    def _handle_healthz(self) -> _HttpResponse:
+        stats = self._service.stats()
+        return _HttpResponse.json(
+            200,
+            {
+                "status": "ok" if stats["started"] else "starting",
+                "shards": stats["n_shards"],
+                "scaling": stats["scaling"],
+                "spec": self._service.collector.spec,
+                "epsilon": self._service.collector.epsilon,
+                "domain_size": self._service.collector.domain_size,
+            },
+        )
+
+    def _handle_metrics(self) -> _HttpResponse:
+        lines = ingestion_stats_lines(self._service.stats())
+        lines.extend(self.registry.render_lines())
+        payload = ("\n".join(lines) + "\n").encode("utf-8")
+        return _HttpResponse(200, payload, _PROM)
+
+    def _handle_submit(self, request: _HttpRequest, points: bool) -> _HttpResponse:
+        try:
+            payload = json.loads(request.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            return _HttpResponse.error(400, f"malformed JSON body: {error}")
+        if not isinstance(payload, dict):
+            return _HttpResponse.error(400, "body must be a JSON object")
+
+        mismatch = self._spec_mismatch(payload)
+        if mismatch is not None:
+            return mismatch
+
+        field = "points" if points else "items"
+        raw = payload.get(field)
+        if raw is None:
+            return _HttpResponse.error(400, f"missing required field {field!r}")
+        try:
+            batch = np.asarray(raw, dtype=np.int64)
+        except (TypeError, ValueError, OverflowError):
+            return _HttpResponse.error(
+                400, f"{field!r} must be an array of integers"
+            )
+        mode = payload.get("mode")
+        key = payload.get("key")
+        if key is not None and not isinstance(key, (int, str)):
+            return _HttpResponse.error(400, "'key' must be an integer or string")
+
+        collector = self._service.collector
+        try:
+            if points:
+                flatten = getattr(collector.shards[0], "flatten_points", None)
+                if flatten is None:
+                    return _HttpResponse.error(
+                        400,
+                        "the served mechanism has no 2-D point surface; "
+                        "POST flattened items to /v1/batches instead",
+                    )
+                batch = flatten(batch)
+            shard = self._service.try_submit(batch, mode=mode, key=key)
+        except ServiceOverloadedError as error:
+            return _HttpResponse.error(
+                503, str(error), {"Retry-After": str(RETRY_AFTER_SECONDS)}
+            )
+        except ReproError as error:
+            return _HttpResponse.error(400, str(error))
+        if self._autoscaler is not None:
+            self._autoscaler.note_submission()
+        stream = collector.stream_ids[shard]
+        return _HttpResponse.json(
+            202,
+            {
+                "accepted": int(batch.shape[0]),
+                "shard": int(shard),
+                "stream": int(stream),
+            },
+        )
+
+    def _spec_mismatch(self, payload: Mapping[str, Any]) -> Optional[_HttpResponse]:
+        """409 when the producer's epsilon/domain claims contradict the
+        served spec — a protocol disagreement no retry can fix."""
+        collector = self._service.collector
+        if "epsilon" in payload:
+            try:
+                epsilon = float(payload["epsilon"])
+            except (TypeError, ValueError):
+                return _HttpResponse.error(400, "'epsilon' must be a number")
+            if not np.isclose(epsilon, collector.epsilon, rtol=1e-9, atol=0.0):
+                return _HttpResponse.error(
+                    409,
+                    f"server collects at epsilon={collector.epsilon}, "
+                    f"producer reported for epsilon={epsilon}",
+                )
+        if "domain_size" in payload:
+            try:
+                domain = int(payload["domain_size"])
+            except (TypeError, ValueError):
+                return _HttpResponse.error(400, "'domain_size' must be an integer")
+            if domain != collector.domain_size:
+                return _HttpResponse.error(
+                    409,
+                    f"server domain_size={collector.domain_size}, "
+                    f"producer reported for domain_size={domain}",
+                )
+        return None
+
+
+class HttpServerThread:
+    """Service + server + (optional) autoscaler on a dedicated loop thread.
+
+    The synchronous world's handle on the network tier: tests, benchmarks
+    and the CLI construct one, call :meth:`start` (which blocks until the
+    port is bound, resolving ``port=0``), talk to ``http://host:port`` and
+    finally :meth:`stop` — which drains the queues before tearing down, so
+    :meth:`reduce` afterwards sees every accepted batch.
+    """
+
+    def __init__(
+        self,
+        collector: ShardedCollector,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        queue_size: int = 8,
+        parallelism: int = 0,
+        autoscale: bool = False,
+        policy: Optional[AutoscalePolicy] = None,
+        check_interval: int = 16,
+    ) -> None:
+        self._collector = collector
+        self._host = str(host)
+        self._requested_port = int(port)
+        self._queue_size = int(queue_size)
+        self._parallelism = int(parallelism)
+        self._autoscale = bool(autoscale) or policy is not None
+        self._policy = policy
+        self._check_interval = int(check_interval)
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_requested: Optional[asyncio.Event] = None
+        self._port: Optional[int] = None
+        self.service: Optional[IngestionService] = None
+        self.server: Optional[ReproHttpServer] = None
+        self.autoscaler: Optional[ShardAutoscaler] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle (called from the synchronous owner thread)
+    # ------------------------------------------------------------------
+    def start(self, timeout: float = 10.0) -> "HttpServerThread":
+        if self._thread is not None:
+            raise ConfigurationError("server thread is already running")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-http", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise ConfigurationError(
+                f"HTTP server did not come up within {timeout}s"
+            )
+        if self._startup_error is not None:
+            error = self._startup_error
+            self._thread.join()
+            self._thread = None
+            raise error
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._thread is None:
+            return
+        if self._loop is not None and self._stop_requested is not None:
+            self._loop.call_soon_threadsafe(self._stop_requested.set)
+        self._thread.join(timeout)
+        if self._thread.is_alive():  # pragma: no cover - watchdog only
+            raise ConfigurationError("HTTP server thread did not stop in time")
+        self._thread = None
+        if self._startup_error is not None:
+            raise self._startup_error
+
+    def __enter__(self) -> "HttpServerThread":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Synchronous accessors
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._host
+
+    @property
+    def port(self) -> int:
+        if self._port is None:
+            raise ConfigurationError("HTTP server is not listening yet")
+        return self._port
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    def stats(self) -> dict:
+        """A service stats snapshot, fetched on the event-loop thread."""
+        if self._loop is None or self.service is None:
+            raise ConfigurationError("HTTP server is not running")
+
+        async def _snapshot() -> dict:
+            return self.service.stats()
+
+        future = asyncio.run_coroutine_threadsafe(_snapshot(), self._loop)
+        return future.result(timeout=10.0)
+
+    def scale_to(self, n_shards: int, timeout: float = 30.0) -> dict:
+        """Drive a shard scale event from the owner thread.
+
+        Blocks until the service has quiesced, reshaped and reopened the
+        gate (the operator's / benchmark's handle on explicit scaling —
+        load-driven scaling goes through the attached autoscaler instead).
+        Returns a fresh stats snapshot.
+        """
+        if self._loop is None or self.service is None:
+            raise ConfigurationError("HTTP server is not running")
+
+        async def _scale() -> dict:
+            await self.service.scale_to(int(n_shards))
+            return self.service.stats()
+
+        future = asyncio.run_coroutine_threadsafe(_scale(), self._loop)
+        return future.result(timeout=timeout)
+
+    def reduce(self):
+        """Merge the shards into one queryable mechanism.
+
+        Only valid after :meth:`stop` (queues drained, loop parked) — the
+        collector must not be touched concurrently with its workers.
+        """
+        if self._thread is not None:
+            raise ConfigurationError("stop() the server before reducing")
+        return self._collector.reduce()
+
+    # ------------------------------------------------------------------
+    # Event-loop thread
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as error:  # noqa: BLE001 - reported to owner
+            self._startup_error = error
+        finally:
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_requested = asyncio.Event()
+        service = IngestionService(
+            self._collector,
+            queue_size=self._queue_size,
+            parallelism=self._parallelism,
+        )
+        await service.start()
+        autoscaler = None
+        if self._autoscale:
+            autoscaler = ShardAutoscaler(
+                service,
+                policy=self._policy or AutoscalePolicy(),
+                check_interval=self._check_interval,
+            )
+        server = ReproHttpServer(service, autoscaler=autoscaler)
+        try:
+            await server.start(self._host, self._requested_port)
+            self._port = server.port
+            self.service = service
+            self.server = server
+            self.autoscaler = autoscaler
+            self._ready.set()
+            await self._stop_requested.wait()
+        finally:
+            await server.stop()
+            await service.join()
+            await service.stop()

@@ -34,13 +34,13 @@ import asyncio
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.base import RangeQueryMechanism
 from repro.core.session import LdpRangeQuerySession
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, ServiceOverloadedError
 from repro.streaming.routing import RoutingKey
 from repro.streaming.sharded import ShardedCollector
 
@@ -63,6 +63,16 @@ class ShardQueueStats:
     batches: int = 0
     users: int = 0
     queue_peak: int = 0
+    #: Batches bounced by the non-blocking path because this shard's queue
+    #: was full — the backpressure signal the HTTP front turns into 503s.
+    rejected: int = 0
+
+    def fold(self, other: "ShardQueueStats") -> None:
+        """Absorb a retired shard's counters (shrink rebalancing)."""
+        self.batches += other.batches
+        self.users += other.users
+        self.rejected += other.rejected
+        self.queue_peak = max(self.queue_peak, other.queue_peak)
 
 
 @dataclass
@@ -137,6 +147,25 @@ class IngestionService:
         self._stats = [ShardQueueStats() for _ in range(collector.n_shards)]
         self._submitted_batches = 0
         self._submitted_users = 0
+        # Monotonic totals: unlike the per-shard counters, these survive
+        # shrink events (a retired shard's history must not vanish from the
+        # metrics surface), so /metrics can export them as Prometheus
+        # counters without ever going backwards.
+        self._absorbed_batches_total = 0
+        self._absorbed_users_total = 0
+        self._rejected_batches_total = 0
+        self._rejected_users_total = 0
+        self._grow_events = 0
+        self._shrink_events = 0
+        # Scaling happens at generation boundaries: the gate parks blocking
+        # submitters (and bounces non-blocking ones) while the shard set is
+        # being reshaped, and the pending-put counter lets the quiesce loop
+        # prove that no batch is still in flight toward a queue.  The gate is
+        # created in start() so it binds to the serving loop (Python 3.9
+        # binds primitives to a loop at construction time).
+        self._scale_gate: Optional[asyncio.Event] = None
+        self._scaling = False
+        self._pending_puts = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -179,6 +208,7 @@ class IngestionService:
         mid-shard).
         """
         per_shard = []
+        stream_ids = self._collector.stream_ids
         for index, shard in enumerate(self._collector.shards):
             stat = self._stats[index]
             queue = self._queues[index] if self._queues is not None else None
@@ -187,8 +217,10 @@ class IngestionService:
             per_shard.append(
                 {
                     "shard": index,
+                    "stream": int(stream_ids[index]),
                     "batches": int(stat.batches),
                     "users": int(stat.users),
+                    "rejected": int(stat.rejected),
                     "queue_depth": queue.qsize() if queue is not None else 0,
                     "queue_peak": int(stat.queue_peak),
                     "ingest_generation": ingest,
@@ -198,7 +230,9 @@ class IngestionService:
             )
         return {
             "started": self.started,
+            "scaling": bool(self._scaling),
             "n_shards": self._collector.n_shards,
+            "queue_size": int(self._queue_size),
             "router": self._collector.router.name,
             "submitted_batches": int(self._submitted_batches),
             "submitted_users": int(self._submitted_users),
@@ -212,6 +246,17 @@ class IngestionService:
             "materializations_deferred": sum(
                 entry["materializations_deferred"] for entry in per_shard
             ),
+            "totals": {
+                "submitted_batches": int(self._submitted_batches),
+                "submitted_users": int(self._submitted_users),
+                "absorbed_batches": int(self._absorbed_batches_total),
+                "absorbed_users": int(self._absorbed_users_total),
+                "rejected_batches": int(self._rejected_batches_total),
+                "rejected_users": int(self._rejected_users_total),
+                "grow_events": int(self._grow_events),
+                "shrink_events": int(self._shrink_events),
+                "streams_spawned": int(self._collector.streams_spawned),
+            },
             "per_shard": per_shard,
         }
 
@@ -227,6 +272,8 @@ class IngestionService:
                 max_workers=self._parallelism,
                 thread_name_prefix="repro-ingest",
             )
+        self._scale_gate = asyncio.Event()
+        self._scale_gate.set()
         self._queues = [
             asyncio.Queue(maxsize=self._queue_size)
             for _ in range(self._collector.n_shards)
@@ -273,6 +320,90 @@ class IngestionService:
         await asyncio.gather(*(queue.join() for queue in self._queues))
         self._raise_pending_error()
 
+    # ------------------------------------------------------------------
+    # Autoscaling
+    # ------------------------------------------------------------------
+    async def _quiesce(self) -> None:
+        """Drain every queue *and* every in-flight put — a generation
+        boundary: no batch is queued, being absorbed, or travelling toward
+        a queue.  Only meaningful with the scale gate closed (otherwise new
+        submissions keep arriving and the boundary never materialises)."""
+        while True:
+            await asyncio.gather(*(queue.join() for queue in self._queues))
+            if self._pending_puts == 0 and all(
+                queue.qsize() == 0 for queue in self._queues
+            ):
+                return
+            # A producer that was already blocked on a full queue when the
+            # gate closed may still land its batch; yield and re-drain.
+            await asyncio.sleep(0)
+
+    async def scale_to(self, n_shards: int) -> "IngestionService":
+        """Grow or shrink the shard set to ``n_shards`` at a generation
+        boundary.
+
+        The service closes the scale gate (blocking submitters park,
+        non-blocking ones get backpressure), drains every queue, then asks
+        the collector to reshape: growth spawns fresh mechanisms on the
+        seed's next random streams, shrink rebalances each retired shard's
+        sufficient statistics into the least-loaded survivor via
+        ``merge_from``.  Because merging is exact and happens while no batch
+        is in flight, the eventual ``reduce()`` is bit-identical to a static
+        run that pinned every batch to the same streams — shard count
+        remains a pure throughput knob even when it changes mid-run.
+        """
+        self._require_started()
+        if not isinstance(n_shards, (int, np.integer)) or n_shards < 1:
+            raise ConfigurationError(
+                f"n_shards must be a positive integer, got {n_shards!r}"
+            )
+        if self._scaling:
+            raise ConfigurationError("a scale event is already in progress")
+        target = int(n_shards)
+        current = self._collector.n_shards
+        if target == current:
+            return self
+        self._scaling = True
+        self._scale_gate.clear()
+        try:
+            await self._quiesce()
+            self._raise_pending_error()
+            if target > current:
+                for index in self._collector.add_shards(target - current):
+                    self._queues.append(asyncio.Queue(maxsize=self._queue_size))
+                    self._stats.append(ShardQueueStats())
+                    self._workers.append(
+                        asyncio.create_task(
+                            self._worker(index), name=f"repro-shard-{index}"
+                        )
+                    )
+                self._grow_events += 1
+            else:
+                # Retire the tail workers first — their queues are drained,
+                # so cancellation cannot lose a batch.
+                doomed = self._workers[target:]
+                del self._workers[target:]
+                for task in doomed:
+                    task.cancel()
+                results = await asyncio.gather(*doomed, return_exceptions=True)
+                failures = [
+                    result
+                    for result in results
+                    if isinstance(result, BaseException)
+                    and not isinstance(result, asyncio.CancelledError)
+                ]
+                if failures:
+                    self._errors.extend(failures)
+                for _stream, survivor in self._collector.shrink_to(target):
+                    self._stats[survivor].fold(self._stats.pop())
+                    self._queues.pop()
+                self._shrink_events += 1
+                self._raise_pending_error()
+        finally:
+            self._scaling = False
+            self._scale_gate.set()
+        return self
+
     async def __aenter__(self) -> "IngestionService":
         return await self.start()
 
@@ -301,16 +432,68 @@ class IngestionService:
         """
         self._require_started()
         self._raise_pending_error()
+        # Park while a scale event reshapes the shard set; routing against a
+        # shard list that is about to change would race the autoscaler.
+        await self._scale_gate.wait()
         # Validate before routing: a rejected batch must not consume an
         # irreversible routing decision or reserve least-loaded capacity.
         items = self._collector.validate_batch(items, mode=mode)
         shard = self._collector.route(int(items.shape[0]), key=key)
         queue = self._queues[shard]
-        await queue.put(_Job(items=items, shard=shard, mode=mode))
+        self._pending_puts += 1
+        try:
+            await queue.put(_Job(items=items, shard=shard, mode=mode))
+        finally:
+            self._pending_puts -= 1
         stats = self._stats[shard]
         stats.queue_peak = max(stats.queue_peak, queue.qsize())
         self._submitted_batches += 1
         self._submitted_users += int(items.shape[0]) if items.ndim else 0
+        return shard
+
+    def try_submit(
+        self,
+        items: np.ndarray,
+        mode: Optional[str] = None,
+        key: RoutingKey = None,
+    ) -> int:
+        """Route one batch and enqueue it *without waiting* for capacity.
+
+        The network front's variant of :meth:`submit`: where producers
+        inside the process can simply be slowed down by an ``await``, a
+        remote producer must instead be *told* to back off.  When the routed
+        shard's queue is full (or the service is mid-scale) the batch is
+        dropped, the shard's ``rejected`` counter increments, the routed
+        load is handed back to the router, and
+        :class:`~repro.exceptions.ServiceOverloadedError` is raised — the
+        HTTP layer maps it to ``503`` + ``Retry-After``.  Synchronous (no
+        ``await``), so it can only be called from the event-loop thread.
+        """
+        self._require_started()
+        self._raise_pending_error()
+        if not self._scale_gate.is_set():
+            raise ServiceOverloadedError(
+                "service is rebalancing shards; retry shortly"
+            )
+        items = self._collector.validate_batch(items, mode=mode)
+        n_items = int(items.shape[0])
+        shard = self._collector.route(n_items, key=key)
+        queue = self._queues[shard]
+        try:
+            queue.put_nowait(_Job(items=items, shard=shard, mode=mode))
+        except asyncio.QueueFull:
+            self._collector.release_route(shard, n_items)
+            self._stats[shard].rejected += 1
+            self._rejected_batches_total += 1
+            self._rejected_users_total += n_items
+            raise ServiceOverloadedError(
+                f"shard {shard} queue is full ({queue.maxsize} batches); "
+                "retry later"
+            ) from None
+        stats = self._stats[shard]
+        stats.queue_peak = max(stats.queue_peak, queue.qsize())
+        self._submitted_batches += 1
+        self._submitted_users += n_items
         return shard
 
     async def submit_points(
@@ -375,6 +558,8 @@ class IngestionService:
                 stats = self._stats[shard]
                 stats.batches += 1
                 stats.users += int(job.items.shape[0])
+                self._absorbed_batches_total += 1
+                self._absorbed_users_total += int(job.items.shape[0])
             except asyncio.CancelledError:  # pragma: no cover - stop() path
                 queue.task_done()
                 raise

@@ -78,12 +78,47 @@ class ShardRouter(abc.ABC):
         self._n_shards = int(n_shards)
         return self
 
+    def resize(self, n_shards: int) -> "ShardRouter":
+        """Rebind to a new shard count (the autoscaling hook).
+
+        Unlike :meth:`bind` — which refuses to change an established count,
+        protecting against accidental sharing of one router across two
+        collectors — ``resize`` is the collector-driven path used when the
+        shard set legitimately grows or shrinks.  Policies with per-shard
+        state must override and reshape it; before shrinking, the owner is
+        expected to :meth:`fold` each removed shard into a survivor.
+        """
+        if not isinstance(n_shards, (int, np.integer)) or n_shards < 1:
+            raise ConfigurationError(
+                f"n_shards must be a positive integer, got {n_shards!r}"
+            )
+        self._n_shards = int(n_shards)
+        return self
+
     @abc.abstractmethod
     def route(self, n_items: int, key: RoutingKey = None) -> int:
         """Pick the shard index for a batch of ``n_items`` users."""
 
     def observe(self, shard: int, n_items: int) -> None:
         """Feedback hook: ``n_items`` users were routed to ``shard``."""
+
+    def release(self, shard: int, n_items: int) -> None:
+        """Undo one :meth:`observe`: a routed batch was never absorbed.
+
+        The non-blocking ingestion path routes *before* attempting to
+        enqueue; when the target queue is full the batch is rejected (HTTP
+        503) and its load accounting must be handed back so the signal keeps
+        meaning "users actually queued or absorbed".  Stateless policies
+        need nothing.
+        """
+
+    def fold(self, source: int, target: int) -> None:
+        """Move per-shard state of ``source`` into ``target`` (pre-shrink).
+
+        Called once per removed shard, while the router is still bound to
+        the old (larger) count; :meth:`resize` follows.  Stateless policies
+        need nothing.
+        """
 
     # ------------------------------------------------------------------
     # Checkpointing
@@ -112,6 +147,11 @@ class RoundRobinRouter(ShardRouter):
         shard = self._cursor % self.n_shards
         self._cursor = (self._cursor + 1) % self.n_shards
         return shard
+
+    def resize(self, n_shards: int) -> "RoundRobinRouter":
+        super().resize(n_shards)
+        self._cursor %= self.n_shards
+        return self
 
     def state_dict(self) -> Dict[str, Any]:
         return {"cursor": int(self._cursor)}
@@ -192,6 +232,28 @@ class LeastLoadedRouter(ShardRouter):
 
     def observe(self, shard: int, n_items: int) -> None:
         self._loads[int(shard)] += int(n_items)
+
+    def release(self, shard: int, n_items: int) -> None:
+        self._loads[int(shard)] = max(0, self._loads[int(shard)] - int(n_items))
+
+    def fold(self, source: int, target: int) -> None:
+        source, target = int(source), int(target)
+        if source == target:
+            raise ConfigurationError("cannot fold a shard's load into itself")
+        self._loads[target] += self._loads[source]
+        self._loads[source] = 0
+
+    def resize(self, n_shards: int) -> "LeastLoadedRouter":
+        super().resize(n_shards)
+        loads = self._loads or []
+        if len(loads) < self.n_shards:
+            loads = loads + [0] * (self.n_shards - len(loads))
+        else:
+            # Shrink drops the tail; removed shards are expected to have been
+            # folded into survivors already, so the dropped entries are zero.
+            loads = loads[: self.n_shards]
+        self._loads = loads
+        return self
 
     def state_dict(self) -> Dict[str, Any]:
         return {"loads": [int(load) for load in (self._loads or [])]}

@@ -50,7 +50,7 @@ from repro.persist.snapshots import (
     mechanism_from_config,
     resolve_mechanism,
 )
-from repro.privacy.randomness import RandomState, spawn_generators
+from repro.privacy.randomness import RandomState, as_seed_sequence
 from repro.streaming.routing import (
     RoutingKey,
     ShardRouter,
@@ -145,7 +145,18 @@ class ShardedCollector:
         self._shards: List[RangeQueryMechanism] = [
             self._make_mechanism() for _ in range(int(n_shards))
         ]
-        self._generators = spawn_generators(random_state, int(n_shards))
+        # The parent seed sequence is retained (not just its first K children)
+        # so the shard set can *grow* later: numpy's SeedSequence tracks how
+        # many children it has spawned, making incremental spawns identical
+        # to the tail of one up-front spawn — the property the autoscaler's
+        # bit-identity contract rests on.
+        self._seed_sequence = as_seed_sequence(random_state)
+        self._generators = [
+            np.random.default_rng(child)
+            for child in self._seed_sequence.spawn(int(n_shards))
+        ]
+        self._streams_spawned = int(n_shards)
+        self._stream_ids = list(range(int(n_shards)))
         self._n_batches = 0
         # Guards the batch counter: the ingestion service may run different
         # shards' submissions on different threads (distinct shards never
@@ -172,6 +183,38 @@ class ShardedCollector:
     def router(self) -> ShardRouter:
         """The routing policy deciding un-pinned submissions."""
         return self._router
+
+    @property
+    def epsilon(self) -> float:
+        """Privacy budget shared by every shard (the served spec's epsilon)."""
+        return self._epsilon
+
+    @property
+    def domain_size(self) -> int:
+        """Domain size shared by every shard."""
+        return self._domain_size
+
+    @property
+    def spec(self) -> str:
+        """The mechanism specification string the shards were built from."""
+        return self._spec
+
+    @property
+    def stream_ids(self) -> List[int]:
+        """Stable random-stream id of each current shard index.
+
+        Stream ``s`` is spawn child ``s`` of the collector's seed, for the
+        life of the collector: growth appends fresh ids, shrink retires ids
+        without reuse.  ``stream_ids[i]`` names the stream shard ``i``
+        currently draws report noise from, which is what a static replay
+        needs to pin batches onto the same streams.
+        """
+        return list(self._stream_ids)
+
+    @property
+    def streams_spawned(self) -> int:
+        """Total random streams ever spawned (= n_shards of a static replay)."""
+        return self._streams_spawned
 
     @property
     def n_users(self) -> int:
@@ -215,6 +258,17 @@ class ShardedCollector:
             )
         self._router.observe(index, int(n_items))
         return index
+
+    def release_route(self, shard: int, n_items: int) -> None:
+        """Hand back the load accounting of a routed-but-rejected batch.
+
+        The non-blocking ingestion path (HTTP 503 backpressure) routes
+        before it knows whether the target queue has room; when it does not,
+        the batch never reaches a shard and load-aware policies must not
+        keep counting it.  Positional decisions (a round-robin cursor
+        advance) are *not* undone — they are placement history, not load.
+        """
+        self._router.release(int(shard), int(n_items))
 
     def submit(
         self,
@@ -298,6 +352,83 @@ class ShardedCollector:
         return self
 
     # ------------------------------------------------------------------
+    # Scaling (grow/shrink the shard set between batches)
+    # ------------------------------------------------------------------
+    def add_shards(self, count: int = 1) -> List[int]:
+        """Append ``count`` fresh shards and return their indices.
+
+        Each new shard gets an identically configured mechanism and the
+        *next* spawn children of the collector's seed sequence, so a run
+        that grows from ``K`` to ``K'`` shards uses exactly the random
+        streams a run constructed with ``K'`` shards would have used —
+        growth never perturbs existing streams and never reuses a retired
+        one.  Load-aware routers start the new shards at zero load, which is
+        precisely what makes them attractive to the least-loaded policy.
+        """
+        if not isinstance(count, (int, np.integer)) or count < 1:
+            raise ConfigurationError(
+                f"count must be a positive integer, got {count!r}"
+            )
+        first = len(self._shards)
+        for child in self._seed_sequence.spawn(int(count)):
+            self._shards.append(self._make_mechanism())
+            self._generators.append(np.random.default_rng(child))
+            self._stream_ids.append(self._streams_spawned)
+            self._streams_spawned += 1
+        self._router.resize(len(self._shards))
+        return list(range(first, len(self._shards)))
+
+    def shrink_to(self, n_shards: int) -> List[tuple]:
+        """Retire the highest-indexed shards down to ``n_shards``.
+
+        Every retired shard's sufficient statistics are rebalanced into the
+        least-loaded surviving shard via ``merge_from`` — merging is exact,
+        so the eventual :meth:`reduce` still sums precisely the statistics
+        every stream ever accumulated and stays bit-identical to a static
+        run that pinned each batch to the same stream (see
+        ``tests/integration/test_http_service.py``).  The retired random
+        streams are gone for good: a later :meth:`add_shards` spawns fresh
+        ones rather than resuming a stream whose position can no longer be
+        trusted.  Returns ``(retired_stream_id, survivor_index)`` pairs,
+        highest-indexed shard first, so callers can fold their own per-shard
+        bookkeeping the same way.
+        """
+        if not isinstance(n_shards, (int, np.integer)) or n_shards < 1:
+            raise ConfigurationError(
+                f"n_shards must be a positive integer, got {n_shards!r}"
+            )
+        if n_shards > len(self._shards):
+            raise ConfigurationError(
+                f"cannot shrink to {n_shards} shards from {len(self._shards)}; "
+                "use add_shards to grow"
+            )
+        retired: List[tuple] = []
+        while len(self._shards) > int(n_shards):
+            index = len(self._shards) - 1
+            survivor = self._least_loaded_survivor(index)
+            removed = self._shards.pop(index)
+            if removed.is_fitted:
+                self._shards[survivor].merge_from(removed)
+            self._router.fold(index, survivor)
+            self._router.resize(len(self._shards))
+            self._generators.pop(index)
+            retired.append((self._stream_ids.pop(index), survivor))
+        return retired
+
+    def _least_loaded_survivor(self, removed_index: int) -> int:
+        """Lowest-indexed least-loaded shard below ``removed_index``.
+
+        Prefers the router's own load signal (the least-loaded policy's
+        routed-user counts); other policies fall back to absorbed users.
+        Deterministic — ties break toward the lowest index — so shrink
+        rebalancing is reproducible.
+        """
+        loads = getattr(self._router, "loads", None)
+        if not loads or len(loads) <= removed_index:
+            loads = [shard.n_users or 0 for shard in self._shards]
+        return int(np.argmin(np.asarray(loads[:removed_index], dtype=np.int64)))
+
+    # ------------------------------------------------------------------
     # Reduction
     # ------------------------------------------------------------------
     def reduce(self) -> RangeQueryMechanism:
@@ -350,6 +481,8 @@ class ShardedCollector:
                 "repro.streaming.routing.register_router to make checkpoints "
                 "restorable"
             )
+        seq = self._seed_sequence
+        entropy = seq.entropy
         header = {
             "kind": "collector",
             "spec": self._spec,
@@ -362,6 +495,18 @@ class ShardedCollector:
                 "state": self._router.state_dict(),
             },
             "generators": [_generator_state(gen) for gen in self._generators],
+            # Scaling continuity: which spawn child each shard draws from,
+            # and the parent seed sequence mid-spawn, so a restored collector
+            # can keep growing with exactly the streams the original would
+            # have spawned next.
+            "stream_ids": [int(stream) for stream in self._stream_ids],
+            "streams_spawned": int(self._streams_spawned),
+            "seed_sequence": {
+                "entropy": list(entropy) if isinstance(entropy, (list, tuple)) else entropy,
+                "spawn_key": list(seq.spawn_key),
+                "pool_size": int(seq.pool_size),
+                "n_children_spawned": int(seq.n_children_spawned),
+            },
         }
         arrays = {}
         for index, shard in enumerate(self._shards):
@@ -413,6 +558,29 @@ class ShardedCollector:
         collector._generators = [
             _generator_from_state(state) for state in generator_states
         ]
+        collector._stream_ids = [
+            int(stream) for stream in header.get("stream_ids", range(n_shards))
+        ]
+        if len(collector._stream_ids) != n_shards:
+            raise ConfigurationError(
+                f"checkpoint holds {len(collector._stream_ids)} stream ids "
+                f"for {n_shards} shards"
+            )
+        collector._streams_spawned = int(header.get("streams_spawned", n_shards))
+        seed_info = header.get("seed_sequence")
+        if seed_info is not None:
+            entropy = seed_info.get("entropy")
+            collector._seed_sequence = np.random.SeedSequence(
+                entropy,
+                spawn_key=tuple(int(k) for k in seed_info.get("spawn_key", ())),
+                pool_size=int(seed_info.get("pool_size", 4)),
+                n_children_spawned=int(seed_info.get("n_children_spawned", 0)),
+            )
+        else:
+            # Legacy (pre-autoscale) checkpoint: resuming is still bit-exact
+            # for the existing shards, but post-restore growth draws fresh
+            # entropy instead of the original seed's next children.
+            collector._seed_sequence = np.random.SeedSequence()
         states = nest_arrays(flat)
         shards = []
         for index in range(n_shards):

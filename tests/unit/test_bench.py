@@ -44,6 +44,11 @@ TINY = dict(
     stream_grid_side=8,
     stream_grid_branching=2,
     stream_grid_batches=8,
+    http_domain=32,
+    http_shards=2,
+    http_queue_size=4,
+    http_batches=12,
+    http_batch_users=50,
 )
 
 EXPECTED_BENCHMARKS = {
@@ -63,6 +68,7 @@ EXPECTED_BENCHMARKS = {
     "grid2d_stream_ingest",
     "epsilon_grid_serial",
     "epsilon_grid_parallel",
+    "http_ingest",
 }
 
 
@@ -99,6 +105,10 @@ class TestRunSuite:
         assert checks["grid2d_stream_ingest_speedup"] > 0
         assert checks["lazy_vs_eager_bit_identical"] is True
         assert checks["grid2d_rectangle_batch_speedup"] > 0
+        assert checks["parallel_grid_speedup_ok"] is True
+        assert checks["autoscale_bit_identical"] is True
+        assert checks["http_ingest_p50_ms"] > 0
+        assert checks["http_ingest_p99_ms"] >= checks["http_ingest_p50_ms"]
 
     def test_environment_metadata(self, payload):
         environment = payload["environment"]

@@ -2,7 +2,43 @@
 
 import pytest
 
-from repro.cli import EXPERIMENTS, build_parser, main
+from repro.cli import EXPERIMENTS, build_parser, build_serve_parser, main
+
+
+class TestServeParser:
+    def test_defaults(self):
+        args = build_serve_parser().parse_args([])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.mechanism == "hhc_4"
+        assert args.epsilon == pytest.approx(1.1)
+        assert args.domain == 1 << 10
+        assert args.shards == 2
+        assert args.router == "least-loaded"
+        assert args.queue_size == 8
+        assert args.autoscale is False
+        assert args.min_shards == 1
+        assert args.max_shards == 8
+        assert args.grow_at == pytest.approx(0.75)
+        assert args.shrink_at == pytest.approx(0.10)
+        assert args.check_interval == 16
+
+    def test_autoscale_knobs(self):
+        args = build_serve_parser().parse_args(
+            [
+                "--port", "0", "--shards", "4", "--autoscale",
+                "--min-shards", "2", "--max-shards", "6",
+                "--grow-at", "0.5", "--shrink-at", "0.2",
+                "--check-interval", "8",
+            ]
+        )
+        assert args.port == 0
+        assert args.autoscale is True
+        assert args.min_shards == 2
+        assert args.max_shards == 6
+        assert args.grow_at == pytest.approx(0.5)
+        assert args.shrink_at == pytest.approx(0.2)
+        assert args.check_interval == 8
 
 
 class TestParser:

@@ -1,0 +1,235 @@
+"""Unit tests for dynamic shard-set scaling on the ShardedCollector.
+
+The contract under test: shard count is a pure throughput knob *even when
+it changes mid-run*.  Growth spawns mechanisms on the seed's next random
+streams (SeedSequence spawn-counter continuity), shrink rebalances retired
+sufficient statistics into survivors via exact merging, stream ids are
+stable and never reused — so a run with any schedule of scale events
+reduces bit-identically to a static run that pinned every batch onto the
+same streams.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.streaming import ShardedCollector
+from repro.streaming.routing import LeastLoadedRouter, RoundRobinRouter
+
+DOMAIN = 64
+EPSILON = 1.0
+
+
+def make_collector(n_shards=2, router=None, seed=7, spec="flat_oue"):
+    return ShardedCollector(
+        spec,
+        epsilon=EPSILON,
+        domain_size=DOMAIN,
+        n_shards=n_shards,
+        random_state=seed,
+        router=router,
+    )
+
+
+class TestGrow:
+    def test_add_shards_returns_new_indices_and_extends_streams(self):
+        collector = make_collector(n_shards=2)
+        assert collector.stream_ids == [0, 1]
+        new = collector.add_shards(2)
+        assert new == [2, 3]
+        assert collector.n_shards == 4
+        assert collector.stream_ids == [0, 1, 2, 3]
+        assert collector.streams_spawned == 4
+
+    def test_add_shards_validates_count(self):
+        collector = make_collector()
+        with pytest.raises(ConfigurationError):
+            collector.add_shards(0)
+        with pytest.raises(ConfigurationError):
+            collector.add_shards(-1)
+
+    def test_incremental_growth_matches_upfront_spawn(self, rng):
+        """Spawn-counter continuity: growing 2 -> 4 yields the same streams
+        as constructing with 4 shards up front."""
+        items = rng.integers(0, DOMAIN, size=8_000)
+        batches = np.array_split(items, 4)
+
+        grown = make_collector(n_shards=2)
+        grown.submit(batches[0], shard=0)
+        grown.submit(batches[1], shard=1)
+        grown.add_shards(2)
+        grown.submit(batches[2], shard=2)
+        grown.submit(batches[3], shard=3)
+
+        static = make_collector(n_shards=4)
+        for shard, batch in enumerate(batches):
+            static.submit(batch, shard=shard)
+
+        assert np.array_equal(
+            grown.reduce().estimate_frequencies(),
+            static.reduce().estimate_frequencies(),
+        )
+
+    def test_router_follows_growth(self):
+        collector = make_collector(n_shards=2, router="round-robin")
+        collector.add_shards(2)
+        seen = {collector.route(10) for _ in range(8)}
+        assert seen == {0, 1, 2, 3}
+
+
+class TestShrink:
+    def test_shrink_returns_retired_stream_and_survivor_pairs(self):
+        collector = make_collector(n_shards=4)
+        moves = collector.shrink_to(2)
+        assert [stream for stream, _ in moves] == [3, 2]
+        assert all(0 <= survivor < 3 for _, survivor in moves)
+        assert collector.n_shards == 2
+        assert collector.stream_ids == [0, 1]
+        # Spawn counter is *not* rewound: retired streams stay retired.
+        assert collector.streams_spawned == 4
+
+    def test_shrink_validates_target(self):
+        collector = make_collector(n_shards=2)
+        with pytest.raises(ConfigurationError):
+            collector.shrink_to(0)
+        with pytest.raises(ConfigurationError):
+            collector.shrink_to(3)
+
+    def test_shrink_merges_statistics_into_survivor(self, rng):
+        collector = make_collector(n_shards=3)
+        batches = [rng.integers(0, DOMAIN, size=2_000) for _ in range(3)]
+        for shard, batch in enumerate(batches):
+            collector.submit(batch, shard=shard)
+        users_before = sum(shard.n_users for shard in collector.shards)
+        collector.shrink_to(1)
+        assert collector.shards[0].n_users == users_before
+
+    def test_shrink_prefers_least_loaded_survivor(self, rng):
+        router = LeastLoadedRouter()
+        collector = make_collector(n_shards=3, router=router)
+        # Load shards unevenly via the router's accounting.
+        collector.submit(rng.integers(0, DOMAIN, size=3_000), shard=0)
+        router.observe(0, 3_000)
+        collector.submit(rng.integers(0, DOMAIN, size=100), shard=1)
+        router.observe(1, 100)
+        moves = collector.shrink_to(2)
+        assert moves == [(2, 1)]  # shard 1 carries the least load
+
+    def test_grow_after_shrink_spawns_fresh_streams(self, rng):
+        """Stream ids are never reused: after retiring stream 3, the next
+        growth mints stream 4 — and a 5-stream static replay matches."""
+        batch = rng.integers(0, DOMAIN, size=4_000)
+        collector = make_collector(n_shards=4)
+        collector.shrink_to(3)
+        new = collector.add_shards(1)
+        assert collector.stream_ids == [0, 1, 2, 4]
+        assert new == [3]  # index 3, but stream id 4
+
+        collector.submit(batch, shard=3)  # lands on stream 4
+        static = make_collector(n_shards=5)
+        static.submit(batch, shard=4)
+        assert np.array_equal(
+            collector.reduce().estimate_frequencies(),
+            static.reduce().estimate_frequencies(),
+        )
+
+
+class TestScaleScheduleBitIdentity:
+    def test_arbitrary_scale_schedule_matches_static_replay(self, rng):
+        """The headline contract: grow/shrink events interleaved with
+        submissions reduce bit-identically to a static collector with one
+        shard per stream ever spawned, batches pinned to logged streams."""
+        batches = [rng.integers(0, DOMAIN, size=500) for _ in range(30)]
+        collector = make_collector(n_shards=2, router="least-loaded")
+        placements = []
+        for index, batch in enumerate(batches):
+            if index == 8:
+                collector.add_shards(2)
+            elif index == 18:
+                collector.shrink_to(3)
+            elif index == 24:
+                collector.add_shards(1)
+            shard = collector.submit(batch)
+            placements.append(collector.stream_ids[shard])
+
+        static = make_collector(
+            n_shards=collector.streams_spawned, router="least-loaded"
+        )
+        for batch, stream in zip(batches, placements):
+            static.submit(batch, shard=stream)
+        assert np.array_equal(
+            collector.reduce().estimate_frequencies(),
+            static.reduce().estimate_frequencies(),
+        )
+
+
+class TestCheckpointAcrossScaleEvents:
+    def test_checkpoint_preserves_stream_identity_and_spawn_counter(self, rng):
+        collector = make_collector(n_shards=3)
+        collector.shrink_to(2)
+        collector.submit(rng.integers(0, DOMAIN, size=1_000))
+        restored = ShardedCollector.from_checkpoint_bytes(
+            collector.checkpoint_bytes()
+        )
+        assert restored.stream_ids == collector.stream_ids
+        assert restored.streams_spawned == collector.streams_spawned
+
+    def test_restored_collector_grows_onto_the_same_streams(self, rng):
+        """A restore mid-schedule must continue the seed's spawn sequence:
+        growth after restore produces the same mechanisms as growth on the
+        original."""
+        batch = rng.integers(0, DOMAIN, size=2_000)
+
+        original = make_collector(n_shards=2)
+        restored = ShardedCollector.from_checkpoint_bytes(
+            original.checkpoint_bytes()
+        )
+        for collector in (original, restored):
+            collector.add_shards(1)
+            collector.submit(batch, shard=2)
+        assert np.array_equal(
+            original.reduce().estimate_frequencies(),
+            restored.reduce().estimate_frequencies(),
+        )
+
+
+class TestRouterScaleHooks:
+    def test_round_robin_resize_wraps_cursor(self):
+        router = RoundRobinRouter().bind(4)
+        for _ in range(3):
+            router.route(1)
+        router.resize(2)
+        assert router.route(1) in (0, 1)
+
+    def test_least_loaded_fold_moves_load(self):
+        router = LeastLoadedRouter().bind(3)
+        router.observe(2, 500)
+        router.fold(2, 0)
+        assert router.loads == [500, 0, 0]
+        with pytest.raises(ConfigurationError):
+            router.fold(1, 1)
+
+    def test_least_loaded_release_floors_at_zero(self):
+        router = LeastLoadedRouter().bind(2)
+        router.observe(0, 100)
+        router.release(0, 40)
+        assert router.loads[0] == 60
+        router.release(0, 1_000)
+        assert router.loads[0] == 0
+
+    def test_least_loaded_resize_grow_and_shrink(self):
+        router = LeastLoadedRouter().bind(2)
+        router.observe(0, 10)
+        router.resize(4)
+        assert router.loads == [10, 0, 0, 0]
+        router.fold(3, 0)
+        router.fold(2, 0)
+        router.resize(2)
+        assert router.loads == [10, 0]
+
+    def test_bind_still_refuses_count_change(self):
+        router = RoundRobinRouter().bind(2)
+        with pytest.raises(ConfigurationError, match="cannot rebind"):
+            router.bind(3)
+        router.resize(3)  # the sanctioned path
+        assert router.n_shards == 3
