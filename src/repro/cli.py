@@ -20,6 +20,7 @@ Examples
     python -m repro table5 --domain 1024 --workers 4
     python -m repro bench --suite smoke
     python -m repro bench --suite smoke --compare BENCH_smoke.json
+    python -m repro bench --suite smoke --backend numba --transport shm
     python -m repro grid2d --side 32 --shards 4 --checkpoint /tmp/grid.snap
     python -m repro lint --format json
     python -m repro lint --baseline LINT_BASELINE.json
@@ -181,6 +182,27 @@ def build_parser() -> argparse.ArgumentParser:
         default="smoke",
         choices=["smoke", "full"],
         help="bench only: which benchmark suite to run",
+    )
+    parser.add_argument(
+        "--backend",
+        type=str,
+        default=None,
+        choices=["auto", "numpy", "numba"],
+        help=(
+            "bench only: kernel backend the suite runs under (default: "
+            "auto-detect; explicitly requesting 'numba' fails when the "
+            "[compiled] extra is not installed)"
+        ),
+    )
+    parser.add_argument(
+        "--transport",
+        type=str,
+        default="auto",
+        choices=["auto", "shm", "pickle"],
+        help=(
+            "bench only: worker transport of the parallel grid benchmark "
+            "(default: shared memory when available, else pickle)"
+        ),
     )
     parser.add_argument(
         "--side",
@@ -592,6 +614,7 @@ def _run_grid2d_recovery(config, args, spec, side, batches) -> str:
 def _run_bench(config: ExperimentConfig, args: argparse.Namespace):
     """Run a benchmark suite, persist BENCH_<suite>.json and (optionally)
     diff the records against a stored baseline, failing on regressions."""
+    from repro import kernels
     from repro.experiments.bench import compare_payloads, load_payload, run_suite
 
     # Read the baseline *before* running the suite: run_suite writes
@@ -602,7 +625,14 @@ def _run_bench(config: ExperimentConfig, args: argparse.Namespace):
     # of benchmarking.
     baseline = None if args.compare is None else load_payload(args.compare)
 
-    payload = run_suite(suite=args.suite, workers=args.workers, out_dir=args.out)
+    if args.backend is not None:
+        kernels.set_backend(args.backend)
+    payload = run_suite(
+        suite=args.suite,
+        workers=args.workers,
+        out_dir=args.out,
+        transport=args.transport,
+    )
     rows = [
         [
             record["name"],
@@ -615,7 +645,8 @@ def _run_bench(config: ExperimentConfig, args: argparse.Namespace):
     ]
     checks = payload["checks"]
     lines = [
-        f"Benchmark suite '{args.suite}' | workers = {payload['workers']}",
+        f"Benchmark suite '{args.suite}' | workers = {payload['workers']} | "
+        f"kernel backend = {checks['kernel_backend']}",
         format_table(["benchmark", "best wall s", "throughput", "unit", "rss KB"], rows),
         "",
         f"packed payload ratio (dense/packed bytes): {checks['packed_payload_ratio']:.1f}x",
@@ -631,6 +662,13 @@ def _run_bench(config: ExperimentConfig, args: argparse.Namespace):
         f"grid2d stream-ingest speedup:              {checks['grid2d_stream_ingest_speedup']:.2f}x",
         f"lazy vs eager bit-identical:               {checks['lazy_vs_eager_bit_identical']}",
         f"grid2d rectangle batch speedup:            {checks['grid2d_rectangle_batch_speedup']:.2f}x",
+        f"kernels bit-identical across backends:     {checks['kernels_bit_identical']}",
+        f"kernel speedups vs numpy (unary/olh/runs): "
+        f"{checks['kernel_unary_speedup']:.2f}x/"
+        f"{checks['kernel_olh_decode_speedup']:.2f}x/"
+        f"{checks['kernel_badic_runs_speedup']:.2f}x",
+        f"shm transport speedup vs pickle:           {checks['shm_transport_speedup']:.2f}x",
+        f"shm transport bit-identical to pickle:     {checks['transport_bit_identical']}",
         "",
         f"wrote {payload.get('path', '(no file)')}",
     ]

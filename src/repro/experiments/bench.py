@@ -59,10 +59,12 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro import kernels
 from repro.data.workloads import random_range_queries
 from repro.exceptions import ConfigurationError
 from repro.experiments.config import DataConfig
 from repro.experiments.runner import run_epsilon_grid
+from repro.experiments.transport import resolve_transport, shm_available
 from repro.frequency_oracles.registry import make_oracle
 from repro.hierarchy.consistency import enforce_consistency
 from repro.streaming import ShardedCollector
@@ -115,6 +117,9 @@ SUITES: Dict[str, Dict[str, object]] = {
         http_queue_size=8,
         http_batches=60,
         http_batch_users=500,
+        kernel_runs_queries=4000,
+        kernel_runs_branching=2,
+        kernel_runs_height=16,
     ),
     "full": dict(
         repeats=5,
@@ -153,6 +158,9 @@ SUITES: Dict[str, Dict[str, object]] = {
         http_queue_size=8,
         http_batches=200,
         http_batch_users=2000,
+        kernel_runs_queries=20_000,
+        kernel_runs_branching=2,
+        kernel_runs_height=20,
     ),
 }
 
@@ -222,6 +230,9 @@ def _environment() -> Dict[str, object]:
         "machine": platform.machine(),
         "cpu_count": os.cpu_count(),
         "git_commit": _git_commit(),
+        # Which kernel backend produced the numbers — a numba payload and a
+        # numpy payload are not comparable without this.
+        "kernel_backend": kernels.backend_info(),
     }
 
 
@@ -312,6 +323,106 @@ def _bench_olh_decode(params: dict) -> List[BenchRecord]:
             extras={"domain_size": domain},
         )
     ]
+
+
+def _bench_kernels(params: dict) -> List[BenchRecord]:
+    """Per-kernel microbenches across every available backend.
+
+    Each of the three registered kernels is timed on every backend the
+    process can load; the record's headline wall is the **active** backend's
+    (what library calls actually dispatch to), with per-backend walls, the
+    compiled-vs-numpy speedup and a bit-identity verdict in ``extras``.  The
+    verdict feeds the ``kernels_bit_identical`` check: a compiled kernel
+    whose output differs from the numpy reference by even one bit fails the
+    suite's contract, whatever its speed.
+    """
+    from repro.frequency_oracles.local_hashing import (
+        _PRIME,
+        OLH_DECODE_TARGET_BYTES,
+    )
+    from repro.frequency_oracles.unary import UNARY_SUM_BLOCK_TARGET_BYTES
+
+    repeats = int(params["repeats"])
+    backends = kernels.available_backends()
+    active = kernels.active_backend()
+
+    n_users = int(params["unary_users"])
+    unary_domain = int(params["unary_domain"])
+    bits = (np.random.default_rng(40).random((n_users, unary_domain)) < 0.3).astype(
+        np.uint8
+    )
+    packed = np.packbits(bits, axis=1)
+
+    olh_users = int(params["olh_users"])
+    olh_domain = int(params["olh_domain"])
+    olh_rng = np.random.default_rng(41)
+    prime = np.int64((1 << 31) - 1)
+    assert prime == _PRIME
+    a = olh_rng.integers(1, prime, size=olh_users, dtype=np.int64)
+    b = olh_rng.integers(0, prime, size=olh_users, dtype=np.int64)
+    symbols = olh_rng.integers(0, 8, size=olh_users, dtype=np.int64)
+
+    branching = int(params["kernel_runs_branching"])
+    height = int(params["kernel_runs_height"])
+    run_domain = branching**height
+    runs_rng = np.random.default_rng(42)
+    endpoints = np.sort(
+        runs_rng.integers(0, run_domain, size=(int(params["kernel_runs_queries"]), 2)),
+        axis=1,
+    )
+
+    cases = {
+        "unary_column_sums": (
+            (packed, unary_domain, UNARY_SUM_BLOCK_TARGET_BYTES),
+            n_users,
+            "users/s",
+            {"domain_size": unary_domain},
+        ),
+        "olh_decode": (
+            (a, b, symbols, olh_domain, 8, int(prime), OLH_DECODE_TARGET_BYTES),
+            olh_users,
+            "users/s",
+            {"domain_size": olh_domain},
+        ),
+        "badic_axis_runs": (
+            (endpoints[:, 0], endpoints[:, 1], branching, height),
+            int(endpoints.shape[0]),
+            "queries/s",
+            {"branching": branching, "height": height},
+        ),
+    }
+
+    records = []
+    for name, (args, work_items, unit, shared) in cases.items():
+        reference = kernels.get_kernel(name, "numpy")(*args)
+        reference = reference if isinstance(reference, tuple) else (reference,)
+        walls: Dict[str, float] = {}
+        identical = True
+        for backend in backends:
+            fn = kernels.get_kernel(name, backend)
+            out = fn(*args)  # warm call: triggers the jit compile off-clock
+            out = out if isinstance(out, tuple) else (out,)
+            identical = identical and all(
+                np.array_equal(got, want) for got, want in zip(out, reference)
+            )
+            walls[backend] = _best_wall(lambda: fn(*args), repeats)
+        records.append(
+            BenchRecord(
+                name=f"kernel_{name}",
+                wall_seconds=walls[active],
+                work_items=work_items,
+                unit=unit,
+                rss_max_kb=_rss_max_kb(),
+                extras=dict(
+                    shared,
+                    backend=active,
+                    backends={key: wall for key, wall in walls.items()},
+                    speedup_vs_numpy=walls["numpy"] / walls[active],
+                    bit_identical=identical,
+                ),
+            )
+        )
+    return records
 
 
 def _bench_shard_reduce(params: dict) -> List[BenchRecord]:
@@ -579,7 +690,67 @@ def _bench_stream_ingest(params: dict) -> List[BenchRecord]:
     return records
 
 
-def _bench_epsilon_grid(params: dict, workers: int) -> List[BenchRecord]:
+def _bench_transport_grid(params: dict, workers: int) -> List[BenchRecord]:
+    """Shared-memory vs pickle worker transport on the epsilon grid.
+
+    Runs the same parallel grid twice — once per transport — through a real
+    process pool (forced to at least two workers, even on one-core hosts,
+    because the transport only exists on the pool path) and records the
+    wall of each plus a bit-identity verdict: the transport moves bytes, so
+    it must never move results.  When shared memory is unavailable the shm
+    leg degrades to pickle by design; the record says so instead of
+    pretending to measure a difference.
+    """
+    domain = int(params["grid_domain"])
+    counts = DataConfig().counts(domain, int(params["grid_users"]))
+    workload = random_range_queries(domain, 2000, random_state=10, name="bench-grid")
+    specs = list(params["grid_specs"])
+    epsilons = list(params["grid_epsilons"])
+    repetitions = int(params["grid_repetitions"])
+    cells = len(specs) * len(epsilons) * repetitions
+    pool_workers = max(2, min(int(workers), os.cpu_count() or 1))
+
+    def run(transport: str):
+        return run_epsilon_grid(
+            specs,
+            counts,
+            workload,
+            epsilons=epsilons,
+            repetitions=repetitions,
+            random_state=11,
+            workers=pool_workers,
+            transport=transport,
+        )
+
+    start = time.perf_counter()
+    pickled = run("pickle")
+    wall_pickle = time.perf_counter() - start
+    start = time.perf_counter()
+    shm = run("shm")  # degrades to pickle when shm is unavailable
+    wall_shm = time.perf_counter() - start
+    return [
+        BenchRecord(
+            name="transport_grid_shm",
+            wall_seconds=wall_shm,
+            work_items=cells,
+            unit="fits/s",
+            rss_max_kb=_rss_max_kb(),
+            extras={
+                "domain_size": domain,
+                "workers": pool_workers,
+                "shm_available": shm_available(),
+                "wall_pickle_seconds": wall_pickle,
+                "wall_shm_seconds": wall_shm,
+                "speedup_vs_pickle": wall_pickle / wall_shm,
+                "bit_identical_to_pickle": pickled == shm,
+            },
+        )
+    ]
+
+
+def _bench_epsilon_grid(
+    params: dict, workers: int, transport: str = "auto"
+) -> List[BenchRecord]:
     """Serial vs parallel epsilon-grid sweep, clamped to available cores.
 
     Requesting more worker processes than the machine has cores cannot
@@ -612,6 +783,7 @@ def _bench_epsilon_grid(params: dict, workers: int) -> List[BenchRecord]:
             repetitions=repetitions,
             random_state=11,
             workers=n_workers,
+            transport=transport,
         )
 
     start = time.perf_counter()
@@ -642,6 +814,7 @@ def _bench_epsilon_grid(params: dict, workers: int) -> List[BenchRecord]:
                 "domain_size": domain,
                 "workers": effective_workers,
                 "workers_requested": int(workers),
+                "transport": resolve_transport(transport),
                 "single_cpu_degenerate": degenerate,
                 "speedup_vs_serial": speedup,
                 "measured_wall_ratio": wall_serial / wall_parallel,
@@ -771,6 +944,7 @@ def run_suite(
     workers: Optional[int] = None,
     out_dir: Optional[str] = ".",
     overrides: Optional[dict] = None,
+    transport: str = "auto",
 ) -> Dict[str, object]:
     """Run a named benchmark suite and write ``BENCH_<suite>.json``.
 
@@ -788,6 +962,10 @@ def run_suite(
     overrides:
         Optional size-knob overrides merged over the suite's parameters
         (used by the tests to shrink the suite).
+    transport:
+        Worker transport of the parallel epsilon-grid benchmark (``auto`` /
+        ``shm`` / ``pickle``); the shm-vs-pickle comparison record always
+        measures both regardless of this knob.
 
     Returns
     -------
@@ -810,12 +988,14 @@ def run_suite(
     records.extend(_bench_encode(params))
     records.extend(_bench_unary_aggregate(params))
     records.extend(_bench_olh_decode(params))
+    records.extend(_bench_kernels(params))
     records.extend(_bench_shard_reduce(params))
     records.extend(_bench_consistency(params))
     records.extend(_bench_grid2d(params))
     records.extend(_bench_stream_ingest(params))
     records.extend(_bench_http_ingest(params))
-    records.extend(_bench_epsilon_grid(params, workers))
+    records.extend(_bench_epsilon_grid(params, workers, transport))
+    records.extend(_bench_transport_grid(params, workers))
 
     by_name = {record.name: record for record in records}
     packed = by_name["unary_aggregate_packed"]
@@ -855,6 +1035,28 @@ def run_suite(
         ),
         "grid2d_rectangle_batch_speedup": by_name["grid2d_rectangle_queries"].extras[
             "speedup_vs_per_query_loop"
+        ],
+        # Kernel backend contract: every backend's output of every kernel
+        # matched the numpy reference bit-for-bit during the microbenches.
+        "kernels_bit_identical": all(
+            bool(by_name[f"kernel_{name}"].extras["bit_identical"])
+            for name in kernels.KERNEL_NAMES
+        ),
+        "kernel_backend": kernels.active_backend(),
+        "kernel_unary_speedup": by_name["kernel_unary_column_sums"].extras[
+            "speedup_vs_numpy"
+        ],
+        "kernel_olh_decode_speedup": by_name["kernel_olh_decode"].extras[
+            "speedup_vs_numpy"
+        ],
+        "kernel_badic_runs_speedup": by_name["kernel_badic_axis_runs"].extras[
+            "speedup_vs_numpy"
+        ],
+        "transport_bit_identical": by_name["transport_grid_shm"].extras[
+            "bit_identical_to_pickle"
+        ],
+        "shm_transport_speedup": by_name["transport_grid_shm"].extras[
+            "speedup_vs_pickle"
         ],
     }
 

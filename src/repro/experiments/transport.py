@@ -1,0 +1,211 @@
+"""Shared-memory transport for the parallel experiment engine.
+
+``ProcessPoolExecutor`` ships worker inputs by pickling them into the task
+pipe.  For the experiment engine the big inputs — the per-item counts, the
+workload query matrix and its exact answers — are identical for every
+worker, so the pickle/IPC round trip is pure overhead, and at small cell
+sizes it is the *dominant* cost (the ``parallel_grid_speedup`` regression
+history in :mod:`repro.experiments.runner`).  This module replaces the copy
+with :mod:`multiprocessing.shared_memory`: the parent packs the arrays into
+one named segment, workers attach by name and build zero-copy numpy views.
+
+Lifecycle contract:
+
+* the parent owns the segment: it creates it, hands workers only a small
+  picklable *descriptor* (segment name + per-array dtype/shape/offset), and
+  closes **and unlinks** it in a ``finally`` — so a worker crashing mid-run
+  (even hard, e.g. ``os._exit``) never leaks a segment;
+* workers attach read-only views and simply close their mapping when the
+  process exits; they never unlink;
+* when shared memory is unavailable (platform without it, or creation
+  fails at runtime — ``/dev/shm`` full, permissions), callers fall back to
+  the pickle transport; results are bit-identical either way because the
+  transported bytes are.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "TRANSPORTS",
+    "SharedArrayPack",
+    "resolve_transport",
+    "shm_available",
+]
+
+#: Transport request values accepted by the runner/bench knobs.
+TRANSPORTS = ("auto", "shm", "pickle")
+
+#: Offsets are aligned so every array view starts on a cache-line boundary.
+_ALIGN = 64
+
+
+def shm_available() -> bool:
+    """Whether :mod:`multiprocessing.shared_memory` imports on this host."""
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError:  # pragma: no cover - always available on CPython>=3.8
+        return False
+    return True
+
+
+def resolve_transport(requested: Optional[str]) -> str:
+    """Map a transport request to the concrete transport to use.
+
+    ``auto`` and ``shm`` both resolve to ``"shm"`` only when shared memory
+    is importable and to ``"pickle"`` otherwise — the documented graceful
+    fallback (a later creation failure downgrades the same way).  Unknown
+    values raise.
+    """
+    requested = (requested or "auto").strip().lower() or "auto"
+    if requested not in TRANSPORTS:
+        raise ConfigurationError(
+            f"unknown transport {requested!r}; expected one of {TRANSPORTS}"
+        )
+    if requested == "pickle":
+        return "pickle"
+    return "shm" if shm_available() else "pickle"
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class SharedArrayPack:
+    """Named numpy arrays packed into one POSIX shared-memory segment.
+
+    Create in the parent with :meth:`create`, ship :attr:`descriptor` (a
+    small picklable dict) through the pool initializer, and rebuild views
+    in workers with :meth:`attach`.  The creating side is the *owner* and
+    must call :meth:`unlink` (idempotent) when the pool is done; attached
+    sides only :meth:`close`.
+    """
+
+    def __init__(self, shm: object, layout: Dict[str, dict], owner: bool) -> None:
+        self._shm = shm
+        self._layout = layout
+        self._owner = owner
+        self._unlinked = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, arrays: Dict[str, np.ndarray]) -> "SharedArrayPack":
+        """Copy ``arrays`` into a fresh segment (parent side, owner).
+
+        Raises ``OSError`` when the segment cannot be created — callers
+        catch it and fall back to the pickle transport.
+        """
+        from multiprocessing import shared_memory
+
+        prepared: List[Tuple[str, np.ndarray]] = []
+        layout: Dict[str, dict] = {}
+        total = 0
+        for name, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            offset = _aligned(total)
+            layout[name] = {
+                "dtype": array.dtype.str,
+                "shape": tuple(int(dim) for dim in array.shape),
+                "offset": offset,
+            }
+            prepared.append((name, array))
+            total = offset + array.nbytes
+        shm = shared_memory.SharedMemory(create=True, size=max(1, total))
+        for name, array in prepared:
+            entry = layout[name]
+            view = np.ndarray(
+                entry["shape"],
+                dtype=np.dtype(entry["dtype"]),
+                buffer=shm.buf,
+                offset=entry["offset"],
+            )
+            view[...] = array
+        return cls(shm, layout, owner=True)
+
+    @classmethod
+    def attach(cls, descriptor: Dict[str, object]) -> "SharedArrayPack":
+        """Map an existing segment from its descriptor (worker side)."""
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=str(descriptor["name"]), create=False)
+        return cls(shm, dict(descriptor["layout"]), owner=False)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Kernel-level name of the underlying segment."""
+        return self._shm.name  # type: ignore[attr-defined]
+
+    @property
+    def descriptor(self) -> Dict[str, object]:
+        """Small picklable handle workers attach from."""
+        return {"name": self.name, "layout": dict(self._layout)}
+
+    def arrays(self) -> Dict[str, np.ndarray]:
+        """Zero-copy read-only views of every packed array.
+
+        Views are marked non-writable: the transported inputs are shared by
+        every worker, so an accidental in-place write would corrupt sibling
+        repetitions — better to fail loudly.
+        """
+        views: Dict[str, np.ndarray] = {}
+        for name, entry in self._layout.items():
+            view = np.ndarray(
+                tuple(entry["shape"]),
+                dtype=np.dtype(entry["dtype"]),
+                buffer=self._shm.buf,  # type: ignore[attr-defined]
+                offset=int(entry["offset"]),
+            )
+            view.flags.writeable = False
+            views[name] = view
+        return views
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop this process's mapping (both sides; idempotent)."""
+        try:
+            self._shm.close()  # type: ignore[attr-defined]
+        except (OSError, BufferError):  # pragma: no cover - platform quirk
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner side; idempotent, crash-tolerant)."""
+        if not self._owner or self._unlinked:
+            return
+        self._unlinked = True
+        try:
+            self._shm.unlink()  # type: ignore[attr-defined]
+        except FileNotFoundError:
+            # Already gone (e.g. a resource tracker beat us to it after a
+            # worker crash) — the goal state, not an error.
+            pass
+
+    def __enter__(self) -> "SharedArrayPack":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+        self.unlink()
+
+    @staticmethod
+    def segment_exists(name: str) -> bool:
+        """Whether a segment named ``name`` still exists (test hook)."""
+        from multiprocessing import shared_memory
+
+        try:
+            probe = shared_memory.SharedMemory(name=name, create=False)
+        except FileNotFoundError:
+            return False
+        probe.close()
+        return True

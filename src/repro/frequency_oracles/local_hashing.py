@@ -20,6 +20,7 @@ from typing import Any, Dict, Optional
 
 import numpy as np
 
+from repro import kernels
 from repro.exceptions import ConfigurationError
 from repro.frequency_oracles.accumulators import OracleAccumulator
 from repro.frequency_oracles.base import FrequencyOracle, OracleReports
@@ -115,25 +116,20 @@ class LocalHashingAccumulator(OracleAccumulator):
         a = np.asarray(reports.payload["a"], dtype=np.int64)
         b = np.asarray(reports.payload["b"], dtype=np.int64)
         values = np.asarray(reports.payload["values"], dtype=np.int64)
-        domain_size = oracle.domain_size
-        items = np.arange(domain_size, dtype=np.int64)
-        # Blocked over users so the intermediate hash/match buffers stay
-        # inside the OLH_DECODE_TARGET_BYTES working-set budget; the buffers
-        # are allocated once and reused across blocks.
-        row_bytes = domain_size * (np.dtype(np.int64).itemsize + np.dtype(bool).itemsize)
-        block = int(max(1, min(reports.n_users, OLH_DECODE_TARGET_BYTES // max(1, row_bytes))))
-        hashed = np.empty((block, domain_size), dtype=np.int64)
-        matches = np.empty((block, domain_size), dtype=bool)
-        for start in range(0, reports.n_users, block):
-            stop = min(start + block, reports.n_users)
-            size = stop - start
-            buf = hashed[:size]
-            np.multiply(a[start:stop, None], items[None, :], out=buf)
-            buf += b[start:stop, None]
-            buf %= _PRIME
-            buf %= oracle.hash_range
-            np.equal(buf, values[start:stop, None], out=matches[:size])
-            self._support += matches[:size].sum(axis=0)
+        # The O(N * D) hash-match inner loop dispatches to the active
+        # kernel backend; on numpy it is blocked over users so the
+        # intermediate hash/match buffers stay inside the
+        # OLH_DECODE_TARGET_BYTES working-set budget.  Support counts are
+        # exact integers, so the backend cannot change the estimate.
+        self._support += kernels.olh_decode(
+            a,
+            b,
+            values,
+            oracle.domain_size,
+            oracle.hash_range,
+            _PRIME,
+            OLH_DECODE_TARGET_BYTES,
+        )
 
     def _add_simulated(self, counts: np.ndarray, rng: np.random.Generator) -> None:
         n_users = int(counts.sum())

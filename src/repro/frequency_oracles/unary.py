@@ -34,6 +34,7 @@ from typing import Any, Dict, Optional
 
 import numpy as np
 
+from repro import kernels
 from repro.exceptions import ConfigurationError, InvalidQueryError
 from repro.frequency_oracles.accumulators import OracleAccumulator
 from repro.frequency_oracles.base import FrequencyOracle, OracleReports
@@ -59,20 +60,24 @@ __all__ = [
 PACK_UNARY_REPORTS: bool = True
 
 #: Working-set target (bytes of unpacked bits per block) for the packed
-#: column-sum decode.  The block row count is additionally capped at 255 so
-#: partial sums fit in a uint8 accumulator, which is what makes the blocked
-#: reduction faster than a straight int64 column sum.
+#: column-sum decode on the numpy backend.  Per-block sums accumulate in
+#: uint16, so the block size is governed by this budget alone (the historic
+#: uint8 accumulator additionally capped blocks at 255 rows, throttling
+#: large-``n_bits`` decodes for no accuracy gain).  The compiled backend
+#: never materialises the blocked intermediate and ignores the knob.
 UNARY_SUM_BLOCK_TARGET_BYTES: int = 1 << 18
 
 
 def packed_column_sums(packed: np.ndarray, n_bits: int) -> np.ndarray:
     """Column sums of a bit matrix packed along axis 1 with :func:`np.packbits`.
 
-    Processes the rows in blocks sized by :data:`UNARY_SUM_BLOCK_TARGET_BYTES`
-    (and at most 255 rows, so per-block column sums fit in uint8), unpacking
-    each block contiguously and reducing it with a uint8 accumulator before
-    widening.  Bit-identical to ``np.unpackbits(packed, axis=1,
-    count=n_bits).sum(axis=0)`` without ever materialising the dense matrix.
+    Dispatches to the active :mod:`repro.kernels` backend.  The numpy
+    reference processes the rows in blocks sized by
+    :data:`UNARY_SUM_BLOCK_TARGET_BYTES`, unpacking each block contiguously
+    and reducing it with a uint16 accumulator before widening; the numba
+    backend histograms byte columns instead.  Both are bit-identical to
+    ``np.unpackbits(packed, axis=1, count=n_bits).sum(axis=0)`` without ever
+    materialising the dense matrix.
     """
     packed = np.asarray(packed, dtype=np.uint8)
     if packed.ndim != 2 or packed.shape[1] != (n_bits + 7) // 8:
@@ -80,12 +85,7 @@ def packed_column_sums(packed: np.ndarray, n_bits: int) -> np.ndarray:
             f"expected a packed matrix with {(n_bits + 7) // 8} byte columns "
             f"for {n_bits} bits, got shape {packed.shape}"
         )
-    totals = np.zeros(n_bits, dtype=np.int64)
-    block = int(max(1, min(255, UNARY_SUM_BLOCK_TARGET_BYTES // max(1, n_bits))))
-    for start in range(0, packed.shape[0], block):
-        chunk = np.unpackbits(packed[start : start + block], axis=1, count=n_bits)
-        totals += np.add.reduce(chunk, axis=0, dtype=np.uint8)
-    return totals
+    return kernels.unary_column_sums(packed, n_bits, UNARY_SUM_BLOCK_TARGET_BYTES)
 
 
 class UnaryAccumulator(OracleAccumulator):

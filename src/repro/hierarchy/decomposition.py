@@ -15,6 +15,7 @@ from typing import Dict, List, Mapping
 
 import numpy as np
 
+from repro import kernels
 from repro.exceptions import InvalidQueryError
 from repro.hierarchy.tree import DomainTree
 from repro.transforms.badic import badic_decompose
@@ -134,24 +135,20 @@ def batched_axis_runs(
     """
     starts = np.asarray(starts, dtype=np.int64)
     ends = np.asarray(ends, dtype=np.int64)
-    lo = starts.copy()
-    hi = ends + 1  # exclusive upper bounds
-    branching = tree.branching
+    # The peel itself is a pure int64 computation and dispatches to the
+    # active repro.kernels backend; every backend returns bit-identical
+    # bounds, this wrapper only reshapes them into the per-level dict.
+    bounds, survivors = kernels.badic_axis_runs(
+        starts, ends, tree.branching, tree.height
+    )
     runs: Dict[int, List[tuple]] = {}
-    block = 1
-    for level in range(tree.height, 0, -1):
-        coarse = block * branching
-        left_end = np.minimum(hi, ((lo + coarse - 1) // coarse) * coarse)
-        right_start = np.maximum(left_end, (hi // coarse) * coarse)
+    for index, level in enumerate(range(tree.height, 0, -1)):
         runs[level] = [
-            (lo // block, left_end // block),
-            (right_start // block, hi // block),
+            (bounds[index, 0], bounds[index, 1]),
+            (bounds[index, 2], bounds[index, 3]),
         ]
-        lo, hi = left_end, right_start
-        block = coarse
     # Only the full padded domain survives every level: charge the implicit
     # root as the full level-1 run, exactly like decompose_to_runs.
-    survivors = lo < hi
     if np.any(survivors):
         runs[1].append(
             (

@@ -1,0 +1,90 @@
+"""``repro.kernels`` — registry-dispatched hot-loop kernels.
+
+The three throughput-critical inner loops of the library live here behind a
+backend registry: blocked packed-bit column sums (the SUE/OUE aggregate
+path), the OLH hash-match decode, and B-adic run enumeration (batched range
+answering and the 2-D rectangle path).  Each kernel has a pure-numpy
+reference implementation (always registered) and an optional numba
+``@njit`` one (the ``[compiled]`` extra), selected per process by the
+``REPRO_KERNEL_BACKEND`` environment variable or programmatically with
+:func:`set_backend` / :func:`use_backend`.  The two implementations of each
+kernel are bit-identical on all inputs — the compiled backend changes wall
+time, never results.
+
+The module-level functions below are the dispatching entry points the hot
+paths call; they resolve the active backend on every call, so a
+``set_backend`` takes effect immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.kernels.registry import (
+    BACKEND_ENV_VAR,
+    BACKENDS,
+    KERNEL_NAMES,
+    active_backend,
+    available_backends,
+    backend_info,
+    get_kernel,
+    missing_numpy_twins,
+    numba_available,
+    register_kernel,
+    requested_backend,
+    set_backend,
+    use_backend,
+    verify_registry,
+)
+from repro.kernels import numpy_backend  # noqa: F401  (registers the reference)
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "BACKENDS",
+    "KERNEL_NAMES",
+    "active_backend",
+    "available_backends",
+    "backend_info",
+    "badic_axis_runs",
+    "get_kernel",
+    "missing_numpy_twins",
+    "numba_available",
+    "olh_decode",
+    "register_kernel",
+    "requested_backend",
+    "set_backend",
+    "unary_column_sums",
+    "use_backend",
+    "verify_registry",
+]
+
+
+def unary_column_sums(
+    packed: np.ndarray, n_bits: int, block_target_bytes: int
+) -> np.ndarray:
+    """Column sums of a ``np.packbits``-packed bit matrix (int64, exact)."""
+    return get_kernel("unary_column_sums")(packed, n_bits, block_target_bytes)
+
+
+def olh_decode(
+    a: np.ndarray,
+    b: np.ndarray,
+    values: np.ndarray,
+    domain_size: int,
+    hash_range: int,
+    prime: int,
+    block_target_bytes: int,
+) -> np.ndarray:
+    """Per-item OLH support counts (int64, exact) for a report batch."""
+    return get_kernel("olh_decode")(
+        a, b, values, domain_size, hash_range, prime, block_target_bytes
+    )
+
+
+def badic_axis_runs(
+    starts: np.ndarray, ends: np.ndarray, branching: int, height: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-level B-adic peel bounds ``(height, 4, n)`` plus survivor mask."""
+    return get_kernel("badic_axis_runs")(starts, ends, branching, height)

@@ -1,0 +1,123 @@
+"""Numba ``@njit`` implementations of the hot kernels (the compiled backend).
+
+Importing this module requires numba (the ``[compiled]`` extra); the
+registry imports it lazily and treats any failure as "backend unavailable",
+so the core install never grows a hard dependency.  Every kernel here is
+bit-identical to its numpy twin in :mod:`repro.kernels.numpy_backend` —
+all three are exact integer computations, so "identical" means equal
+arrays, not close ones, and the property suite enforces it.
+
+Compilation notes:
+
+* ``cache=True`` persists the compiled artifacts next to the module, so
+  the one-time jit cost is paid once per environment, not once per process;
+* ``parallel=True`` only where iterations are independent (per byte-column
+  for the unary sums, per domain item for the OLH decode, per query for the
+  run enumeration) — each ``prange`` index owns disjoint output slots, so
+  there are no reduction races;
+* block-size arguments are accepted (the kernel signature is shared with
+  the numpy twin) but ignored: the compiled loops never materialise the
+  blocked intermediates the numpy path needs them for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit, prange
+
+from repro.kernels.registry import register_kernel
+
+__all__ = ["unary_column_sums", "olh_decode", "badic_axis_runs"]
+
+
+@njit(cache=True, parallel=True)
+def _unary_column_sums(packed, n_bits):  # pragma: no cover - jitted
+    n_rows, n_bytes = packed.shape
+    totals = np.zeros(n_bits, dtype=np.int64)
+    for byte_col in prange(n_bytes):
+        # Histogram the byte column, then expand each of the 256 byte
+        # values into its 8 bit columns: one add per *byte* instead of one
+        # per bit, which is where the win over unpack-and-reduce comes from.
+        histogram = np.zeros(256, dtype=np.int64)
+        for row in range(n_rows):
+            histogram[packed[row, byte_col]] += 1
+        base = byte_col * 8
+        width = min(8, n_bits - base)
+        for value in range(256):
+            count = histogram[value]
+            if count > 0:
+                for bit in range(width):
+                    # np.packbits packs MSB-first: bit 0 is the high bit.
+                    if (value >> (7 - bit)) & 1:
+                        totals[base + bit] += count
+    return totals
+
+
+@register_kernel("numba", "unary_column_sums")
+def unary_column_sums(packed, n_bits, block_target_bytes):
+    return _unary_column_sums(np.ascontiguousarray(packed), np.int64(n_bits))
+
+
+@njit(cache=True, parallel=True)
+def _olh_decode(a, b, values, domain_size, hash_range, prime):  # pragma: no cover
+    n_users = a.shape[0]
+    support = np.zeros(domain_size, dtype=np.int64)
+    for item in prange(domain_size):
+        count = 0
+        for user in range(n_users):
+            # Same int64 arithmetic as the numpy twin: a < prime < 2^31 and
+            # item < domain_size < prime keep the product inside int64.
+            if ((a[user] * item + b[user]) % prime) % hash_range == values[user]:
+                count += 1
+        support[item] = count
+    return support
+
+
+@register_kernel("numba", "olh_decode")
+def olh_decode(a, b, values, domain_size, hash_range, prime, block_target_bytes):
+    return _olh_decode(
+        np.ascontiguousarray(a),
+        np.ascontiguousarray(b),
+        np.ascontiguousarray(values),
+        np.int64(domain_size),
+        np.int64(hash_range),
+        np.int64(prime),
+    )
+
+
+@njit(cache=True, parallel=True)
+def _badic_axis_runs(starts, ends, branching, height):  # pragma: no cover - jitted
+    n_queries = starts.shape[0]
+    runs = np.empty((height, 4, n_queries), dtype=np.int64)
+    survivors = np.zeros(n_queries, dtype=np.bool_)
+    for query in prange(n_queries):
+        lo = starts[query]
+        hi = ends[query] + 1
+        block = np.int64(1)
+        for index in range(height):
+            coarse = block * branching
+            left_end = ((lo + coarse - 1) // coarse) * coarse
+            if left_end > hi:
+                left_end = hi
+            right_start = (hi // coarse) * coarse
+            if right_start < left_end:
+                right_start = left_end
+            runs[index, 0, query] = lo // block
+            runs[index, 1, query] = left_end // block
+            runs[index, 2, query] = right_start // block
+            runs[index, 3, query] = hi // block
+            lo = left_end
+            hi = right_start
+            block = coarse
+        survivors[query] = lo < hi
+    return runs, survivors
+
+
+@register_kernel("numba", "badic_axis_runs")
+def badic_axis_runs(starts, ends, branching, height):
+    return _badic_axis_runs(
+        np.ascontiguousarray(starts, dtype=np.int64),
+        np.ascontiguousarray(ends, dtype=np.int64),
+        np.int64(branching),
+        np.int64(height),
+    )

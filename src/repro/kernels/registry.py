@@ -1,0 +1,255 @@
+"""Kernel backend registry: ``numpy`` (always) and ``numba`` (optional).
+
+The three hot loops of the library — blocked packed-bit column sums (unary
+oracles), the OLH hash-match decode and B-adic run enumeration — each exist
+in two implementations that are **bit-identical** on every input: a pure
+numpy one (the always-correct fallback, no dependencies beyond the core
+install) and a numba ``@njit`` one (the ``[compiled]`` extra).  This module
+owns which one a call dispatches to:
+
+* ``REPRO_KERNEL_BACKEND=numpy|numba|auto`` selects the backend for the
+  whole process (read lazily, on the first kernel call);
+* :func:`set_backend` selects it programmatically and wins over the
+  environment; :func:`use_backend` is the scoped/context-manager form;
+* ``auto`` (the default) picks ``numba`` when it imports cleanly and falls
+  back to ``numpy`` otherwise — requesting ``numba`` through the
+  *environment* also degrades gracefully to numpy when the import fails,
+  whereas an explicit ``set_backend("numba")`` raises so programmatic
+  callers are never silently downgraded.
+
+Backends register their kernels with the :func:`register_kernel` decorator.
+Registration is **pairwise by contract**: every kernel registered under a
+compiled backend must have a numpy twin (enforced at import by
+:func:`verify_registry` and statically by lint rule LDP-R007), so a
+compiled-only kernel can never ship.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "BACKENDS",
+    "KERNEL_NAMES",
+    "active_backend",
+    "available_backends",
+    "backend_info",
+    "get_kernel",
+    "missing_numpy_twins",
+    "numba_available",
+    "register_kernel",
+    "requested_backend",
+    "set_backend",
+    "use_backend",
+    "verify_registry",
+]
+
+#: Environment variable selecting the process-wide default backend.
+BACKEND_ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+#: Known backend names, in fallback order (``numpy`` is the reference).
+BACKENDS = ("numpy", "numba")
+
+#: The kernels every backend may implement (numpy must implement all).
+KERNEL_NAMES = ("unary_column_sums", "olh_decode", "badic_axis_runs")
+
+_VALID_REQUESTS = ("auto",) + BACKENDS
+
+_registry: Dict[str, Dict[str, Callable]] = {backend: {} for backend in BACKENDS}
+_lock = threading.Lock()
+
+#: Programmatic request (``set_backend``); ``None`` defers to the env var.
+_requested: Optional[str] = None
+#: Resolved backend, cached until the request changes.
+_active: Optional[str] = None
+
+#: Numba import state: ``None`` = not yet attempted.
+_numba_loaded: Optional[bool] = None
+_numba_error: Optional[str] = None
+
+
+def register_kernel(backend: str, name: str) -> Callable[[Callable], Callable]:
+    """Class a function as backend ``backend``'s implementation of ``name``."""
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown kernel backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if name not in KERNEL_NAMES:
+        raise ConfigurationError(
+            f"unknown kernel {name!r}; expected one of {KERNEL_NAMES}"
+        )
+
+    def decorator(function: Callable) -> Callable:
+        _registry[backend][name] = function
+        return function
+
+    return decorator
+
+
+def _load_numba_backend() -> None:
+    """Import the numba backend once; remember why it failed if it did."""
+    global _numba_loaded, _numba_error
+    if _numba_loaded is not None:
+        return
+    with _lock:
+        if _numba_loaded is not None:
+            return
+        try:
+            from repro.kernels import numba_backend  # noqa: F401
+
+            verify_registry()
+            _numba_loaded = True
+        except ConfigurationError:
+            _numba_loaded = False
+            raise
+        except Exception as error:  # ImportError, or numba failing to jit
+            _numba_loaded = False
+            _numba_error = f"{type(error).__name__}: {error}"
+
+
+def numba_available() -> bool:
+    """Whether the compiled backend imported (and registered) cleanly."""
+    _load_numba_backend()
+    return bool(_numba_loaded)
+
+
+def available_backends() -> List[str]:
+    """Backends usable in this process, reference backend first."""
+    return ["numpy"] + (["numba"] if numba_available() else [])
+
+
+def requested_backend() -> str:
+    """The raw request: ``set_backend`` value, else the env var, else auto.
+
+    Unrecognised environment values degrade to ``auto`` (an env typo must
+    not take the library down); :func:`set_backend` validates strictly.
+    """
+    if _requested is not None:
+        return _requested
+    value = os.environ.get(BACKEND_ENV_VAR, "auto").strip().lower() or "auto"
+    return value if value in _VALID_REQUESTS else "auto"
+
+
+def active_backend() -> str:
+    """Resolve (and cache) the backend kernel calls dispatch to."""
+    global _active
+    if _active is None:
+        request = requested_backend()
+        if request == "numpy":
+            _active = "numpy"
+        else:  # "auto" or "numba": both fall back gracefully
+            _active = "numba" if numba_available() else "numpy"
+    return _active
+
+
+def set_backend(backend: Optional[str]) -> str:
+    """Select the kernel backend for the process; returns the active one.
+
+    ``None`` (or ``"auto"``) re-enables auto-detection / the environment
+    variable.  Explicitly requesting ``"numba"`` when the compiled backend
+    is unavailable raises :class:`~repro.exceptions.ConfigurationError`
+    (programmatic callers asked for it by name and should hear about it);
+    only the env-var / auto paths fall back silently.
+    """
+    global _requested, _active
+    if backend is not None and backend not in _VALID_REQUESTS:
+        raise ConfigurationError(
+            f"unknown kernel backend {backend!r}; expected one of {_VALID_REQUESTS}"
+        )
+    if backend == "numba" and not numba_available():
+        raise ConfigurationError(
+            "kernel backend 'numba' is unavailable"
+            + (f" ({_numba_error})" if _numba_error else "")
+            + "; install the [compiled] extra or use set_backend('numpy')"
+        )
+    _requested = None if backend in (None, "auto") else backend
+    _active = None
+    return active_backend()
+
+
+@contextmanager
+def use_backend(backend: Optional[str]) -> Iterator[str]:
+    """Scoped :func:`set_backend`; restores the previous request on exit."""
+    global _requested, _active
+    previous = _requested
+    try:
+        yield set_backend(backend)
+    finally:
+        _requested = previous
+        _active = None
+
+
+def get_kernel(name: str, backend: Optional[str] = None) -> Callable:
+    """The callable implementing kernel ``name`` on ``backend``.
+
+    ``backend=None`` dispatches to the active backend; a backend that does
+    not implement the kernel falls through to the numpy reference (which
+    implements all of them — enforced by :func:`verify_registry`).
+    """
+    if name not in KERNEL_NAMES:
+        raise ConfigurationError(
+            f"unknown kernel {name!r}; expected one of {KERNEL_NAMES}"
+        )
+    if backend is None:
+        backend = active_backend()
+    elif backend not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown kernel backend {backend!r}; expected one of {BACKENDS}"
+        )
+    elif backend == "numba":
+        _load_numba_backend()
+    implementation = _registry[backend].get(name)
+    if implementation is None:
+        implementation = _registry["numpy"].get(name)
+    if implementation is None:
+        raise ConfigurationError(f"kernel {name!r} has no registered implementation")
+    return implementation
+
+
+def missing_numpy_twins() -> List[str]:
+    """Kernels registered under a compiled backend without a numpy twin."""
+    reference = _registry["numpy"]
+    missing = []
+    for backend in BACKENDS:
+        if backend == "numpy":
+            continue
+        for name in _registry[backend]:
+            if name not in reference:
+                missing.append(f"{backend}:{name}")
+    return sorted(missing)
+
+
+def verify_registry() -> None:
+    """Raise unless every compiled kernel has its numpy twin registered."""
+    missing = missing_numpy_twins()
+    if missing:
+        raise ConfigurationError(
+            "compiled kernels without a numpy twin (pairwise registration "
+            f"contract, see LDP-R007): {', '.join(missing)}"
+        )
+
+
+def backend_info() -> Dict[str, object]:
+    """Identity block for bench/service metadata: what runs the kernels."""
+    info: Dict[str, object] = {
+        "requested": requested_backend(),
+        "active": active_backend(),
+        "available": available_backends(),
+        "numba_available": numba_available(),
+    }
+    if _numba_error is not None:
+        info["numba_error"] = _numba_error
+    if _numba_loaded:
+        try:
+            import numba
+
+            info["numba_version"] = numba.__version__
+        except Exception:  # pragma: no cover - numba imported moments ago
+            pass
+    return info

@@ -338,6 +338,15 @@ def ingestion_stats_lines(stats: Mapping[str, object]) -> List[str]:
         _sample_line(
             "repro_ingest_queue_capacity", {}, int(stats.get("queue_size", 0))
         ),
+        "# HELP repro_ingest_kernel_backend_info Active repro.kernels "
+        "backend decoding this service's reports (constant 1, label carries "
+        "the identity).",
+        "# TYPE repro_ingest_kernel_backend_info gauge",
+        _sample_line(
+            "repro_ingest_kernel_backend_info",
+            {"backend": str(stats.get("kernel_backend", "numpy"))},
+            1,
+        ),
     ]
     lines += counter(
         "repro_ingest_submitted_batches_total",

@@ -1,0 +1,141 @@
+"""Integration tests: the parallel transports never change results or leak.
+
+Two contracts from the runner docstring are pinned here:
+
+* the ``(epsilon, spec, repetition)`` sweep is **bit-identical** across
+  ``workers=1`` and ``workers>1`` under both the pickle and the
+  shared-memory transport (generators are spawned in the parent in serial
+  order, and the transported bytes are identical either way);
+* the parent owns the shared-memory segment and unlinks it in a
+  ``finally``, so even a hard worker crash (``BrokenProcessPool``) leaves
+  nothing behind in ``/dev/shm``.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.data.workloads import RangeWorkload
+from repro.experiments import runner
+from repro.experiments.runner import evaluate_mechanism, run_epsilon_grid
+from repro.experiments.transport import SharedArrayPack, shm_available
+
+SEED = 20260807
+SPECS = ["flat_oue", "hhc_4"]
+EPSILONS = [0.5, 2.0]
+
+
+@pytest.fixture
+def counts():
+    rng = np.random.default_rng(SEED)
+    return rng.integers(0, 200, size=16).astype(np.int64)
+
+
+@pytest.fixture
+def workload():
+    queries = np.array([[0, 3], [2, 9], [5, 5], [0, 15]], dtype=np.int64)
+    return RangeWorkload(domain_size=16, queries=queries, name="transport-test")
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("transport", ["pickle", "shm"])
+    def test_grid_matches_serial_exactly(self, counts, workload, transport):
+        serial = run_epsilon_grid(
+            SPECS, counts, workload, EPSILONS, repetitions=2, random_state=SEED
+        )
+        parallel = run_epsilon_grid(
+            SPECS,
+            counts,
+            workload,
+            EPSILONS,
+            repetitions=2,
+            random_state=SEED,
+            workers=2,
+            transport=transport,
+        )
+        # Exact equality, not tolerance: the transport moves bytes, never
+        # touches them, and the random streams are spawned in serial order.
+        assert [cell.as_dict() for cell in parallel] == [
+            cell.as_dict() for cell in serial
+        ]
+
+    @pytest.mark.parametrize("transport", ["pickle", "shm"])
+    def test_evaluate_mechanism_matches_serial_exactly(
+        self, counts, workload, transport
+    ):
+        serial = evaluate_mechanism(
+            "flat_oue", counts, workload, epsilon=1.0, repetitions=4, random_state=SEED
+        )
+        parallel = evaluate_mechanism(
+            "flat_oue",
+            counts,
+            workload,
+            epsilon=1.0,
+            repetitions=4,
+            random_state=SEED,
+            workers=2,
+            transport=transport,
+        )
+        assert parallel.as_dict() == serial.as_dict()
+
+
+def _crash_chunk(chunk):
+    """Stand-in worker body: die without cleanup, mid-task."""
+    os._exit(1)
+
+
+@pytest.mark.skipif(not shm_available(), reason="shared memory unavailable")
+class TestNoLeakedSegments:
+    def test_clean_run_leaves_no_segment(self, counts, workload, monkeypatch):
+        created = []
+        real_create = SharedArrayPack.create.__func__
+
+        def recording_create(cls, arrays):
+            pack = real_create(cls, arrays)
+            created.append(pack.name)
+            return pack
+
+        monkeypatch.setattr(SharedArrayPack, "create", classmethod(recording_create))
+        run_epsilon_grid(
+            ["flat_oue"],
+            counts,
+            workload,
+            [1.0],
+            repetitions=2,
+            random_state=SEED,
+            workers=2,
+            transport="shm",
+        )
+        assert created, "the shm transport was not exercised"
+        for name in created:
+            assert not SharedArrayPack.segment_exists(name)
+
+    def test_worker_crash_leaves_no_segment(self, counts, workload, monkeypatch):
+        created = []
+        real_create = SharedArrayPack.create.__func__
+
+        def recording_create(cls, arrays):
+            pack = real_create(cls, arrays)
+            created.append(pack.name)
+            return pack
+
+        monkeypatch.setattr(SharedArrayPack, "create", classmethod(recording_create))
+        monkeypatch.setattr(runner, "_chunk_mses", _crash_chunk)
+        with pytest.raises(BrokenProcessPool):
+            run_epsilon_grid(
+                ["flat_oue"],
+                counts,
+                workload,
+                [1.0],
+                repetitions=2,
+                random_state=SEED,
+                workers=2,
+                transport="shm",
+            )
+        assert created, "the shm transport was not exercised"
+        # The parent's finally-block unlink must have reclaimed the segment
+        # even though the workers died mid-task without any cleanup.
+        for name in created:
+            assert not SharedArrayPack.segment_exists(name)

@@ -49,6 +49,9 @@ TINY = dict(
     http_queue_size=4,
     http_batches=12,
     http_batch_users=50,
+    kernel_runs_queries=40,
+    kernel_runs_branching=2,
+    kernel_runs_height=6,
 )
 
 EXPECTED_BENCHMARKS = {
@@ -69,6 +72,10 @@ EXPECTED_BENCHMARKS = {
     "epsilon_grid_serial",
     "epsilon_grid_parallel",
     "http_ingest",
+    "kernel_unary_column_sums",
+    "kernel_olh_decode",
+    "kernel_badic_axis_runs",
+    "transport_grid_shm",
 }
 
 
@@ -109,11 +116,21 @@ class TestRunSuite:
         assert checks["autoscale_bit_identical"] is True
         assert checks["http_ingest_p50_ms"] > 0
         assert checks["http_ingest_p99_ms"] >= checks["http_ingest_p50_ms"]
+        assert checks["kernels_bit_identical"] is True
+        assert checks["kernel_backend"] in ("numpy", "numba")
+        assert checks["kernel_unary_speedup"] > 0
+        assert checks["kernel_olh_decode_speedup"] > 0
+        assert checks["kernel_badic_runs_speedup"] > 0
+        assert checks["transport_bit_identical"] is True
+        assert checks["shm_transport_speedup"] > 0
 
     def test_environment_metadata(self, payload):
         environment = payload["environment"]
         for key in ("python", "numpy", "platform", "cpu_count"):
             assert environment[key]
+        backend = environment["kernel_backend"]
+        assert backend["active"] in ("numpy", "numba")
+        assert "numpy" in backend["available"]
 
     def test_parameters_recorded(self, payload):
         assert payload["parameters"]["unary_domain"] == TINY["unary_domain"]

@@ -66,6 +66,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["table99"])
 
+    def test_bench_backend_and_transport_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.backend is None  # None = leave auto-detection alone
+        assert args.transport == "auto"
+
+    def test_bench_backend_and_transport_overrides(self):
+        args = build_parser().parse_args(
+            ["bench", "--backend", "numpy", "--transport", "shm"]
+        )
+        assert args.backend == "numpy"
+        assert args.transport == "shm"
+
+    def test_bench_backend_and_transport_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--backend", "cuda"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--transport", "tcp"])
+
 
 TINY = ["--users", "20000", "--repetitions", "1", "--max-queries", "400", "--domain", "64"]
 

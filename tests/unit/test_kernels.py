@@ -1,0 +1,124 @@
+"""Unit tests for the :mod:`repro.kernels` backend registry."""
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.exceptions import ConfigurationError
+from repro.kernels import registry
+
+
+@pytest.fixture(autouse=True)
+def reset_backend():
+    """Every test starts and ends in auto-detect mode with no env override."""
+    kernels.set_backend(None)
+    yield
+    kernels.set_backend(None)
+
+
+class TestBackendSelection:
+    def test_defaults_to_auto(self, monkeypatch):
+        monkeypatch.delenv(kernels.BACKEND_ENV_VAR, raising=False)
+        assert kernels.requested_backend() == "auto"
+        assert kernels.active_backend() in ("numpy", "numba")
+
+    def test_env_var_selects_numpy(self, monkeypatch):
+        monkeypatch.setenv(kernels.BACKEND_ENV_VAR, "numpy")
+        kernels.set_backend(None)  # drop the cached resolution
+        assert kernels.requested_backend() == "numpy"
+        assert kernels.active_backend() == "numpy"
+
+    def test_env_var_typo_degrades_to_auto(self, monkeypatch):
+        monkeypatch.setenv(kernels.BACKEND_ENV_VAR, "nmba")
+        kernels.set_backend(None)
+        assert kernels.requested_backend() == "auto"
+        assert kernels.active_backend() in ("numpy", "numba")
+
+    def test_env_var_numba_degrades_when_unavailable(self, monkeypatch):
+        monkeypatch.setenv(kernels.BACKEND_ENV_VAR, "numba")
+        kernels.set_backend(None)
+        # Graceful: the env path never takes the process down.
+        expected = "numba" if kernels.numba_available() else "numpy"
+        assert kernels.active_backend() == expected
+
+    def test_set_backend_numpy_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(kernels.BACKEND_ENV_VAR, "numba")
+        assert kernels.set_backend("numpy") == "numpy"
+        assert kernels.active_backend() == "numpy"
+
+    def test_set_backend_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            kernels.set_backend("cuda")
+
+    def test_explicit_numba_raises_when_unavailable(self):
+        if kernels.numba_available():
+            pytest.skip("numba present: the explicit request succeeds")
+        with pytest.raises(ConfigurationError):
+            kernels.set_backend("numba")
+
+    def test_use_backend_restores_previous_request(self):
+        kernels.set_backend("numpy")
+        with kernels.use_backend(None) as active:
+            assert active in ("numpy", "numba")
+        assert kernels.requested_backend() == "numpy"
+        assert kernels.active_backend() == "numpy"
+
+    def test_available_backends_lists_numpy_first(self):
+        available = kernels.available_backends()
+        assert available[0] == "numpy"
+        assert set(available) <= set(kernels.BACKENDS)
+
+
+class TestKernelLookup:
+    def test_get_kernel_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            kernels.get_kernel("matmul")
+
+    def test_get_kernel_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            kernels.get_kernel("olh_decode", backend="cuda")
+
+    def test_numpy_implements_every_kernel(self):
+        for name in kernels.KERNEL_NAMES:
+            assert callable(kernels.get_kernel(name, backend="numpy"))
+
+    def test_dispatch_wrappers_call_active_backend(self):
+        packed = np.packbits(np.eye(8, dtype=np.uint8), axis=1)
+        sums = kernels.unary_column_sums(packed, 8, 1 << 18)
+        assert np.array_equal(sums, np.ones(8, dtype=np.int64))
+
+    def test_missing_backend_falls_through_to_numpy(self):
+        # "numba" without the compiled backend loaded resolves to the twin.
+        fn = kernels.get_kernel("unary_column_sums", backend="numba")
+        packed = np.packbits(np.zeros((3, 8), dtype=np.uint8), axis=1)
+        assert np.array_equal(fn(packed, 8, 1 << 18), np.zeros(8, dtype=np.int64))
+
+
+class TestRegistryContract:
+    def test_register_kernel_rejects_unknown_backend_and_name(self):
+        with pytest.raises(ConfigurationError):
+            registry.register_kernel("cuda", "olh_decode")
+        with pytest.raises(ConfigurationError):
+            registry.register_kernel("numpy", "matmul")
+
+    def test_verify_registry_accepts_current_state(self):
+        registry.verify_registry()
+        assert registry.missing_numpy_twins() == []
+
+    def test_verify_registry_flags_compiled_only_kernel(self):
+        registry._registry["numba"]["olh_decode"] = lambda *args: None
+        saved = registry._registry["numpy"].pop("olh_decode")
+        try:
+            assert registry.missing_numpy_twins() == ["numba:olh_decode"]
+            with pytest.raises(ConfigurationError, match="LDP-R007"):
+                registry.verify_registry()
+        finally:
+            registry._registry["numpy"]["olh_decode"] = saved
+            registry._registry["numba"].pop("olh_decode", None)
+
+    def test_backend_info_shape(self):
+        info = kernels.backend_info()
+        assert info["requested"] in ("auto",) + kernels.BACKENDS
+        assert info["active"] in kernels.BACKENDS
+        assert info["numba_available"] == kernels.numba_available()
+        assert "numpy" in info["available"]

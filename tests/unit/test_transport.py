@@ -1,0 +1,126 @@
+"""Unit tests for the shared-memory experiment transport."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.transport import (
+    SharedArrayPack,
+    resolve_transport,
+    shm_available,
+)
+
+
+class TestResolveTransport:
+    def test_pickle_is_always_pickle(self):
+        assert resolve_transport("pickle") == "pickle"
+
+    def test_auto_and_shm_resolve_by_availability(self):
+        expected = "shm" if shm_available() else "pickle"
+        assert resolve_transport("auto") == expected
+        assert resolve_transport("shm") == expected
+
+    def test_input_is_normalised(self):
+        assert resolve_transport("  PICKLE ") == "pickle"
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_transport("tcp")
+
+
+@pytest.fixture
+def arrays():
+    return {
+        "counts": np.arange(12, dtype=np.float64).reshape(3, 4),
+        "queries": np.array([[0, 5], [2, 9]], dtype=np.int64),
+        "flags": np.array([True, False, True]),
+    }
+
+
+class TestSharedArrayPack:
+    def test_round_trip_through_attach(self, arrays):
+        with SharedArrayPack.create(arrays) as pack:
+            attached = SharedArrayPack.attach(pack.descriptor)
+            try:
+                views = attached.arrays()
+                assert set(views) == set(arrays)
+                for key, original in arrays.items():
+                    assert views[key].dtype == original.dtype
+                    assert views[key].shape == original.shape
+                    assert np.array_equal(views[key], original)
+            finally:
+                attached.close()
+
+    def test_descriptor_is_picklable_and_small(self, arrays):
+        with SharedArrayPack.create(arrays) as pack:
+            descriptor = pack.descriptor
+            clone = pickle.loads(pickle.dumps(descriptor))
+            assert clone == descriptor
+            # A descriptor ships metadata, never the payload.
+            assert len(pickle.dumps(descriptor)) < 1024
+
+    def test_attached_views_are_read_only(self, arrays):
+        with SharedArrayPack.create(arrays) as pack:
+            attached = SharedArrayPack.attach(pack.descriptor)
+            try:
+                views = attached.arrays()
+                with pytest.raises(ValueError):
+                    views["counts"][0, 0] = 99.0
+            finally:
+                attached.close()
+
+    def test_unlink_removes_segment_and_is_idempotent(self, arrays):
+        pack = SharedArrayPack.create(arrays)
+        name = pack.name
+        assert SharedArrayPack.segment_exists(name)
+        pack.close()
+        pack.unlink()
+        assert not SharedArrayPack.segment_exists(name)
+        pack.unlink()  # a second unlink is a no-op, not an error
+
+    def test_attach_after_unlink_raises(self, arrays):
+        pack = SharedArrayPack.create(arrays)
+        descriptor = pack.descriptor
+        pack.close()
+        pack.unlink()
+        with pytest.raises(FileNotFoundError):
+            SharedArrayPack.attach(descriptor)
+
+    def test_only_the_owner_unlinks(self, arrays):
+        pack = SharedArrayPack.create(arrays)
+        try:
+            attached = SharedArrayPack.attach(pack.descriptor)
+            attached.close()
+            attached.unlink()  # non-owner: must leave the segment alone
+            assert SharedArrayPack.segment_exists(pack.name)
+        finally:
+            pack.close()
+            pack.unlink()
+
+    def test_empty_arrays_supported(self):
+        empty = {"counts": np.empty((0, 7), dtype=np.float64)}
+        with SharedArrayPack.create(empty) as pack:
+            attached = SharedArrayPack.attach(pack.descriptor)
+            try:
+                view = attached.arrays()["counts"]
+                assert view.shape == (0, 7)
+                assert view.dtype == np.float64
+            finally:
+                attached.close()
+
+    def test_non_contiguous_input_is_packed_correctly(self):
+        base = np.arange(24, dtype=np.int64).reshape(4, 6)
+        strided = base[:, ::2]  # non-contiguous view
+        with SharedArrayPack.create({"a": strided}) as pack:
+            attached = SharedArrayPack.attach(pack.descriptor)
+            try:
+                assert np.array_equal(attached.arrays()["a"], strided)
+            finally:
+                attached.close()
+
+    def test_offsets_are_aligned(self, arrays):
+        with SharedArrayPack.create(arrays) as pack:
+            for spec in pack.descriptor["layout"].values():
+                assert spec["offset"] % 64 == 0
