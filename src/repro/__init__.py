@@ -22,9 +22,9 @@ from repro.core.base import RangeQueryMechanism
 from repro.core.factory import make_mechanism, mechanism_from_spec
 from repro.core.flat import FlatMechanism
 from repro.core.hierarchical import HierarchicalHistogramMechanism
-from repro.core.multidim import HierarchicalGrid2D
+from repro.core.multidim import HierarchicalGrid2D, HierarchicalGridND
 from repro.core.quantiles import DECILES, estimate_cdf, estimate_quantiles
-from repro.core.session import Grid2DSession, LdpRangeQuerySession
+from repro.core.session import Grid2DSession, GridNDSession, LdpRangeQuerySession
 from repro.core.wavelet import HaarWaveletMechanism
 from repro.exceptions import (
     ConfigurationError,
@@ -35,6 +35,7 @@ from repro.exceptions import (
     ProtocolError,
     ReproError,
 )
+from repro.planner import Plan, PlanCandidate, plan
 from repro.privacy.budget import PrivacyBudget
 from repro import persist
 from repro.service import IngestionService, collect_across_processes, run_ingestion
@@ -56,11 +57,17 @@ __all__ = [
     "HierarchicalHistogramMechanism",
     "HaarWaveletMechanism",
     "HierarchicalGrid2D",
+    "HierarchicalGridND",
     "Grid2DSession",
+    "GridNDSession",
     "LdpRangeQuerySession",
     "ShardedCollector",
     "make_mechanism",
     "mechanism_from_spec",
+    # Planner
+    "Plan",
+    "PlanCandidate",
+    "plan",
     # Streaming / service / persistence
     "IngestionService",
     "ShardRouter",

@@ -11,6 +11,8 @@ from repro.analysis.variance import (
     flat_average_variance,
     flat_range_variance,
     frequency_oracle_variance,
+    grid2d_rectangle_variance,
+    grid_nd_box_variance,
     haar_range_variance,
     hh_average_variance,
     hh_consistent_range_variance,
@@ -27,6 +29,8 @@ __all__ = [
     "hh_consistent_range_variance",
     "hh_average_variance",
     "haar_range_variance",
+    "grid2d_rectangle_variance",
+    "grid_nd_box_variance",
     "optimal_branching_factor",
     "optimal_branching_factor_consistent",
     "mean_squared_error",

@@ -20,9 +20,10 @@ HH_B worst-case average                 ``2 (B-1) V_F log_B D log_B(3D^2/(1+2D))
 HH_B + consistency, range               ``(B + 1) V_F log_B r log_B D / 2``
                                         (Section 4.5, eq. (2) form)
 HaarHRR, any range                      ``log_2^2(D) V_F / 2``          (eq. (3))
-2-D grid, ``r x r`` rectangle           ``h^2 (2(B-1) alpha)^2 V_F`` with
+d-D grid, ``r^d`` box                   ``h^d (2(B-1) alpha)^d V_F`` with
                                         ``alpha = min(h, ceil(log_B r) + 1)``
-                                        (Section 6 sketch, eq. (1) per axis)
+                                        (Section 6 sketch, eq. (1) per axis;
+                                        ``d = 2`` is the rectangle case)
 =====================================  =========================================
 """
 
@@ -42,6 +43,7 @@ __all__ = [
     "hh_average_variance",
     "haar_range_variance",
     "grid2d_rectangle_variance",
+    "grid_nd_box_variance",
     "optimal_branching_factor",
     "optimal_branching_factor_consistent",
 ]
@@ -166,31 +168,36 @@ def haar_range_variance(epsilon: float, n_users: int, domain_size: int) -> float
     return 0.5 * log_d**2 * oracle_variance
 
 
-def grid2d_rectangle_variance(
+def grid_nd_box_variance(
     epsilon: float,
     n_users: int,
     per_axis_length: int,
     domain_size: int,
     branching: int,
+    dims: int = 2,
 ) -> float:
-    """Section 6 sketch: rectangle variance of the 2-D hierarchical grid.
+    """Section 6 sketch: box variance of the ``d``-dimensional grid.
 
-    The product decomposition of an ``r x r`` rectangle (side length
+    The product decomposition of an ``r^d`` box (side length
     ``per_axis_length``) covers at most ``2(B - 1)`` nodes per axis level
     over ``alpha = min(h, ceil(log_B r) + 1)`` levels per axis — the 1-D
     eq. (1) run count applied to each axis — so at most
-    ``(2 (B - 1) alpha)^2`` cells are summed.  Level-*pair* sampling
-    dilutes the population across ``h^2`` pairs, inflating each cell
-    estimate's variance to ``h^2 V_F``, hence::
+    ``(2 (B - 1) alpha)^d`` cells are summed.  Level-*tuple* sampling
+    dilutes the population across ``h^d`` tuples, inflating each cell
+    estimate's variance to ``h^d V_F``, hence::
 
-        V_rect <= h^2 * (2 (B - 1) alpha)^2 * V_F
+        V_box <= h^d * (2 (B - 1) alpha)^d * V_F
 
-    which is the ``O(log^4_B D)`` growth the paper notes for ``d = 2``.
+    which is the ``O(log^{2d}_B D)`` growth the paper notes for general
+    ``d`` — and what makes coarse gridding competitive in high dimensions,
+    the trade-off :mod:`repro.planner` evaluates at plan time.
     ``domain_size`` is the per-axis side length ``D``.
     """
     domain_size = _check_domain(domain_size)
     branching = _check_branching(branching)
     per_axis_length = _check_range_length(per_axis_length, domain_size)
+    if not isinstance(dims, (int,)) or isinstance(dims, bool) or dims < 1:
+        raise ConfigurationError(f"dims must be a positive integer, got {dims!r}")
     height = max(1, math.ceil(round(math.log(domain_size, branching), 10)))
     alpha = (
         math.ceil(round(math.log(per_axis_length, branching), 10)) + 1
@@ -200,7 +207,27 @@ def grid2d_rectangle_variance(
     alpha = min(alpha, height)
     per_axis_nodes = 2.0 * (branching - 1) * alpha
     oracle_variance = frequency_oracle_variance(epsilon, n_users)
-    return height**2 * per_axis_nodes**2 * oracle_variance
+    return height**dims * per_axis_nodes**dims * oracle_variance
+
+
+def grid2d_rectangle_variance(
+    epsilon: float,
+    n_users: int,
+    per_axis_length: int,
+    domain_size: int,
+    branching: int,
+) -> float:
+    """Rectangle variance of the 2-D hierarchical grid —
+    :func:`grid_nd_box_variance` at ``dims=2`` (kept as the historical
+    name)."""
+    return grid_nd_box_variance(
+        epsilon=epsilon,
+        n_users=n_users,
+        per_axis_length=per_axis_length,
+        domain_size=domain_size,
+        branching=branching,
+        dims=2,
+    )
 
 
 def optimal_branching_factor() -> float:

@@ -22,16 +22,21 @@ Examples
     python -m repro bench --suite smoke --compare BENCH_smoke.json
     python -m repro bench --suite smoke --backend numba --transport shm
     python -m repro grid2d --side 32 --shards 4 --checkpoint /tmp/grid.snap
+    python -m repro grid2d --side 16 --dims 3 --rectangles 100
+    python -m repro plan --domain 1024 --users 200000 --queries 500
+    python -m repro plan --domain 32 --dims 3 --users 200000
     python -m repro lint --format json
     python -m repro lint --baseline LINT_BASELINE.json
     python -m repro serve --shards 4 --port 8080
     python -m repro serve --shards 2 --autoscale --max-shards 8
 
-``lint`` and ``serve`` are the odd ones out: instead of an experiment,
-``lint`` runs the AST-based DP-contract linter of :mod:`repro.devtools.lint`
-(rule table: ``python -m repro lint --list-rules``) and ``serve`` stands up
-the HTTP ingestion front of :mod:`repro.service.http` in the foreground.
-Both own their flags, so they are dispatched before the experiment parser.
+``lint``, ``serve`` and ``plan`` are the odd ones out: instead of an
+experiment, ``lint`` runs the AST-based DP-contract linter of
+:mod:`repro.devtools.lint` (rule table: ``python -m repro lint
+--list-rules``), ``serve`` stands up the HTTP ingestion front of
+:mod:`repro.service.http` in the foreground, and ``plan`` prints the
+variance-driven configuration ranking of :mod:`repro.planner`.  All three
+own their flags, so they are dispatched before the experiment parser.
 """
 
 from __future__ import annotations
@@ -208,13 +213,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--side",
         type=int,
         default=32,
-        help="grid2d only: side length D of the D x D grid",
+        help="grid2d only: side length D of the [D]^d grid",
     )
     parser.add_argument(
         "--rectangles",
         type=int,
         default=200,
-        help="grid2d only: number of random rectangle queries evaluated",
+        help="grid2d only: number of random box queries evaluated",
+    )
+    parser.add_argument(
+        "--dims",
+        type=int,
+        default=2,
+        help="grid2d only: number of grid axes d (d > 2 runs the N-d grid)",
     )
     parser.add_argument(
         "--out",
@@ -527,38 +538,48 @@ def _run_serve_demo(config: ExperimentConfig, args: argparse.Namespace) -> str:
 
 
 def _run_grid2d(config: ExperimentConfig, args: argparse.Namespace) -> str:
-    """2-D rectangle queries: one-shot vs sharded collection, plus recovery."""
+    """d-dimensional box queries: one-shot vs sharded collection, plus
+    recovery (``--dims 2`` is the historical rectangle demo)."""
     import time
 
     import numpy as np
 
     from repro.data.synthetic import clustered_grid_points
-    from repro.data.workloads import random_rectangles
+    from repro.data.workloads import random_boxes
     from repro.streaming import ShardedCollector
 
     side = int(args.side)
+    dims = int(args.dims)
     n_users = config.n_users
-    points = clustered_grid_points(side, n_users, random_state=config.seed)
-    rectangles = random_rectangles(side, int(args.rectangles), random_state=config.seed)
-    inside = (
-        (points[:, 0][:, None] >= rectangles[:, 0])
-        & (points[:, 0][:, None] <= rectangles[:, 1])
-        & (points[:, 1][:, None] >= rectangles[:, 2])
-        & (points[:, 1][:, None] <= rectangles[:, 3])
-    )
+    points = clustered_grid_points(side, n_users, random_state=config.seed, dims=dims)
+    boxes = random_boxes(side, int(args.rectangles), dims=dims, random_state=config.seed)
+    inside = np.ones((points.shape[0], boxes.shape[0]), dtype=bool)
+    for axis in range(dims):
+        inside &= (points[:, axis][:, None] >= boxes[:, 2 * axis]) & (
+            points[:, axis][:, None] <= boxes[:, 2 * axis + 1]
+        )
     truth = inside.mean(axis=0)
-    # --mechanism defaults to the 1-D streaming demo's spec; the 2-D demo
-    # needs a grid spec, so anything else falls back to the grid default.
-    spec = args.mechanism if args.mechanism.startswith("grid2d") else "grid2d_2"
+    # --mechanism defaults to the 1-D streaming demo's spec; this demo
+    # needs a grid spec, so anything else falls back to the grid default
+    # for the requested dimensionality.
+    if args.mechanism.startswith("grid"):
+        spec = args.mechanism
+    else:
+        spec = "grid2d_2" if dims == 2 else f"grid{dims}d_2"
 
     rows = []
     start = time.perf_counter()
     from repro.core.factory import mechanism_from_spec
 
-    one_shot = mechanism_from_spec(spec, epsilon=config.epsilon, domain_size=side)
+    one_shot = mechanism_from_spec(
+        spec, epsilon=config.epsilon, domain_size=side
+    )
+    if one_shot.dims != dims:
+        spec = f"grid{dims}d_{one_shot.branching}"
+        one_shot = mechanism_from_spec(spec, epsilon=config.epsilon, domain_size=side)
     one_shot.fit_points(points, random_state=config.seed)
     seconds = time.perf_counter() - start
-    mse = float(np.mean((one_shot.answer_rectangles(rectangles) - truth) ** 2))
+    mse = float(np.mean((one_shot.answer_boxes(boxes) - truth) ** 2))
     rows.append(["one-shot", 1, 1, mse * 1000.0, seconds])
 
     batches = np.array_split(points, max(int(args.batches), 2))
@@ -575,12 +596,13 @@ def _run_grid2d(config: ExperimentConfig, args: argparse.Namespace) -> str:
             collector.submit_points(batch)
         reduced = collector.reduce()
         seconds = time.perf_counter() - start
-        mse = float(np.mean((reduced.answer_rectangles(rectangles) - truth) ** 2))
+        mse = float(np.mean((reduced.answer_boxes(boxes) - truth) ** 2))
         rows.append(["sharded", n_shards, len(batches), mse * 1000.0, seconds])
 
+    shape = "x".join([str(side)] * dims)
     output = (
-        f"2-D grid | {spec} | {side}x{side} | N = {n_users} | "
-        "rectangle estimates are shard-count invariant in distribution\n"
+        f"{dims}-D grid | {spec} | {shape} | N = {n_users} | "
+        "box estimates are shard-count invariant in distribution\n"
         + format_table(["collection", "shards", "batches", "mse x1000", "seconds"], rows)
     )
     if args.checkpoint:
@@ -658,6 +680,9 @@ def _run_bench(config: ExperimentConfig, args: argparse.Namespace):
         f"{checks['http_ingest_p50_ms']:.2f}/{checks['http_ingest_p99_ms']:.2f} ms",
         f"autoscaled reduce bit-identical to static: {checks['autoscale_bit_identical']}",
         f"grid2d restore bit-identical:              {checks['grid2d_restore_bit_identical']}",
+        f"gridnd restore bit-identical:              {checks['gridnd_restore_bit_identical']}",
+        f"gridnd(d=2) bit-identical to grid2d:       {checks['gridnd_d2_bit_identical']}",
+        f"planner pick beats worst candidate:        {checks['planner_pick_beats_worst']}",
         f"hh stream-ingest speedup (lazy vs eager):  {checks['hh_stream_ingest_speedup']:.2f}x",
         f"grid2d stream-ingest speedup:              {checks['grid2d_stream_ingest_speedup']:.2f}x",
         f"lazy vs eager bit-identical:               {checks['lazy_vs_eager_bit_identical']}",
@@ -708,6 +733,89 @@ def _run_bench(config: ExperimentConfig, args: argparse.Namespace):
         return "\n".join(lines), 1
     lines.append("no regressions")
     return "\n".join(lines)
+
+
+def build_plan_parser() -> argparse.ArgumentParser:
+    """Parser for ``python -m repro plan`` (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro plan",
+        description=(
+            "Rank mechanism configurations by closed-form variance bound for "
+            "a workload (family x branching factor x oracle) and print the "
+            "winning factory spec. Planning reads no data, so it carries no "
+            "privacy cost."
+        ),
+    )
+    parser.add_argument(
+        "--domain", type=int, default=1 << 10,
+        help="domain size D (per-axis side length when --dims > 1)",
+    )
+    parser.add_argument("--dims", type=int, default=1, help="number of axes d")
+    parser.add_argument(
+        "--users", type=int, default=1 << 17, help="expected population size N"
+    )
+    parser.add_argument("--epsilon", type=float, default=1.1, help="privacy budget")
+    parser.add_argument(
+        "--queries",
+        type=int,
+        default=0,
+        help=(
+            "size of the random workload planned against "
+            "(0 = plan for worst-case full-domain queries)"
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=20190630, help="workload seed")
+    parser.add_argument(
+        "--branchings",
+        type=int,
+        nargs="+",
+        default=None,
+        help="branching factors to sweep (default 2 4 5 8 16)",
+    )
+    parser.add_argument(
+        "--oracles",
+        type=str,
+        nargs="+",
+        default=None,
+        help="frequency oracles to enumerate (default oue)",
+    )
+    return parser
+
+
+def _plan_main(argv: Sequence[str]) -> int:
+    """``python -m repro plan`` — print the ranked candidate table."""
+    from repro.data.workloads import BoxWorkload, random_boxes, random_range_queries
+    from repro.planner import DEFAULT_BRANCHINGS, plan
+
+    args = build_plan_parser().parse_args(list(argv))
+    workload = None
+    if args.queries > 0:
+        if args.dims > 1:
+            workload = BoxWorkload(
+                domain_size=args.domain,
+                dims=args.dims,
+                queries=random_boxes(
+                    args.domain, args.queries, dims=args.dims, random_state=args.seed
+                ),
+                name=f"random-boxes-{args.queries}",
+            )
+        else:
+            workload = random_range_queries(
+                args.domain, args.queries, random_state=args.seed
+            )
+    chosen = plan(
+        workload,
+        n_users=args.users,
+        epsilon=args.epsilon,
+        domain_size=args.domain,
+        dims=args.dims,
+        branchings=args.branchings or DEFAULT_BRANCHINGS,
+        oracles=args.oracles or ("oue",),
+    )
+    print(chosen.describe())
+    print(f"\nchosen spec: {chosen.spec} "
+          f"(predicted variance {chosen.predicted_variance:.6e})")
+    return 0
 
 
 def build_serve_parser() -> argparse.ArgumentParser:
@@ -861,6 +969,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.devtools.lint import main as lint_main
 
         return lint_main(arguments[1:])
+    if arguments and arguments[0] == "plan":
+        # The planner has its own argument surface (--dims, --queries,
+        # --branchings, ...); hand over before the experiment parser
+        # rejects them.
+        return _plan_main(arguments[1:])
     parser = build_parser()
     argv = arguments
     args = parser.parse_args(argv)

@@ -19,9 +19,9 @@ from repro.core.base import RangeQueryMechanism
 from repro.core.factory import make_mechanism, mechanism_from_spec
 from repro.core.flat import FlatMechanism
 from repro.core.hierarchical import HierarchicalHistogramMechanism
-from repro.core.multidim import HierarchicalGrid2D
+from repro.core.multidim import HierarchicalGrid2D, HierarchicalGridND
 from repro.core.quantiles import estimate_cdf, estimate_quantiles
-from repro.core.session import Grid2DSession, LdpRangeQuerySession
+from repro.core.session import Grid2DSession, GridNDSession, LdpRangeQuerySession
 from repro.core.wavelet import HaarWaveletMechanism
 
 __all__ = [
@@ -30,7 +30,9 @@ __all__ = [
     "HierarchicalHistogramMechanism",
     "HaarWaveletMechanism",
     "HierarchicalGrid2D",
+    "HierarchicalGridND",
     "Grid2DSession",
+    "GridNDSession",
     "LdpRangeQuerySession",
     "make_mechanism",
     "mechanism_from_spec",

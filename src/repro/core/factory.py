@@ -16,6 +16,14 @@ strings modelled on the paper's naming:
                             OUE oracle (Section 6; ``domain_size`` is the
                             grid *side length*)
 ``"grid2d_4_hrr"``          the 2-D grid with ``B = 4`` and the HRR oracle
+``"gridnd"`` / ``"grid3d"``  :class:`HierarchicalGridND` (``gridnd`` takes
+                            ``dims`` from kwargs, default 2; ``grid<d>d``
+                            encodes it in the spec)
+``"grid3d_4_hrr"``          the 3-D grid with ``B = 4`` and the HRR oracle
+``"auto"`` / ``"auto_3d"``  planner-chosen spec: :func:`repro.planner.plan`
+                            ranks the candidate families by their
+                            closed-form variance bounds for the workload in
+                            ``kwargs`` and instantiates the winner
 =========================  ====================================================
 
 :func:`make_mechanism` is the programmatic entry point;
@@ -30,7 +38,7 @@ from typing import Optional
 from repro.core.base import RangeQueryMechanism
 from repro.core.flat import FlatMechanism
 from repro.core.hierarchical import HierarchicalHistogramMechanism
-from repro.core.multidim import HierarchicalGrid2D
+from repro.core.multidim import HierarchicalGrid2D, HierarchicalGridND
 from repro.core.wavelet import HaarWaveletMechanism
 from repro.exceptions import ConfigurationError
 
@@ -44,6 +52,12 @@ _HAAR_PATTERN = re.compile(r"^haar(?:[_-]hrr)?$")
 _GRID2D_PATTERN = re.compile(
     r"^grid2d(?:[_-](?P<branching>\d+))?(?:[_-](?P<oracle>[a-z]+))?$"
 )
+# Checked after _GRID2D_PATTERN so "grid2d..." keeps constructing the 2-D
+# specialization (rectangle surface + historical persist identity).
+_GRIDND_PATTERN = re.compile(
+    r"^grid(?:nd|(?P<dims>\d+)d)(?:[_-](?P<branching>\d+))?(?:[_-](?P<oracle>[a-z]+))?$"
+)
+_AUTO_PATTERN = re.compile(r"^auto(?:[_-](?P<dims>\d+)d)?$")
 
 
 def make_mechanism(
@@ -98,8 +112,18 @@ def make_mechanism(
             name=name,
             **kwargs,
         )
+    if key == "gridnd":
+        return HierarchicalGridND(
+            epsilon,
+            domain_size,
+            branching=2 if branching is None else branching,
+            oracle=oracle,
+            name=name,
+            **kwargs,
+        )
     raise ConfigurationError(
-        f"unknown mechanism kind {kind!r}; expected flat / hierarchical / haar / grid2d"
+        f"unknown mechanism kind {kind!r}; "
+        "expected flat / hierarchical / haar / grid2d / gridnd"
     )
 
 
@@ -131,6 +155,54 @@ def mechanism_from_spec(
             name=spec,
             **kwargs,
         )
+    gridnd_match = _GRIDND_PATTERN.match(token)
+    if gridnd_match:
+        dims = int(gridnd_match.group("dims") or kwargs.pop("dims", 2))
+        kwargs.pop("dims", None)  # spec digit wins over a redundant kwarg
+        branching = int(gridnd_match.group("branching") or 2)
+        oracle = gridnd_match.group("oracle") or "oue"
+        if dims == 2:
+            # The 2-D grid keeps its specialized class (rectangle surface,
+            # historical persist identity) whichever spelling names it.
+            return HierarchicalGrid2D(
+                epsilon,
+                domain_size,
+                branching=branching,
+                oracle=oracle,
+                name=spec,
+                **kwargs,
+            )
+        return HierarchicalGridND(
+            epsilon,
+            domain_size,
+            dims=dims,
+            branching=branching,
+            oracle=oracle,
+            name=spec,
+            **kwargs,
+        )
+    auto_match = _AUTO_PATTERN.match(token)
+    if auto_match:
+        # Planned spec: rank the candidate configurations by closed-form
+        # variance bound and instantiate the winner.  Imported lazily —
+        # repro.planner sits above core in the layering.
+        from repro.planner import plan
+
+        dims = int(auto_match.group("dims") or kwargs.pop("dims", 1))
+        kwargs.pop("dims", None)
+        if "n_users" not in kwargs:
+            raise ConfigurationError(
+                "'auto' specs plan against a population size; pass n_users= "
+                "(and optionally workload=) as mechanism kwargs"
+            )
+        chosen = plan(
+            workload=kwargs.pop("workload", None),
+            n_users=kwargs.pop("n_users"),
+            epsilon=epsilon,
+            domain_size=domain_size,
+            dims=dims,
+        )
+        return mechanism_from_spec(chosen.spec, epsilon, domain_size, **kwargs)
     hh_match = _HH_PATTERN.match(token)
     if hh_match:
         branching = int(hh_match.group("branching"))
@@ -147,5 +219,6 @@ def mechanism_from_spec(
         )
     raise ConfigurationError(
         f"could not parse mechanism specification {spec!r}; "
-        "expected e.g. 'flat_oue', 'hhc_4', 'hh_16_hrr', 'haar' or 'grid2d_2'"
+        "expected e.g. 'flat_oue', 'hhc_4', 'hh_16_hrr', 'haar', 'grid2d_2', "
+        "'grid3d_4' or 'auto'"
     )

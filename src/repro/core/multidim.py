@@ -1,41 +1,49 @@
-"""Two-dimensional extension (Section 6 of the paper).
+"""Multi-dimensional extension (Section 6 of the paper).
 
 The hierarchical decomposition generalises to ``d`` dimensions by taking the
-product of per-axis B-adic decompositions: any axis-aligned rectangle splits
-into ``O(log_B^2 D)`` "B-adic rectangles", and a user's point lies in exactly
-one rectangle per *pair* of axis levels.  The protocol therefore becomes:
+product of per-axis B-adic decompositions: any axis-aligned box splits into
+``O(log_B^d D)`` "B-adic boxes", and a user's point lies in exactly one box
+per *tuple* of axis levels.  The protocol therefore becomes:
 
-* each user samples a level pair ``(l_x, l_y)`` uniformly at random;
-* she forms the one-hot vector over the ``B^{l_x} * B^{l_y}`` grid cells of
-  that resolution and perturbs it with a frequency oracle;
+* each user samples a level tuple ``(l_1, ..., l_d)`` uniformly at random;
+* she forms the one-hot vector over the ``B^{l_1} * ... * B^{l_d}`` grid
+  cells of that resolution and perturbs it with a frequency oracle;
 * the aggregator reconstructs one fraction estimate per cell of every level
-  pair and answers a rectangle query by summing the cells of its product
-  decomposition.
+  tuple and answers a box query by summing the cells of its product
+  decomposition (inclusion–exclusion over the ``2^d`` corners of each
+  run product, evaluated on d-dimensional prefix sums).
 
-The variance of a rectangle query grows as ``log^4_B D`` (``log^{2d}`` in
-``d`` dimensions), matching the discussion in the paper; Section 6 notes
-that for higher dimensions coarse gridding becomes preferable, which is out
-of scope here just as it is there.
+The variance of a box query grows as ``log^{2d}_B D``, matching the
+discussion in the paper; Section 6 notes that for higher dimensions coarse
+gridding becomes preferable — :mod:`repro.planner` turns exactly that
+trade-off (mechanism family x branching factor x oracle) into a runtime
+decision from the closed-form bounds.
 
-Since every level pair's aggregation is an
+Since every level tuple's aggregation is an
 :class:`~repro.frequency_oracles.accumulators.OracleAccumulator` over the
-flattened ``n_x * n_y`` cell domain, the mechanism is a full
+flattened cell domain, the mechanism is a full
 :class:`~repro.core.base.RangeQueryMechanism` citizen: incremental
-collection (:meth:`~HierarchicalGrid2D.partial_fit` /
-:meth:`~HierarchicalGrid2D.partial_fit_points`), shard combination
-(:meth:`~HierarchicalGrid2D.merge_from`) and bit-exact snapshots
-(:meth:`~HierarchicalGrid2D.state_dict`, :mod:`repro.persist`) all work,
-so the sharded / async / durable pipeline serves rectangle workloads too.
+collection (:meth:`~HierarchicalGridND.partial_fit` /
+:meth:`~HierarchicalGridND.partial_fit_points`), shard combination
+(:meth:`~HierarchicalGridND.merge_from`) and bit-exact snapshots
+(:meth:`~HierarchicalGridND.state_dict`, :mod:`repro.persist`) all work,
+so the sharded / async / durable pipeline serves box workloads too.
 Internally the base class sees the *flattened* row-major domain of size
-``D * D`` — a point ``(x, y)`` is the item ``x * D + y`` — while the
-2-D surface (:meth:`~HierarchicalGrid2D.fit_points`,
-:meth:`~HierarchicalGrid2D.answer_rectangle`,
-:meth:`~HierarchicalGrid2D.estimate_heatmap`) speaks coordinates.
+``D^d`` — a point ``(x_1, ..., x_d)`` is the item
+``x_1 * D^{d-1} + ... + x_d`` — while the d-dimensional surface
+(:meth:`~HierarchicalGridND.fit_points`,
+:meth:`~HierarchicalGridND.answer_box`,
+:meth:`~HierarchicalGridND.estimate_heatmap`) speaks coordinates.
+
+:class:`HierarchicalGrid2D` is the ``d = 2`` specialization — the original
+two-dimensional mechanism, re-expressed on top of the generic machinery
+with bit-identical answers, names, persist signatures and snapshot layout.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -49,44 +57,88 @@ from repro.frequency_oracles.registry import make_oracle
 from repro.hierarchy.decomposition import (
     NodeRun,
     batched_axis_runs,
+    decompose_box_to_runs,
     decompose_to_runs,
 )
 from repro.hierarchy.tree import DomainTree
 from repro.privacy.randomness import RandomState
 
-__all__ = ["HierarchicalGrid2D"]
+__all__ = ["HierarchicalGrid2D", "HierarchicalGridND", "validate_points"]
 
-#: A level pair ``(l_x, l_y)`` indexing one resolution grid.
+#: A level tuple ``(l_1, ..., l_d)`` indexing one resolution grid.
+LevelTuple = Tuple[int, ...]
+#: Backwards-compatible alias for the d = 2 case.
 LevelPair = Tuple[int, int]
 
+#: Largest flattened domain the row-major item encoding can address without
+#: risking int64 overflow in the flatten / unflatten arithmetic.
+_MAX_FLAT_DOMAIN = 1 << 62
 
-class HierarchicalGrid2D(RangeQueryMechanism):
-    """LDP rectangle-query mechanism over a two-dimensional grid domain.
+
+def validate_points(points: np.ndarray, dims: int, side: int) -> np.ndarray:
+    """Validate an ``(n, dims)`` integer point array (shared point gate).
+
+    The single authoritative input check of every point-collection path —
+    :meth:`HierarchicalGridND.flatten_points` and through it
+    :class:`~repro.streaming.ShardedCollector.submit_points`,
+    :class:`~repro.service.IngestionService` and the HTTP ``/v1/points``
+    endpoint.  Float coordinates are rejected outright — silently truncating
+    ``[[0.9, 0.2]]`` to ``[[0, 0]]`` would corrupt the collected density
+    without any error (the same hazard
+    :meth:`~repro.core.base.RangeQueryMechanism.fit_items` guards against in
+    one dimension); NaNs are caught by the same dtype gate, and
+    out-of-bounds coordinates are reported against the ``[0, D)^d`` cube.
+    Returns the points as ``int64`` (no copy when already integral).
+    """
+    points = np.asarray(points)
+    if points.ndim != 2 or points.shape[1] != dims:
+        raise InvalidQueryError(
+            f"points must be an (n, {dims}) array of grid coordinates"
+        )
+    if (
+        points.size
+        and not np.issubdtype(points.dtype, np.integer)
+        and points.dtype != np.bool_  # bools cast to 0/1 without loss
+    ):
+        raise InvalidQueryError(
+            f"points must have an integer dtype, got {points.dtype}; "
+            "round or cast explicitly before collection"
+        )
+    if points.size and (points.min() < 0 or points.max() >= side):
+        raise InvalidQueryError(f"points must lie in [0, {side})^{dims}")
+    return points.astype(np.int64, copy=False)
+
+
+class HierarchicalGridND(RangeQueryMechanism):
+    """LDP box-query mechanism over a ``d``-dimensional grid domain.
 
     Parameters
     ----------
     epsilon:
         Per-user privacy budget.
     domain_size:
-        Side length ``D`` of the ``[D] x [D]`` grid.
+        Per-axis side length ``D`` of the ``[D]^d`` grid.
+    dims:
+        Number of axes ``d`` (default 2).
     branching:
         Per-axis fan-out ``B`` of the hierarchical decomposition.
     oracle:
-        Frequency oracle used for every level pair (default ``"oue"``).
+        Frequency oracle used for every level tuple (default ``"oue"``).
 
     Notes
     -----
     As a :class:`~repro.core.base.RangeQueryMechanism` the instance also
     answers *flattened* row-major queries (``fit_items`` /
-    ``answer_range`` over the domain ``[0, D^2)``), which is what the
-    sharded and streaming layers route through; the 2-D methods are thin
-    coordinate adapters over the same accumulated state.
+    ``answer_range`` over the domain ``[0, D^d)``), which is what the
+    sharded and streaming layers route through; the d-dimensional methods
+    are thin coordinate adapters over the same accumulated state.
     """
 
     def __init__(
         self,
         epsilon: float,
         domain_size: int,
+        dims: int = 2,
         branching: int = 2,
         oracle: str = "oue",
         name: Optional[str] = None,
@@ -96,50 +148,75 @@ class HierarchicalGrid2D(RangeQueryMechanism):
             raise InvalidDomainError(
                 f"domain side length must be an integer >= 2, got {domain_size!r}"
             )
+        if not isinstance(dims, (int, np.integer)) or dims < 1:
+            raise InvalidDomainError(
+                f"dims must be a positive integer, got {dims!r}"
+            )
         side = int(domain_size)
-        default_name = f"Grid2D{str(oracle).upper()}_B{branching}"
-        # The base class owns the flattened row-major domain of D^2 cells.
-        super().__init__(epsilon, side * side, name=name or default_name)
+        dims = int(dims)
+        if side**dims > _MAX_FLAT_DOMAIN:
+            raise InvalidDomainError(
+                f"flattened domain {side}^{dims} exceeds the int64-addressable "
+                "item space; reduce the side length or the dimensionality"
+            )
+        default_name = f"Grid{dims}D{str(oracle).upper()}_B{branching}"
+        # The base class owns the flattened row-major domain of D^d cells.
+        super().__init__(epsilon, side**dims, name=name or default_name)
         self._side = side
+        self._dims = dims
         self._tree = DomainTree(side, branching)
         self._oracle_name = str(oracle)
         self._oracle_kwargs = dict(oracle_kwargs)
-        self._pairs: List[LevelPair] = [
-            (lx, ly) for lx in self._tree.levels for ly in self._tree.levels
-        ]
+        # itertools.product enumerates the first axis slowest — for d = 2
+        # this is exactly the historical `for lx: for ly:` pair order, which
+        # every random stream below depends on.
+        self._tuples: List[LevelTuple] = list(
+            itertools.product(self._tree.levels, repeat=dims)
+        )
         self._oracles = {
-            (lx, ly): make_oracle(
+            levels: make_oracle(
                 self._oracle_name,
                 epsilon=self.epsilon,
-                domain_size=self._tree.nodes_at_level(lx)
-                * self._tree.nodes_at_level(ly),
+                domain_size=self._cells_at(levels),
                 **self._oracle_kwargs,
             )
-            for lx, ly in self._pairs
+            for levels in self._tuples
         }
-        self._accumulators: Optional[Dict[LevelPair, OracleAccumulator]] = None
-        self._pair_user_counts: Optional[np.ndarray] = None
-        self._estimates: Optional[Dict[LevelPair, np.ndarray]] = None
-        self._pair_prefix: Optional[Dict[LevelPair, np.ndarray]] = None
+        self._accumulators: Optional[Dict[LevelTuple, OracleAccumulator]] = None
+        self._tuple_user_counts: Optional[np.ndarray] = None
+        self._estimates: Optional[Dict[LevelTuple, np.ndarray]] = None
+        self._tuple_prefix: Optional[Dict[LevelTuple, np.ndarray]] = None
 
     # ------------------------------------------------------------------
     # Configuration
     # ------------------------------------------------------------------
+    def _cells_at(self, levels: LevelTuple) -> int:
+        """Number of grid cells of the resolution grid at a level tuple."""
+        cells = 1
+        for level in levels:
+            cells *= self._tree.nodes_at_level(level)
+        return cells
+
     @property
     def domain_size(self) -> int:
-        """Side length ``D`` of the grid (the flattened item domain is
-        ``D^2``, see :attr:`flat_domain_size`)."""
+        """Per-axis side length ``D`` of the grid (the flattened item domain
+        is ``D^d``, see :attr:`flat_domain_size`)."""
         return self._side
 
     @property
     def flat_domain_size(self) -> int:
-        """Number of grid cells ``D^2`` — the row-major item domain the
+        """Number of grid cells ``D^d`` — the row-major item domain the
         base-class collection API (``fit_items`` etc.) operates on."""
         return self._domain_size
 
     @property
+    def dims(self) -> int:
+        """Number of axes ``d``."""
+        return self._dims
+
+    @property
     def tree(self) -> DomainTree:
-        """The per-axis domain-tree geometry."""
+        """The per-axis domain-tree geometry (shared by every axis)."""
         return self._tree
 
     @property
@@ -152,52 +229,52 @@ class HierarchicalGrid2D(RangeQueryMechanism):
         return self._tree.height
 
     @property
-    def level_pairs(self) -> List[LevelPair]:
-        """The ``h^2`` level pairs ``(l_x, l_y)``, one resolution grid each."""
-        return list(self._pairs)
+    def level_tuples(self) -> List[LevelTuple]:
+        """The ``h^d`` level tuples ``(l_1, ..., l_d)``, one resolution grid
+        each."""
+        return list(self._tuples)
 
     @property
-    def pair_user_counts(self) -> Optional[np.ndarray]:
-        """Users that reported each level pair so far (``None`` unfitted)."""
-        return None if self._pair_user_counts is None else self._pair_user_counts.copy()
+    def tuple_user_counts(self) -> Optional[np.ndarray]:
+        """Users that reported each level tuple so far (``None`` unfitted)."""
+        return (
+            None if self._tuple_user_counts is None else self._tuple_user_counts.copy()
+        )
 
-    def pair_estimates(self) -> Dict[LevelPair, np.ndarray]:
-        """Per-level-pair cell estimates as ``(n_x, n_y)`` grids."""
+    def tuple_estimates(self) -> Dict[LevelTuple, np.ndarray]:
+        """Per-level-tuple cell estimates as d-dimensional grids."""
         self._require_fitted()
-        return {pair: grid.copy() for pair, grid in self._estimates.items()}
+        return {levels: grid.copy() for levels, grid in self._estimates.items()}
 
     # ------------------------------------------------------------------
     # Point validation / flattening
     # ------------------------------------------------------------------
     def flatten_points(self, points: np.ndarray) -> np.ndarray:
-        """Validate an ``(n, 2)`` integer point array and flatten it.
+        """Validate an ``(n, d)`` integer point array and flatten it.
 
-        Returns the row-major item indices ``x * D + y`` accepted by the
-        base-class collection API (and therefore by
+        Returns the row-major item indices accepted by the base-class
+        collection API (and therefore by
         :class:`~repro.streaming.ShardedCollector` /
-        :class:`~repro.service.IngestionService`).  Float coordinates are
-        rejected outright — silently truncating ``[[0.9, 0.2]]`` to
-        ``[[0, 0]]`` would corrupt the collected density without any error
-        (the same hazard :meth:`~repro.core.base.RangeQueryMechanism.fit_items`
-        guards against in one dimension); NaNs are caught by the same dtype
-        gate.
+        :class:`~repro.service.IngestionService`); validation lives in the
+        shared :func:`validate_points` gate.
         """
-        points = np.asarray(points)
-        if points.ndim != 2 or points.shape[1] != 2:
-            raise InvalidQueryError("points must be an (n, 2) array of grid coordinates")
-        if (
-            points.size
-            and not np.issubdtype(points.dtype, np.integer)
-            and points.dtype != np.bool_  # bools cast to 0/1 without loss
-        ):
-            raise InvalidQueryError(
-                f"points must have an integer dtype, got {points.dtype}; "
-                "round or cast explicitly before collection"
-            )
-        if points.size and (points.min() < 0 or points.max() >= self._side):
-            raise InvalidQueryError(f"points must lie in [0, {self._side})^2")
-        points = points.astype(np.int64, copy=False)
-        return points[:, 0] * self._side + points[:, 1]
+        points = validate_points(points, self._dims, self._side)
+        flat = points[:, 0]
+        for axis in range(1, self._dims):
+            flat = flat * self._side + points[:, axis]
+        return flat
+
+    def _split_coordinates(self, items: np.ndarray) -> List[np.ndarray]:
+        """Row-major items back to per-axis coordinate arrays."""
+        coordinates: List[np.ndarray] = []
+        remainder = items
+        for axis in range(self._dims - 1):
+            stride = self._side ** (self._dims - 1 - axis)
+            coordinate = remainder // stride
+            coordinates.append(coordinate)
+            remainder = remainder - coordinate * stride
+        coordinates.append(remainder)
+        return coordinates
 
     # ------------------------------------------------------------------
     # Collection
@@ -207,10 +284,10 @@ class HierarchicalGrid2D(RangeQueryMechanism):
         points: np.ndarray,
         random_state: RandomState = None,
         mode: str = "aggregate",
-    ) -> "HierarchicalGrid2D":
-        """Collect a population of ``(x, y)`` points (one-shot).
+    ) -> "HierarchicalGridND":
+        """Collect a population of d-dimensional points (one-shot).
 
-        Each user is assigned one level pair uniformly at random; her cell
+        Each user is assigned one level tuple uniformly at random; her cell
         index at that resolution is perturbed with the configured oracle.
         ``mode="aggregate"`` (default) samples the aggregator's view
         directly; ``mode="per_user"`` runs the real local protocol per user.
@@ -224,10 +301,10 @@ class HierarchicalGrid2D(RangeQueryMechanism):
         points: np.ndarray,
         random_state: RandomState = None,
         mode: str = "aggregate",
-    ) -> "HierarchicalGrid2D":
-        """Collect one additional batch of ``(x, y)`` points incrementally.
+    ) -> "HierarchicalGridND":
+        """Collect one additional batch of points incrementally.
 
-        The 2-D counterpart of
+        The d-dimensional counterpart of
         :meth:`~repro.core.base.RangeQueryMechanism.partial_fit`: batches
         accumulate on top of everything collected so far, and each user must
         appear in exactly one batch overall.
@@ -238,9 +315,9 @@ class HierarchicalGrid2D(RangeQueryMechanism):
 
     def _reset_accumulators(self) -> None:
         self._accumulators = {
-            pair: self._oracles[pair].accumulator() for pair in self._pairs
+            levels: self._oracles[levels].accumulator() for levels in self._tuples
         }
-        self._pair_user_counts = np.zeros(len(self._pairs), dtype=np.int64)
+        self._tuple_user_counts = np.zeros(len(self._tuples), dtype=np.int64)
 
     def _collect(
         self,
@@ -276,148 +353,401 @@ class HierarchicalGrid2D(RangeQueryMechanism):
         else:
             self._accumulate_aggregate(counts, rng)
 
+    def _cell_index(
+        self,
+        levels: LevelTuple,
+        axis_nodes: List[Dict[int, np.ndarray]],
+        mask: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Flattened cell indices of the resolution grid at a level tuple.
+
+        ``axis_nodes[axis][level]`` caches the per-axis node indices of the
+        whole batch; ``mask`` (when given) restricts to the users assigned
+        to this tuple.
+        """
+        nodes = axis_nodes[0][levels[0]]
+        cells = nodes[mask] if mask is not None else nodes
+        for axis in range(1, self._dims):
+            nodes = axis_nodes[axis][levels[axis]]
+            part = nodes[mask] if mask is not None else nodes
+            cells = cells * self._tree.nodes_at_level(levels[axis]) + part
+        return cells
+
     def _accumulate_per_user(
         self, items: np.ndarray, rng: np.random.Generator
     ) -> None:
-        """Each user samples one level pair and runs the real local protocol.
+        """Each user samples one level tuple and runs the real local protocol.
 
-        Only pairs that actually received users are visited (they are the
+        Only tuples that actually received users are visited (they are the
         only ones that consume protocol randomness, so the skip changes no
         random stream), and per-axis node indices are computed once per
-        active axis level rather than once per pair — a tiny streaming
-        batch costs O(active pairs), not O(h^2) mask scans.
+        active axis level rather than once per tuple — a tiny streaming
+        batch costs O(active tuples), not O(h^d) mask scans.
         """
-        n_pairs = len(self._pairs)
-        assignments = rng.integers(0, n_pairs, size=items.shape[0])
-        batch_pair_counts = np.bincount(assignments, minlength=n_pairs)
-        self._pair_user_counts += batch_pair_counts
-        x = items // self._side
-        y = items - x * self._side
-        x_nodes: Dict[int, np.ndarray] = {}
-        y_nodes: Dict[int, np.ndarray] = {}
-        for pair_index in np.flatnonzero(batch_pair_counts):
-            lx, ly = self._pairs[pair_index]
-            if lx not in x_nodes:
-                x_nodes[lx] = self._tree.nodes_of_items(lx, x)
-            if ly not in y_nodes:
-                y_nodes[ly] = self._tree.nodes_of_items(ly, y)
-            mask = assignments == pair_index
-            ny = self._tree.nodes_at_level(ly)
-            cells = x_nodes[lx][mask] * ny + y_nodes[ly][mask]
-            oracle = self._oracles[(lx, ly)]
-            self._accumulators[(lx, ly)].add(oracle.encode_batch(cells, rng))
+        n_tuples = len(self._tuples)
+        assignments = rng.integers(0, n_tuples, size=items.shape[0])
+        batch_tuple_counts = np.bincount(assignments, minlength=n_tuples)
+        self._tuple_user_counts += batch_tuple_counts
+        coordinates = self._split_coordinates(items)
+        axis_nodes: List[Dict[int, np.ndarray]] = [{} for _ in range(self._dims)]
+        for tuple_index in np.flatnonzero(batch_tuple_counts):
+            levels = self._tuples[tuple_index]
+            for axis, level in enumerate(levels):
+                if level not in axis_nodes[axis]:
+                    axis_nodes[axis][level] = self._tree.nodes_of_items(
+                        level, coordinates[axis]
+                    )
+            mask = assignments == tuple_index
+            cells = self._cell_index(levels, axis_nodes, mask)
+            oracle = self._oracles[levels]
+            self._accumulators[levels].add(oracle.encode_batch(cells, rng))
 
     def _accumulate_aggregate(
         self, counts: np.ndarray, rng: np.random.Generator
     ) -> None:
-        """Aggregate-mode collection: partition counts across pairs exactly.
+        """Aggregate-mode collection: partition counts across tuples exactly.
 
-        Each cell's count is split across the ``h^2`` level pairs with a
+        Each cell's count is split across the ``h^d`` level tuples with a
         multinomial (realised as sequential binomial thinning), the exact
-        distribution of how pair sampling partitions the population;
+        distribution of how tuple sampling partitions the population;
         multinomial splits of separate batches add up to the split of the
-        union, which is what makes this path incremental.  Each pair's cell
+        union, which is what makes this path incremental.  Each tuple's cell
         counts then drive the oracle accumulator's simulated-aggregate path.
 
-        The thinning and the per-pair cell histograms operate on the batch's
-        *support* (cells with non-zero count) only — a small streaming batch
-        costs O(nnz · h^2) entries instead of a padded ``B^h x B^h`` reshape
-        and block-sum per pair, leaving the per-pair noise sampling inside
-        ``add_counts`` as the only full-grid work.
+        The thinning and the per-tuple cell histograms operate on the
+        batch's *support* (cells with non-zero count) only — a small
+        streaming batch costs O(nnz · h^d) entries instead of a padded
+        ``(B^h)^d`` reshape and block-sum per tuple, leaving the per-tuple
+        noise sampling inside ``add_counts`` as the only full-grid work.
         """
-        n_pairs = len(self._pairs)
+        n_tuples = len(self._tuples)
         support = np.flatnonzero(counts)
         remaining = counts[support].astype(np.int64)  # fancy indexing copies
-        support_x = support // self._side
-        support_y = support - support_x * self._side
-        x_nodes: Dict[int, np.ndarray] = {}
-        y_nodes: Dict[int, np.ndarray] = {}
+        support_coordinates = self._split_coordinates(support)
+        axis_nodes: List[Dict[int, np.ndarray]] = [{} for _ in range(self._dims)]
         remaining_probability = 1.0
-        probability = 1.0 / n_pairs
-        for pair_index, pair in enumerate(self._pairs):
-            if pair_index == n_pairs - 1:
-                pair_counts = remaining
+        probability = 1.0 / n_tuples
+        for tuple_index, levels in enumerate(self._tuples):
+            if tuple_index == n_tuples - 1:
+                tuple_counts = remaining
             else:
                 share = 0.0 if remaining_probability <= 0 else min(
                     1.0, probability / remaining_probability
                 )
-                pair_counts = rng.binomial(remaining, share)
-                remaining = remaining - pair_counts
+                tuple_counts = rng.binomial(remaining, share)
+                remaining = remaining - tuple_counts
                 remaining_probability -= probability
-            batch_users = int(pair_counts.sum())
-            self._pair_user_counts[pair_index] += batch_users
+            batch_users = int(tuple_counts.sum())
+            self._tuple_user_counts[tuple_index] += batch_users
             if batch_users == 0:
                 continue
-            lx, ly = pair
-            if lx not in x_nodes:
-                x_nodes[lx] = self._tree.nodes_of_items(lx, support_x)
-            if ly not in y_nodes:
-                y_nodes[ly] = self._tree.nodes_of_items(ly, support_y)
-            ny = self._tree.nodes_at_level(ly)
+            for axis, level in enumerate(levels):
+                if level not in axis_nodes[axis]:
+                    axis_nodes[axis][level] = self._tree.nodes_of_items(
+                        level, support_coordinates[axis]
+                    )
             node_counts = np.bincount(
-                x_nodes[lx] * ny + y_nodes[ly],
-                weights=pair_counts,
-                minlength=self._tree.nodes_at_level(lx) * ny,
+                self._cell_index(levels, axis_nodes),
+                weights=tuple_counts,
+                minlength=self._cells_at(levels),
             ).astype(np.int64)
-            self._accumulators[pair].add_counts(node_counts, rng)
+            self._accumulators[levels].add_counts(node_counts, rng)
 
     # ------------------------------------------------------------------
     # Merging / persistence
     # ------------------------------------------------------------------
-    def _merge_state(self, other: "HierarchicalGrid2D") -> None:
+    def _merge_state(self, other: "HierarchicalGridND") -> None:
         if self._accumulators is None:
             self._reset_accumulators()
-        for pair in self._pairs:
-            self._accumulators[pair].merge(other._accumulators[pair])
-        self._pair_user_counts += other._pair_user_counts
+        for levels in self._tuples:
+            self._accumulators[levels].merge(other._accumulators[levels])
+        self._tuple_user_counts += other._tuple_user_counts
 
     def _merge_signature(self) -> tuple:
         return super()._merge_signature() + (
             self._side,
+            self._dims,
             self._oracle_name,
             self.branching,
             tuple(sorted(self._oracle_kwargs.items())),
         )
 
     def state_dict(self) -> dict:
-        return self._pack_level_state(self._accumulators, self._pair_user_counts)
+        return self._pack_level_state(self._accumulators, self._tuple_user_counts)
 
-    def load_state_dict(self, state: dict) -> "HierarchicalGrid2D":
+    def load_state_dict(self, state: dict) -> "HierarchicalGridND":
         n_users, accumulators, counts = self._unpack_level_state(
-            state, self._pairs, lambda pair: self._oracles[pair].accumulator()
+            state, self._tuples, lambda levels: self._oracles[levels].accumulator()
         )
         if accumulators is not None:
             self._accumulators = accumulators
-            self._pair_user_counts = counts
+            self._tuple_user_counts = counts
             self._mark_dirty()
         else:
             self._accumulators = None
-            self._pair_user_counts = None
+            self._tuple_user_counts = None
             self._estimates = None
-            self._pair_prefix = None
+            self._tuple_prefix = None
             self._mark_clean()
         self._n_users = n_users
         return self
 
     def _refresh_estimates(self) -> None:
-        estimates: Dict[LevelPair, np.ndarray] = {}
-        prefixes: Dict[LevelPair, np.ndarray] = {}
-        for lx, ly in self._pairs:
-            nx = self._tree.nodes_at_level(lx)
-            ny = self._tree.nodes_at_level(ly)
+        estimates: Dict[LevelTuple, np.ndarray] = {}
+        prefixes: Dict[LevelTuple, np.ndarray] = {}
+        for levels in self._tuples:
+            shape = tuple(self._tree.nodes_at_level(level) for level in levels)
             grid = np.asarray(
-                self._accumulators[(lx, ly)].estimate(), dtype=np.float64
-            ).reshape(nx, ny)
-            estimates[(lx, ly)] = grid
-            prefix = np.zeros((nx + 1, ny + 1))
-            np.cumsum(np.cumsum(grid, axis=0), axis=1, out=prefix[1:, 1:])
-            prefixes[(lx, ly)] = prefix
+                self._accumulators[levels].estimate(), dtype=np.float64
+            ).reshape(shape)
+            estimates[levels] = grid
+            prefix = np.zeros(tuple(n + 1 for n in shape))
+            inner = np.cumsum(grid, axis=0)
+            for axis in range(1, self._dims):
+                inner = np.cumsum(inner, axis=axis)
+            prefix[(slice(1, None),) * self._dims] = inner
+            prefixes[levels] = prefix
         self._estimates = estimates
-        self._pair_prefix = prefixes
+        self._tuple_prefix = prefixes
 
     # ------------------------------------------------------------------
     # Query answering
     # ------------------------------------------------------------------
+    def answer_box(self, ranges: Sequence[Tuple[int, int]]) -> float:
+        """Estimated fraction of users inside an axis-aligned box.
+
+        ``ranges`` holds one inclusive ``[start, end]`` pair per axis.
+        """
+        self._require_fitted()
+        if len(ranges) != self._dims:
+            raise InvalidQueryError(
+                f"box queries need one (start, end) pair per axis; "
+                f"got {len(ranges)} pairs for {self._dims} axes"
+            )
+        return self._sum_runs(decompose_box_to_runs(self._tree, ranges))
+
+    def answer_boxes(self, queries: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`answer_box` over ``(n, 2d)`` rows holding the
+        per-axis inclusive bounds ``(a_1, b_1, ..., a_d, b_d)``.
+
+        All queries are decomposed together per axis
+        (:func:`~repro.hierarchy.decomposition.batched_axis_runs`); each
+        level tuple then contributes through fancy-indexed ``2^d``-corner
+        inclusion–exclusion gathers from its d-dimensional prefix-sum grid,
+        so a workload of ``n`` boxes costs ``O(h^d)`` numpy passes over
+        length-``n`` arrays instead of ``n`` Python-level run products.
+        """
+        self._require_fitted()
+        queries = np.asarray(queries, dtype=np.int64)
+        if queries.ndim != 2 or queries.shape[1] != 2 * self._dims:
+            raise InvalidQueryError(
+                f"box queries must be an (n, {2 * self._dims}) array of "
+                "per-axis (start, end) pairs"
+            )
+        if queries.shape[0] == 0:
+            return np.zeros(0, dtype=np.float64)
+        starts = queries[:, 0::2]
+        ends = queries[:, 1::2]
+        if (
+            queries.min() < 0
+            or ends.max() >= self._side
+            or np.any(starts > ends)
+        ):
+            # Fall back to the per-query path for its precise errors.
+            return np.array(
+                [
+                    self.answer_box(
+                        [
+                            (int(row[2 * axis]), int(row[2 * axis + 1]))
+                            for axis in range(self._dims)
+                        ]
+                    )
+                    for row in queries
+                ]
+            )
+        axis_runs = [
+            batched_axis_runs(self._tree, queries[:, 2 * axis], queries[:, 2 * axis + 1])
+            for axis in range(self._dims)
+        ]
+        answers = np.zeros(queries.shape[0], dtype=np.float64)
+        for levels in self._tuples:
+            prefix = self._tuple_prefix[levels]
+            slot_lists = [axis_runs[axis][levels[axis]] for axis in range(self._dims)]
+            for combo in itertools.product(*slot_lists):
+                # combo[axis] = (first, last_exclusive) index arrays; empty
+                # run slots (first == last) cancel to exactly 0.  Corner
+                # order and float evaluation order match the historical 2-D
+                # expression A - B - C + D, so d = 2 stays bit-identical.
+                value = prefix[tuple(slot[1] for slot in combo)]
+                for corner in range(1, 1 << self._dims):
+                    index = tuple(
+                        combo[axis][0] if (corner >> axis) & 1 else combo[axis][1]
+                        for axis in range(self._dims)
+                    )
+                    if bin(corner).count("1") % 2:
+                        value = value - prefix[index]
+                    else:
+                        value = value + prefix[index]
+                answers += value
+        return answers
+
+    def _sum_runs(self, axis_runs: Sequence[List[NodeRun]]) -> float:
+        """Sum a product of per-axis run decompositions via 2^d corners."""
+        answer = 0.0
+        for combo in itertools.product(*axis_runs):
+            prefix = self._tuple_prefix[tuple(run.level for run in combo)]
+            value = prefix[tuple(run.last + 1 for run in combo)]
+            for corner in range(1, 1 << self._dims):
+                index = tuple(
+                    run.first if (corner >> axis) & 1 else run.last + 1
+                    for axis, run in enumerate(combo)
+                )
+                if bin(corner).count("1") % 2:
+                    value = value - prefix[index]
+                else:
+                    value = value + prefix[index]
+            answer += value
+        return float(answer)
+
+    def _flat_range_boxes(
+        self, start: int, end: int, dims: int
+    ) -> List[List[Tuple[int, int]]]:
+        """Decompose a flat row-major range into axis-aligned boxes.
+
+        The d-dimensional generalisation of "partial first row, full middle
+        rows, partial last row": the leading coordinate splits the range
+        into a partial first slab, a partial last slab and full middle
+        slabs, with the partial slabs recursing into ``d - 1`` dimensions.
+        At most ``2d - 1`` boxes result.
+        """
+        if dims == 1:
+            return [[(start, end)]]
+        stride = self._side ** (dims - 1)
+        first, first_rem = divmod(start, stride)
+        last, last_rem = divmod(end, stride)
+        if first == last:
+            return [
+                [(first, first)] + tail
+                for tail in self._flat_range_boxes(first_rem, last_rem, dims - 1)
+            ]
+        boxes = [
+            [(first, first)] + tail
+            for tail in self._flat_range_boxes(first_rem, stride - 1, dims - 1)
+        ]
+        boxes += [
+            [(last, last)] + tail
+            for tail in self._flat_range_boxes(0, last_rem, dims - 1)
+        ]
+        if last > first + 1:
+            boxes.append(
+                [(first + 1, last - 1)] + [(0, self._side - 1)] * (dims - 1)
+            )
+        return boxes
+
+    def _answer_range(self, start: int, end: int) -> float:
+        """A flattened row-major range is a union of at most ``2d - 1``
+        axis-aligned boxes (partial first slab, full middle, partial last
+        slab, recursively per axis)."""
+        answer = 0.0
+        for box in self._flat_range_boxes(start, end, self._dims):
+            answer += self._sum_runs(decompose_box_to_runs(self._tree, box))
+        return answer
+
+    def estimate_heatmap(self) -> np.ndarray:
+        """Leaf-resolution estimate of the d-dimensional density
+        (a ``D x ... x D`` grid)."""
+        self._require_fitted()
+        leaves = self._estimates[(self._tree.height,) * self._dims]
+        return leaves[(slice(None, self._side),) * self._dims].copy()
+
+    def estimate_frequencies(self) -> np.ndarray:
+        """Flattened row-major leaf estimates (matches single-cell ranges)."""
+        return self.estimate_heatmap().reshape(-1)
+
+    def theoretical_variance_bound(self, per_axis_length: int) -> float:
+        """Box-variance bound from the product decomposition.
+
+        An ``r^d`` box decomposes into at most ``2(B - 1)`` runs per axis
+        level over ``alpha = min(h, ceil(log_B r) + 1)`` levels per axis,
+        so at most ``(2(B - 1) alpha)^d`` cells are summed; each cell
+        estimate carries variance ``h^d V_F`` because level-tuple sampling
+        dilutes the population across ``h^d`` tuples.  Section 6 only
+        sketches the multi-dimensional analysis; this is the 1-D eq. (1)
+        argument applied per axis.
+        """
+        self._require_fitted()
+        if (
+            not isinstance(per_axis_length, (int, np.integer))
+            or not 1 <= per_axis_length <= self._side
+        ):
+            raise InvalidQueryError("per_axis_length outside the domain")
+        from repro.analysis.variance import grid_nd_box_variance
+
+        return grid_nd_box_variance(
+            epsilon=self.epsilon,
+            n_users=int(self._n_users),
+            per_axis_length=int(per_axis_length),
+            domain_size=self._side,
+            branching=self.branching,
+            dims=self._dims,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(epsilon={self.epsilon:.4g}, "
+            f"domain_size={self._side}, dims={self._dims}, "
+            f"branching={self.branching}, fitted={self.is_fitted})"
+        )
+
+
+class HierarchicalGrid2D(HierarchicalGridND):
+    """LDP rectangle-query mechanism over a two-dimensional grid domain.
+
+    The ``d = 2`` specialization of :class:`HierarchicalGridND`: identical
+    protocol, answers, snapshot layout and random streams (the generic
+    machinery preserves the historical level-pair enumeration and noise
+    order exactly), plus the original rectangle-flavoured surface —
+    :meth:`answer_rectangle` / :meth:`answer_rectangles`,
+    :attr:`level_pairs` and friends — and the original persist identity
+    (``grid2d`` config kind, unchanged merge signature).
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        domain_size: int,
+        branching: int = 2,
+        oracle: str = "oue",
+        name: Optional[str] = None,
+        **oracle_kwargs,
+    ) -> None:
+        super().__init__(
+            epsilon,
+            domain_size,
+            dims=2,
+            branching=branching,
+            oracle=oracle,
+            name=name,
+            **oracle_kwargs,
+        )
+
+    # ------------------------------------------------------------------
+    # Historical 2-D surface
+    # ------------------------------------------------------------------
+    @property
+    def level_pairs(self) -> List[LevelPair]:
+        """The ``h^2`` level pairs ``(l_x, l_y)``, one resolution grid each."""
+        return self.level_tuples
+
+    @property
+    def pair_user_counts(self) -> Optional[np.ndarray]:
+        """Users that reported each level pair so far (``None`` unfitted)."""
+        return self.tuple_user_counts
+
+    def pair_estimates(self) -> Dict[LevelPair, np.ndarray]:
+        """Per-level-pair cell estimates as ``(n_x, n_y)`` grids."""
+        return self.tuple_estimates()
+
     def answer_rectangle(
         self, x_range: Tuple[int, int], y_range: Tuple[int, int]
     ) -> float:
@@ -428,130 +758,28 @@ class HierarchicalGrid2D(RangeQueryMechanism):
         self._require_fitted()
         x_runs = decompose_to_runs(self._tree, int(x_range[0]), int(x_range[1]))
         y_runs = decompose_to_runs(self._tree, int(y_range[0]), int(y_range[1]))
-        return self._sum_runs(x_runs, y_runs)
+        return self._sum_runs([x_runs, y_runs])
 
     def answer_rectangles(self, queries: np.ndarray) -> np.ndarray:
         """Vectorised :meth:`answer_rectangle` over ``(n, 4)`` rows
-        ``(x_start, x_end, y_start, y_end)``.
-
-        All queries are decomposed together per axis
-        (:func:`~repro.hierarchy.decomposition.batched_axis_runs`, the 2-D
-        sibling of the 1-D ``batched_range_sums`` walk); each level pair
-        then contributes through a handful of fancy-indexed inclusion–
-        exclusion gathers from its 2-D prefix-sum grid, so a workload of
-        ``n`` rectangles costs ``O(h^2)`` numpy passes over length-``n``
-        arrays instead of ``n`` Python-level run products.
-        """
-        self._require_fitted()
+        ``(x_start, x_end, y_start, y_end)`` — :meth:`answer_boxes` with the
+        historical argument validation."""
         queries = np.asarray(queries, dtype=np.int64)
         if queries.ndim != 2 or queries.shape[1] != 4:
             raise InvalidQueryError(
                 "rectangle queries must be an (n, 4) array of "
                 "(x_start, x_end, y_start, y_end) rows"
             )
-        if queries.shape[0] == 0:
-            return np.zeros(0, dtype=np.float64)
-        if (
-            queries.min() < 0
-            or queries[:, 1].max() >= self._side
-            or queries[:, 3].max() >= self._side
-            or np.any(queries[:, 0] > queries[:, 1])
-            or np.any(queries[:, 2] > queries[:, 3])
-        ):
-            # Fall back to the per-query path for its precise errors.
-            return np.array(
-                [
-                    self.answer_rectangle((int(x0), int(x1)), (int(y0), int(y1)))
-                    for x0, x1, y0, y1 in queries
-                ]
-            )
-        x_runs = batched_axis_runs(self._tree, queries[:, 0], queries[:, 1])
-        y_runs = batched_axis_runs(self._tree, queries[:, 2], queries[:, 3])
-        answers = np.zeros(queries.shape[0], dtype=np.float64)
-        for lx, ly in self._pairs:
-            prefix = self._pair_prefix[(lx, ly)]
-            for x_first, x_last in x_runs[lx]:
-                for y_first, y_last in y_runs[ly]:
-                    # Empty run slots (first == last) cancel to exactly 0.
-                    answers += (
-                        prefix[x_last, y_last]
-                        - prefix[x_first, y_last]
-                        - prefix[x_last, y_first]
-                        + prefix[x_first, y_first]
-                    )
-        return answers
+        return self.answer_boxes(queries)
 
-    def _sum_runs(self, x_runs: List[NodeRun], y_runs: List[NodeRun]) -> float:
-        answer = 0.0
-        for run_x in x_runs:
-            for run_y in y_runs:
-                prefix = self._pair_prefix[(run_x.level, run_y.level)]
-                answer += (
-                    prefix[run_x.last + 1, run_y.last + 1]
-                    - prefix[run_x.first, run_y.last + 1]
-                    - prefix[run_x.last + 1, run_y.first]
-                    + prefix[run_x.first, run_y.first]
-                )
-        return float(answer)
-
-    def _answer_range(self, start: int, end: int) -> float:
-        """A flattened row-major range is a union of at most 3 rectangles:
-        partial first row, full middle rows, partial last row."""
-        side = self._side
-        first_row, first_col = divmod(start, side)
-        last_row, last_col = divmod(end, side)
-        if first_row == last_row:
-            rectangles = [(first_row, first_row, first_col, last_col)]
-        else:
-            rectangles = [
-                (first_row, first_row, first_col, side - 1),
-                (last_row, last_row, 0, last_col),
-            ]
-            if last_row > first_row + 1:
-                rectangles.append((first_row + 1, last_row - 1, 0, side - 1))
-        answer = 0.0
-        for x0, x1, y0, y1 in rectangles:
-            answer += self._sum_runs(
-                decompose_to_runs(self._tree, x0, x1),
-                decompose_to_runs(self._tree, y0, y1),
-            )
-        return answer
-
-    def estimate_heatmap(self) -> np.ndarray:
-        """Leaf-resolution estimate of the 2-D density (``D x D`` grid)."""
-        self._require_fitted()
-        leaves = self._estimates[(self._tree.height, self._tree.height)]
-        return leaves[: self._side, : self._side].copy()
-
-    def estimate_frequencies(self) -> np.ndarray:
-        """Flattened row-major leaf estimates (matches single-cell ranges)."""
-        return self.estimate_heatmap().reshape(-1)
-
-    def theoretical_variance_bound(self, per_axis_length: int) -> float:
-        """Rectangle-variance bound from the product decomposition.
-
-        A ``r x r`` rectangle decomposes into at most ``2(B - 1)`` runs per
-        axis level over ``alpha = min(h, ceil(log_B r) + 1)`` levels per
-        axis, so at most ``(2(B - 1) alpha)^2`` cells are summed; each cell
-        estimate carries variance ``h^2 V_F`` because level-pair sampling
-        dilutes the population across ``h^2`` pairs.  Section 6 only
-        sketches the multi-dimensional analysis; this is the 1-D eq. (1)
-        argument applied per axis.
-        """
-        self._require_fitted()
-        if (
-            not isinstance(per_axis_length, (int, np.integer))
-            or not 1 <= per_axis_length <= self._side
-        ):
-            raise InvalidQueryError("per_axis_length outside the domain")
-        from repro.analysis.variance import grid2d_rectangle_variance
-
-        return grid2d_rectangle_variance(
-            epsilon=self.epsilon,
-            n_users=int(self._n_users),
-            per_axis_length=int(per_axis_length),
-            domain_size=self._side,
-            branching=self.branching,
+    def _merge_signature(self) -> tuple:
+        # Kept verbatim from before the ND refactor (no dims component) so
+        # pre-existing grid2d snapshots and checkpoints stay compatible.
+        return RangeQueryMechanism._merge_signature(self) + (
+            self._side,
+            self._oracle_name,
+            self.branching,
+            tuple(sorted(self._oracle_kwargs.items())),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

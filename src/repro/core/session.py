@@ -310,36 +310,42 @@ class LdpRangeQuerySession:
         }
 
 
-class Grid2DSession(LdpRangeQuerySession):
-    """Session over a two-dimensional grid population (Section 6).
+class GridNDSession(LdpRangeQuerySession):
+    """Session over a ``d``-dimensional grid population (Section 6).
 
-    Wraps a :class:`~repro.core.multidim.HierarchicalGrid2D` with the same
+    Wraps a :class:`~repro.core.multidim.HierarchicalGridND` with the same
     lifecycle as :class:`LdpRangeQuerySession` — one-shot, batched or async
     collection, snapshots, shard merging — but the collection surface takes
-    ``(n, 2)`` integer point arrays and the query surface answers axis-
-    aligned rectangles.  ``domain_size`` is the grid *side length* ``D``.
+    ``(n, d)`` integer point arrays and the query surface answers axis-
+    aligned boxes.  ``domain_size`` is the grid *side length* ``D``; pass
+    ``dims=`` (with a spec-string mechanism) to choose the dimensionality.
 
     The inherited item/range API remains available and operates on the
-    flattened row-major domain ``[0, D^2)`` (a point ``(x, y)`` is the item
-    ``x * D + y``), which is the representation the sharded and async
-    pipelines transport.
+    flattened row-major domain ``[0, D^d)`` (a point ``(x_1, ..., x_d)`` is
+    the item ``x_1 D^{d-1} + ... + x_d``), which is the representation the
+    sharded and async pipelines transport.
     """
 
     def __init__(
         self,
         epsilon: float,
         domain_size: int,
-        mechanism: "str | RangeQueryMechanism" = "grid2d",
+        mechanism: "str | RangeQueryMechanism" = "gridnd",
         **mechanism_kwargs,
     ) -> None:
         super().__init__(epsilon, domain_size, mechanism=mechanism, **mechanism_kwargs)
-        from repro.core.multidim import HierarchicalGrid2D
+        from repro.core.multidim import HierarchicalGridND
 
-        if not isinstance(self._mechanism, HierarchicalGrid2D):
+        if not isinstance(self._mechanism, HierarchicalGridND):
             raise ConfigurationError(
-                "Grid2DSession requires a HierarchicalGrid2D mechanism, got "
-                f"{type(self._mechanism).__name__}"
+                f"{type(self).__name__} requires a HierarchicalGridND mechanism, "
+                f"got {type(self._mechanism).__name__}"
             )
+
+    @property
+    def dims(self) -> int:
+        """Number of grid axes ``d``."""
+        return self._mechanism.dims
 
     # ------------------------------------------------------------------
     # Point collection
@@ -349,8 +355,9 @@ class Grid2DSession(LdpRangeQuerySession):
         points: np.ndarray,
         random_state: RandomState = None,
         mode: str = "aggregate",
-    ) -> "Grid2DSession":
-        """Collect one report from every user's ``(x, y)`` point (one-shot)."""
+    ) -> "GridNDSession":
+        """Collect one report from every user's d-dimensional point
+        (one-shot)."""
         self._mechanism.fit_points(points, random_state=random_state, mode=mode)
         return self
 
@@ -359,7 +366,7 @@ class Grid2DSession(LdpRangeQuerySession):
         points: np.ndarray,
         random_state: RandomState = None,
         mode: str = "aggregate",
-    ) -> "Grid2DSession":
+    ) -> "GridNDSession":
         """Collect one batch of points on top of everything collected so far."""
         self._mechanism.partial_fit_points(points, random_state=random_state, mode=mode)
         return self
@@ -368,8 +375,9 @@ class Grid2DSession(LdpRangeQuerySession):
         self,
         point_batches: Sequence[np.ndarray],
         **kwargs,
-    ) -> "Grid2DSession":
-        """Collect 2-D point batches through the async ingestion tier.
+    ) -> "GridNDSession":
+        """Collect d-dimensional point batches through the async ingestion
+        tier.
 
         Each batch is validated and flattened to row-major items, then fed
         through :meth:`LdpRangeQuerySession.collect_async` (same sharding,
@@ -378,6 +386,51 @@ class Grid2DSession(LdpRangeQuerySession):
         flattened = [self._mechanism.flatten_points(batch) for batch in point_batches]
         self.collect_async(flattened, **kwargs)
         return self
+
+    # ------------------------------------------------------------------
+    # Box analysis
+    # ------------------------------------------------------------------
+    def box_query(self, ranges: "Sequence[tuple[int, int]]") -> float:
+        """Estimated fraction of users inside an axis-aligned box (one
+        inclusive ``(start, end)`` pair per axis)."""
+        return self._mechanism.answer_box(ranges)
+
+    def box_queries(self, queries: np.ndarray) -> np.ndarray:
+        """Vectorised box queries over ``(n, 2d)`` rows of per-axis
+        ``(start, end)`` pairs."""
+        return self._mechanism.answer_boxes(queries)
+
+    def heatmap(self) -> np.ndarray:
+        """Leaf-resolution ``D x ... x D`` density estimate."""
+        return self._mechanism.estimate_heatmap()
+
+
+class Grid2DSession(GridNDSession):
+    """Session over a two-dimensional grid population — the rectangle-
+    flavoured ``d = 2`` specialization of :class:`GridNDSession`.
+
+    Wraps a :class:`~repro.core.multidim.HierarchicalGrid2D`; the inherited
+    item/range API operates on the flattened row-major domain ``[0, D^2)``
+    (a point ``(x, y)`` is the item ``x * D + y``).
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        domain_size: int,
+        mechanism: "str | RangeQueryMechanism" = "grid2d",
+        **mechanism_kwargs,
+    ) -> None:
+        LdpRangeQuerySession.__init__(
+            self, epsilon, domain_size, mechanism=mechanism, **mechanism_kwargs
+        )
+        from repro.core.multidim import HierarchicalGrid2D
+
+        if not isinstance(self._mechanism, HierarchicalGrid2D):
+            raise ConfigurationError(
+                "Grid2DSession requires a HierarchicalGrid2D mechanism, got "
+                f"{type(self._mechanism).__name__}"
+            )
 
     # ------------------------------------------------------------------
     # Rectangle analysis
@@ -392,7 +445,3 @@ class Grid2DSession(LdpRangeQuerySession):
         """Vectorised rectangle queries over ``(n, 4)`` rows
         ``(x_start, x_end, y_start, y_end)``."""
         return self._mechanism.answer_rectangles(queries)
-
-    def heatmap(self) -> np.ndarray:
-        """Leaf-resolution ``D x D`` density estimate."""
-        return self._mechanism.estimate_heatmap()

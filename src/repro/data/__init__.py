@@ -12,11 +12,14 @@ from repro.data.synthetic import (
     zipf_probabilities,
 )
 from repro.data.workloads import (
+    BoxWorkload,
     RangeWorkload,
     all_range_queries,
     evaluate_exact,
+    evaluate_exact_boxes,
     fixed_length_queries,
     prefix_queries,
+    random_boxes,
     random_range_queries,
     random_rectangles,
     sampled_range_queries,
@@ -32,12 +35,15 @@ __all__ = [
     "sample_items",
     "clustered_grid_points",
     "expected_counts",
+    "BoxWorkload",
     "RangeWorkload",
     "all_range_queries",
     "sampled_range_queries",
     "fixed_length_queries",
     "prefix_queries",
     "random_range_queries",
+    "random_boxes",
     "random_rectangles",
     "evaluate_exact",
+    "evaluate_exact_boxes",
 ]

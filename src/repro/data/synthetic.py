@@ -155,13 +155,17 @@ def clustered_grid_points(
     n_users: int,
     random_state: RandomState = None,
     hotspot_fraction: float = 0.7,
+    dims: int = 2,
 ) -> np.ndarray:
-    """Draw ``(x, y)`` points on a ``side x side`` grid with two hotspots.
+    """Draw points on a ``[side]^dims`` grid with two hotspots.
 
     ``hotspot_fraction`` of the population concentrates around two Gaussian
     clusters (the spatial analogue of the 1-D Cauchy workloads) and the rest
-    is uniform background.  Returns an ``(n_users, 2)`` ``int64`` array
-    inside ``[0, side)^2`` — the shape the 2-D mechanisms collect.
+    is uniform background; the cluster centres alternate low/high per axis
+    so they stay well separated in any dimensionality.  Returns an
+    ``(n_users, dims)`` ``int64`` array inside ``[0, side)^dims`` — the
+    shape the grid mechanisms collect.  ``dims=2`` draws the exact
+    historical random stream.
     """
     side = _check_domain(side)
     if n_users < 0:
@@ -170,21 +174,24 @@ def clustered_grid_points(
         raise ConfigurationError(
             f"hotspot_fraction must be in [0, 1], got {hotspot_fraction!r}"
         )
+    if not isinstance(dims, (int, np.integer)) or dims < 1:
+        raise ConfigurationError(f"dims must be a positive integer, got {dims!r}")
+    dims = int(dims)
     rng = as_generator(random_state)
     n_hot = int(round(n_users * hotspot_fraction))
     n_first = n_hot // 2
+    first_loc = tuple(side * (0.3 if axis % 2 == 0 else 0.7) for axis in range(dims))
+    second_loc = tuple(side * (0.75 if axis % 2 == 0 else 0.25) for axis in range(dims))
     clusters = [
+        rng.normal(loc=first_loc, scale=side * 0.08, size=(n_first, dims)),
         rng.normal(
-            loc=(side * 0.3, side * 0.7), scale=side * 0.08, size=(n_first, 2)
-        ),
-        rng.normal(
-            loc=(side * 0.75, side * 0.25),
+            loc=second_loc,
             scale=side * 0.05,
-            size=(n_hot - n_first, 2),
+            size=(n_hot - n_first, dims),
         ),
-        rng.uniform(0, side, size=(int(n_users) - n_hot, 2)),
+        rng.uniform(0, side, size=(int(n_users) - n_hot, dims)),
     ]
-    points = np.concatenate(clusters) if n_users else np.empty((0, 2))
+    points = np.concatenate(clusters) if n_users else np.empty((0, dims))
     return np.clip(np.floor(points), 0, side - 1).astype(np.int64)
 
 

@@ -25,14 +25,17 @@ from repro.exceptions import ConfigurationError, InvalidQueryError
 from repro.privacy.randomness import RandomState, as_generator
 
 __all__ = [
+    "BoxWorkload",
     "RangeWorkload",
     "all_range_queries",
     "sampled_range_queries",
     "fixed_length_queries",
     "prefix_queries",
     "random_range_queries",
+    "random_boxes",
     "random_rectangles",
     "evaluate_exact",
+    "evaluate_exact_boxes",
 ]
 
 
@@ -125,6 +128,139 @@ def evaluate_exact(counts: np.ndarray, queries: np.ndarray) -> np.ndarray:
     return sums / total
 
 
+@dataclass(frozen=True)
+class BoxWorkload:
+    """An immutable batch of axis-aligned box queries over a ``[D]^d`` grid.
+
+    The d-dimensional counterpart of :class:`RangeWorkload` and the planning
+    input of :func:`repro.planner.plan`: the per-axis side lengths of its
+    queries drive the closed-form variance bounds the planner ranks
+    candidate configurations by.
+
+    Attributes
+    ----------
+    domain_size:
+        Per-axis side length ``D`` of the grid the boxes are posed over.
+    dims:
+        Number of axes ``d``.
+    queries:
+        Integer array of shape ``(n, 2d)`` holding inclusive per-axis
+        ``(start, end)`` pairs in axis order —
+        ``(a_1, b_1, a_2, b_2, ..., a_d, b_d)``; for ``d = 2`` this is the
+        ``(x_start, x_end, y_start, y_end)`` layout of
+        :func:`random_rectangles` and
+        :meth:`~repro.core.multidim.HierarchicalGrid2D.answer_rectangles`.
+    name:
+        Human-readable label used by experiment and planner reports.
+    """
+
+    domain_size: int
+    dims: int
+    queries: np.ndarray
+    name: str = "boxes"
+
+    def __post_init__(self) -> None:
+        dims = int(self.dims)
+        if dims < 1:
+            raise ConfigurationError(f"dims must be a positive integer, got {self.dims!r}")
+        queries = np.asarray(self.queries)
+        if queries.size == 0:
+            queries = np.empty((0, 2 * dims), dtype=np.int64)
+        queries = queries.astype(np.int64)
+        if queries.ndim != 2 or queries.shape[1] != 2 * dims:
+            raise InvalidQueryError(
+                f"box queries must be an (n, {2 * dims}) array of per-axis "
+                "(start, end) pairs"
+            )
+        starts, ends = queries[:, 0::2], queries[:, 1::2]
+        if queries.size and (starts.min() < 0 or np.any(starts > ends)):
+            raise InvalidQueryError("every axis must satisfy 0 <= start <= end")
+        if queries.size and ends.max() >= self.domain_size:
+            raise InvalidQueryError("box queries exceed the domain")
+        object.__setattr__(self, "dims", dims)
+        object.__setattr__(self, "queries", queries)
+
+    def __len__(self) -> int:
+        return self.queries.shape[0]
+
+    @property
+    def axis_lengths(self) -> np.ndarray:
+        """Per-axis side lengths ``b_k - a_k + 1`` of every box, ``(n, d)``."""
+        if len(self) == 0:
+            return np.empty((0, self.dims), dtype=np.int64)
+        return self.queries[:, 1::2] - self.queries[:, 0::2] + 1
+
+    def true_answers(self, counts: np.ndarray) -> np.ndarray:
+        """Exact normalized box answers on a d-dimensional count grid."""
+        return evaluate_exact_boxes(counts, self.queries, dims=self.dims)
+
+    def subset(self, max_queries: int, random_state: RandomState = None) -> "BoxWorkload":
+        """Uniformly subsample at most ``max_queries`` boxes."""
+        if max_queries <= 0:
+            raise ConfigurationError(f"max_queries must be positive, got {max_queries!r}")
+        if len(self) <= max_queries:
+            return self
+        rng = as_generator(random_state)
+        chosen = rng.choice(len(self), size=max_queries, replace=False)
+        return BoxWorkload(
+            domain_size=self.domain_size,
+            dims=self.dims,
+            queries=self.queries[np.sort(chosen)],
+            name=f"{self.name}~{max_queries}",
+        )
+
+
+def evaluate_exact_boxes(
+    counts: np.ndarray, queries: np.ndarray, dims: Optional[int] = None
+) -> np.ndarray:
+    """Exact normalized box answers from a d-dimensional count grid.
+
+    ``counts`` is a ``D x ... x D`` array of per-cell counts; ``queries``
+    follows the ``(n, 2d)`` axis-blocked layout of :class:`BoxWorkload`.
+    Uses a d-dimensional prefix sum and one fancy-indexed gather per corner,
+    so a workload of ``n`` boxes costs ``O(D^d + 2^d n)``.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    if dims is None:
+        dims = counts.ndim
+    if counts.ndim != dims:
+        raise InvalidQueryError(
+            f"counts must be a {dims}-dimensional grid, got shape {counts.shape}"
+        )
+    queries = np.asarray(queries)
+    if queries.size == 0:
+        queries = np.empty((0, 2 * dims), dtype=np.int64)
+    queries = queries.astype(np.int64)
+    if queries.ndim != 2 or queries.shape[1] != 2 * dims:
+        raise InvalidQueryError(
+            f"box queries must be an (n, {2 * dims}) array of per-axis "
+            "(start, end) pairs"
+        )
+    starts, ends = queries[:, 0::2], queries[:, 1::2]
+    if queries.size and (starts.min() < 0 or np.any(starts > ends)):
+        raise InvalidQueryError("every axis must satisfy 0 <= start <= end")
+    for axis in range(dims):
+        if queries.size and ends[:, axis].max() >= counts.shape[axis]:
+            raise InvalidQueryError("box queries exceed the counts grid")
+    total = counts.sum()
+    if total <= 0:
+        return np.zeros(queries.shape[0])
+    prefix = np.zeros(tuple(n + 1 for n in counts.shape))
+    inner = counts
+    for axis in range(dims):
+        inner = np.cumsum(inner, axis=axis)
+    prefix[(slice(1, None),) * dims] = inner
+    sums = np.zeros(queries.shape[0], dtype=np.float64)
+    for corner in range(1 << dims):
+        index = tuple(
+            starts[:, axis] if (corner >> axis) & 1 else ends[:, axis] + 1
+            for axis in range(dims)
+        )
+        term = prefix[index]
+        sums += -term if bin(corner).count("1") % 2 else term
+    return sums / total
+
+
 def all_range_queries(domain_size: int, name: str = "all-ranges") -> RangeWorkload:
     """Every closed interval ``[a, b]`` with ``0 <= a <= b < D``.
 
@@ -206,24 +342,47 @@ def random_range_queries(
     )
 
 
-def random_rectangles(
+def random_boxes(
     side: int,
     count: int,
+    dims: int = 2,
     random_state: RandomState = None,
 ) -> np.ndarray:
-    """Uniformly random axis-aligned rectangles on a ``side x side`` grid.
+    """Uniformly random axis-aligned boxes on a ``[side]^dims`` grid.
 
-    Returns an ``(count, 4)`` ``int64`` array of
-    ``(x_start, x_end, y_start, y_end)`` rows (inclusive bounds, each axis's
-    endpoints drawn independently and sorted) — the query format of
-    :meth:`repro.core.multidim.HierarchicalGrid2D.answer_rectangles`.
+    Returns a ``(count, 2 * dims)`` ``int64`` array of per-axis inclusive
+    ``(start, end)`` pairs in axis order (each axis's endpoints drawn
+    independently and sorted) — the query format of
+    :meth:`repro.core.multidim.HierarchicalGridND.answer_boxes` and
+    :class:`BoxWorkload`.  Axes consume the random stream in order, so
+    ``dims=2`` reproduces the historical :func:`random_rectangles` draws
+    exactly.
     """
     side = int(side)
     if side < 1:
         raise ConfigurationError(f"side must be a positive integer, got {side!r}")
     if count < 0:
         raise ConfigurationError(f"count must be non-negative, got {count!r}")
+    if not isinstance(dims, (int, np.integer)) or dims < 1:
+        raise ConfigurationError(f"dims must be a positive integer, got {dims!r}")
     rng = as_generator(random_state)
-    x = np.sort(rng.integers(0, side, size=(int(count), 2)), axis=1)
-    y = np.sort(rng.integers(0, side, size=(int(count), 2)), axis=1)
-    return np.concatenate([x, y], axis=1)
+    axes = [
+        np.sort(rng.integers(0, side, size=(int(count), 2)), axis=1)
+        for _ in range(int(dims))
+    ]
+    return np.concatenate(axes, axis=1)
+
+
+def random_rectangles(
+    side: int,
+    count: int,
+    random_state: RandomState = None,
+) -> np.ndarray:
+    """Uniformly random axis-aligned rectangles on a ``side x side`` grid —
+    :func:`random_boxes` at ``dims=2`` (kept as the historical name).
+
+    Returns an ``(count, 4)`` ``int64`` array of
+    ``(x_start, x_end, y_start, y_end)`` rows, the query format of
+    :meth:`repro.core.multidim.HierarchicalGrid2D.answer_rectangles`.
+    """
+    return random_boxes(side, count, dims=2, random_state=random_state)

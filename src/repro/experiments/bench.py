@@ -105,6 +105,14 @@ SUITES: Dict[str, Dict[str, object]] = {
         grid2d_shards=4,
         grid2d_batches=8,
         grid2d_rectangles=2000,
+        gridnd_users=40_000,
+        gridnd_side=16,
+        gridnd_dims=3,
+        gridnd_branching=4,
+        gridnd_shards=3,
+        gridnd_batches=6,
+        gridnd_boxes=400,
+        planner_branchings=(2, 4, 16),
         stream_batch_users=6,
         stream_hh_domain=16384,
         stream_hh_branching=2,
@@ -146,6 +154,14 @@ SUITES: Dict[str, Dict[str, object]] = {
         grid2d_shards=8,
         grid2d_batches=16,
         grid2d_rectangles=5000,
+        gridnd_users=200_000,
+        gridnd_side=32,
+        gridnd_dims=3,
+        gridnd_branching=4,
+        gridnd_shards=8,
+        gridnd_batches=16,
+        gridnd_boxes=2000,
+        planner_branchings=(2, 4, 8, 16),
         stream_batch_users=8,
         stream_hh_domain=32768,
         stream_hh_branching=2,
@@ -585,6 +601,138 @@ def _bench_grid2d(params: dict) -> List[BenchRecord]:
     ]
 
 
+def _bench_gridnd(params: dict) -> List[BenchRecord]:
+    """d-dimensional grid throughput plus the two refactor contracts.
+
+    ``gridnd_fit_points`` times the d = 3 one-shot fit, then runs the full
+    end-to-end pipeline — shard ingest of d-column points, reduce, persist
+    round-trip, box queries — recording under ``extras`` that the restored
+    mechanism answers the box workload bit-for-bit, and that
+    ``HierarchicalGridND(dims=2)`` reproduces ``HierarchicalGrid2D``
+    rectangle answers bit-for-bit (the d = 2 specialization contract).
+
+    ``planner_pick_vs_worst`` plans the same box workload with
+    :func:`repro.planner.plan`, fits the best- and worst-ranked candidates
+    on the same population, and records both measured errors — the check
+    gate asserts the closed-form ranking picked a measurably better
+    configuration.
+    """
+    from repro.core.factory import mechanism_from_spec
+    from repro.core.multidim import HierarchicalGrid2D, HierarchicalGridND
+    from repro.data.synthetic import clustered_grid_points
+    from repro.data.workloads import BoxWorkload, evaluate_exact_boxes, random_boxes
+    from repro.persist import snapshots
+    from repro.planner import plan
+
+    n_users = int(params["gridnd_users"])
+    side = int(params["gridnd_side"])
+    dims = int(params["gridnd_dims"])
+    branching = int(params["gridnd_branching"])
+    n_shards = int(params["gridnd_shards"])
+    epsilon = float(params["epsilon"])
+    repeats = int(params["repeats"])
+    points = clustered_grid_points(side, n_users, random_state=21, dims=dims)
+    boxes = random_boxes(side, int(params["gridnd_boxes"]), dims=dims, random_state=22)
+
+    wall_fit = _best_wall(
+        lambda: HierarchicalGridND(
+            epsilon, side, dims=dims, branching=branching
+        ).fit_points(points, random_state=23),
+        repeats,
+    )
+
+    # End-to-end: d-column shard ingest -> reduce -> persist round-trip ->
+    # box workload, answered bit-identically by the restored mechanism.
+    collector = ShardedCollector(
+        f"grid{dims}d_{branching}",
+        epsilon=epsilon,
+        domain_size=side,
+        n_shards=n_shards,
+        random_state=24,
+    )
+    for batch in np.array_split(points, max(2, int(params["gridnd_batches"]))):
+        collector.submit_points(batch)
+    reduced = collector.reduce()
+    answers = reduced.answer_boxes(boxes)
+    restored = snapshots.from_bytes(snapshots.to_bytes(reduced))
+    restore_identical = bool(np.array_equal(answers, restored.answer_boxes(boxes)))
+
+    # d = 2 specialization contract: the generic machinery must reproduce
+    # the historical 2-D mechanism bit-for-bit on the same random streams.
+    side_2d = int(params["grid2d_side"])
+    points_2d = clustered_grid_points(side_2d, n_users, random_state=25)
+    rectangles = random_boxes(side_2d, int(params["gridnd_boxes"]), dims=2, random_state=26)
+    generic = HierarchicalGridND(
+        epsilon, side_2d, dims=2, branching=branching
+    ).fit_points(points_2d, random_state=27)
+    special = HierarchicalGrid2D(epsilon, side_2d, branching=branching).fit_points(
+        points_2d, random_state=27
+    )
+    d2_identical = bool(
+        np.array_equal(
+            generic.answer_boxes(rectangles), special.answer_rectangles(rectangles)
+        )
+    )
+
+    # Planner: rank by closed-form bound, then measure best vs worst on the
+    # same population and workload.
+    workload = BoxWorkload(side, dims, boxes, name="bench-boxes")
+    start = time.perf_counter()
+    chosen = plan(
+        workload,
+        n_users=n_users,
+        epsilon=epsilon,
+        branchings=tuple(params["planner_branchings"]),
+    )
+    wall_plan = time.perf_counter() - start
+    exact_counts = np.zeros((side,) * dims)
+    np.add.at(exact_counts, tuple(points.T), 1)
+    truth = evaluate_exact_boxes(exact_counts, boxes)
+
+    def measured_mse(spec: str) -> float:
+        mechanism = mechanism_from_spec(spec, epsilon=epsilon, domain_size=side)
+        mechanism.fit_points(points, random_state=28)
+        return float(np.mean((mechanism.answer_boxes(boxes) - truth) ** 2))
+
+    best_mse = measured_mse(chosen.best.spec)
+    worst_mse = measured_mse(chosen.worst.spec)
+
+    shared = {"side": side, "dims": dims, "branching": branching}
+    return [
+        BenchRecord(
+            name="gridnd_fit_points",
+            wall_seconds=wall_fit,
+            work_items=n_users,
+            unit="users/s",
+            rss_max_kb=_rss_max_kb(),
+            extras=dict(
+                shared,
+                shards=n_shards,
+                boxes=int(boxes.shape[0]),
+                restore_bit_identical=restore_identical,
+                d2_bit_identical=d2_identical,
+            ),
+        ),
+        BenchRecord(
+            name="planner_pick_vs_worst",
+            wall_seconds=wall_plan,
+            work_items=len(chosen.candidates),
+            unit="candidates/s",
+            rss_max_kb=_rss_max_kb(),
+            extras=dict(
+                shared,
+                best_spec=chosen.best.spec,
+                worst_spec=chosen.worst.spec,
+                best_predicted_variance=chosen.best.predicted_variance,
+                worst_predicted_variance=chosen.worst.predicted_variance,
+                best_measured_mse=best_mse,
+                worst_measured_mse=worst_mse,
+                planner_pick_beats_worst=bool(best_mse < worst_mse),
+            ),
+        ),
+    ]
+
+
 def _bench_stream_ingest(params: dict) -> List[BenchRecord]:
     """Small-batch streaming ingest: lazy materialization vs eager refresh.
 
@@ -992,6 +1140,7 @@ def run_suite(
     records.extend(_bench_shard_reduce(params))
     records.extend(_bench_consistency(params))
     records.extend(_bench_grid2d(params))
+    records.extend(_bench_gridnd(params))
     records.extend(_bench_stream_ingest(params))
     records.extend(_bench_http_ingest(params))
     records.extend(_bench_epsilon_grid(params, workers, transport))
@@ -1027,6 +1176,19 @@ def run_suite(
         "http_ingest_p50_ms": http_ingest.extras["latency_p50_ms"],
         "http_ingest_p99_ms": http_ingest.extras["latency_p99_ms"],
         "grid2d_restore_bit_identical": grid2d.extras["restore_bit_identical"],
+        "gridnd_restore_bit_identical": by_name["gridnd_fit_points"].extras[
+            "restore_bit_identical"
+        ],
+        # The refactor contract: the generic N-d machinery at d = 2 answers
+        # the same rectangle workload bit-for-bit as HierarchicalGrid2D.
+        "gridnd_d2_bit_identical": by_name["gridnd_fit_points"].extras[
+            "d2_bit_identical"
+        ],
+        # The planner contract: the closed-form ranking's pick measurably
+        # beats the worst-ranked candidate on the same population.
+        "planner_pick_beats_worst": by_name["planner_pick_vs_worst"].extras[
+            "planner_pick_beats_worst"
+        ],
         "hh_stream_ingest_speedup": hh_stream.extras["speedup_vs_eager"],
         "grid2d_stream_ingest_speedup": grid_stream.extras["speedup_vs_eager"],
         "lazy_vs_eager_bit_identical": bool(

@@ -11,7 +11,7 @@ length.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
@@ -24,6 +24,7 @@ __all__ = [
     "NodeRun",
     "batched_axis_runs",
     "batched_range_sums",
+    "decompose_box_to_runs",
     "decompose_to_runs",
     "runs_per_level",
 ]
@@ -90,6 +91,25 @@ def decompose_to_runs(tree: DomainTree, start: int, end: int) -> List[NodeRun]:
         else:
             runs.append(NodeRun(level=level, first=index, last=index))
     return runs
+
+
+def decompose_box_to_runs(
+    tree: DomainTree,
+    ranges: Sequence[Tuple[int, int]],
+) -> List[List[NodeRun]]:
+    """Per-axis run decompositions of an axis-aligned box query.
+
+    The product-decomposition step of the paper's Section 6 argument: a
+    ``d``-dimensional box splits into the Cartesian product of its per-axis
+    B-adic decompositions, so the box is covered by the run products
+    ``itertools.product(*result)`` and each product evaluates via
+    inclusion–exclusion over its ``2^d`` corners.  Every axis shares the
+    same *tree* geometry (square domains); bounds are inclusive
+    ``(start, end)`` pairs, validated per axis by :func:`decompose_to_runs`.
+    """
+    return [
+        decompose_to_runs(tree, int(start), int(end)) for start, end in ranges
+    ]
 
 
 def runs_per_level(runs: List[NodeRun]) -> Dict[int, List[NodeRun]]:

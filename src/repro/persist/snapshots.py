@@ -44,7 +44,7 @@ import numpy as np
 from repro.core.base import RangeQueryMechanism
 from repro.core.flat import FlatMechanism
 from repro.core.hierarchical import HierarchicalHistogramMechanism
-from repro.core.multidim import HierarchicalGrid2D
+from repro.core.multidim import HierarchicalGrid2D, HierarchicalGridND
 from repro.core.wavelet import HaarWaveletMechanism
 from repro.exceptions import ConfigurationError
 from repro.frequency_oracles.accumulators import OracleAccumulator
@@ -145,10 +145,23 @@ def mechanism_config(mechanism: RangeQueryMechanism) -> Dict[str, Any]:
             "name": mechanism._name,
         }
     if isinstance(mechanism, HierarchicalGrid2D):
+        # The d = 2 specialization keeps the historical "grid2d" kind (no
+        # dims field) so pre-refactor snapshots stay byte-compatible.
         return {
             "kind": "grid2d",
             "epsilon": float(mechanism.epsilon),
             "domain_size": int(mechanism.domain_size),  # grid side length
+            "branching": int(mechanism.branching),
+            "oracle": mechanism._oracle_name,
+            "oracle_kwargs": dict(mechanism._oracle_kwargs),
+            "name": mechanism._name,
+        }
+    if isinstance(mechanism, HierarchicalGridND):
+        return {
+            "kind": "gridnd",
+            "epsilon": float(mechanism.epsilon),
+            "domain_size": int(mechanism.domain_size),  # grid side length
+            "dims": int(mechanism.dims),
             "branching": int(mechanism.branching),
             "oracle": mechanism._oracle_name,
             "oracle_kwargs": dict(mechanism._oracle_kwargs),
@@ -197,6 +210,16 @@ def mechanism_from_config(config: Dict[str, Any]) -> RangeQueryMechanism:
             return HierarchicalGrid2D(
                 epsilon=config["epsilon"],
                 domain_size=config["domain_size"],
+                branching=config.get("branching", 2),
+                oracle=config.get("oracle", "oue"),
+                name=name,
+                **config.get("oracle_kwargs", {}),
+            )
+        if kind == "gridnd":
+            return HierarchicalGridND(
+                epsilon=config["epsilon"],
+                domain_size=config["domain_size"],
+                dims=config["dims"],
                 branching=config.get("branching", 2),
                 oracle=config.get("oracle", "oue"),
                 name=name,

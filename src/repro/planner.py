@@ -1,0 +1,333 @@
+"""Variance-driven query planner.
+
+The paper's Figure 4 fixes a workload and sweeps the branching factor
+offline to find the best tree shape; Section 6 adds that for higher
+dimensions the balance tips between hierarchical products and coarse
+grids.  This module turns both analyses into a runtime decision: given a
+workload (range lengths, dimensionality), a population size, a privacy
+budget and a domain shape, :func:`plan` evaluates the **closed-form
+variance bounds** of :mod:`repro.analysis.variance` across mechanism
+family x branching factor ``B`` x frequency oracle and returns a ranked
+:class:`Plan`.  Like bound-driven query optimisation in databases, plans
+are chosen from analytic cost bounds, not measurement — no data is
+collected to plan, so planning is free of privacy cost.
+
+Usage::
+
+    from repro.planner import plan
+    from repro.data.workloads import BoxWorkload, random_boxes
+
+    workload = BoxWorkload(32, 3, random_boxes(32, 200, dims=3, random_state=1))
+    chosen = plan(workload, n_users=200_000, epsilon=1.0)
+    mechanism = chosen.mechanism()          # best candidate, ready to fit
+    print(chosen.describe())                # full ranking with bounds
+
+The ``"auto"`` / ``"auto_3d"`` factory specs
+(:func:`repro.core.factory.mechanism_from_spec`) and ``python -m repro
+plan`` route here.
+
+Candidate spaces
+----------------
+* ``dims == 1``: the flat method, the Haar wavelet and hierarchical
+  histograms with and without consistency at every candidate ``B`` —
+  the full Section 4/5 design space.
+* ``dims >= 2``: the hierarchical grid at every candidate ``B`` (the
+  only family with a native box surface); the branching factor resolves
+  the Section 6 hierarchy-vs-coarse-grid trade-off, since large ``B``
+  *is* a coarse grid (``B = D`` collapses the tree to one level).
+
+The closed forms share the oracle-independent ``V_F`` (the paper's OUE /
+OLH / HRR bounds coincide asymptotically), so oracle choice breaks ties
+by enumeration order rather than by bound; candidates preserve it so a
+caller with measured per-oracle costs can re-rank.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.analysis.variance import (
+    flat_range_variance,
+    grid_nd_box_variance,
+    haar_range_variance,
+    hh_consistent_range_variance,
+    hh_range_variance,
+)
+from repro.data.workloads import BoxWorkload, RangeWorkload
+from repro.exceptions import ConfigurationError
+
+__all__ = ["Plan", "PlanCandidate", "plan"]
+
+#: Branching factors swept by default — bracketing the paper's continuous
+#: optima (~4.9 plain, ~9.2 with consistency) plus the binary baseline.
+DEFAULT_BRANCHINGS: Tuple[int, ...] = (2, 4, 5, 8, 16)
+
+
+@dataclass(frozen=True)
+class PlanCandidate:
+    """One evaluated configuration: a factory spec plus its variance bound.
+
+    ``spec`` feeds :func:`repro.core.factory.mechanism_from_spec` directly;
+    ``predicted_variance`` is the workload-averaged closed-form bound the
+    ranking sorts by (lower is better).
+    """
+
+    spec: str
+    family: str
+    dims: int
+    branching: Optional[int]
+    oracle: str
+    predicted_variance: float
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A ranked set of candidate configurations for one planning problem.
+
+    ``candidates`` is sorted by predicted variance, best first (ties break
+    by enumeration order, which lists simpler families and the ``"oue"``
+    oracle first).
+    """
+
+    n_users: int
+    epsilon: float
+    domain_size: int
+    dims: int
+    workload_name: str
+    candidates: Tuple[PlanCandidate, ...] = field(default_factory=tuple)
+
+    @property
+    def best(self) -> PlanCandidate:
+        return self.candidates[0]
+
+    @property
+    def worst(self) -> PlanCandidate:
+        return self.candidates[-1]
+
+    @property
+    def spec(self) -> str:
+        """Factory spec of the winning candidate."""
+        return self.best.spec
+
+    @property
+    def predicted_variance(self) -> float:
+        return self.best.predicted_variance
+
+    def mechanism(self, **kwargs):
+        """Instantiate the winning candidate (unfitted, ready to collect)."""
+        from repro.core.factory import mechanism_from_spec
+
+        return mechanism_from_spec(
+            self.spec, self.epsilon, self.domain_size, **kwargs
+        )
+
+    def describe(self) -> str:
+        """Human-readable ranking table (the ``python -m repro plan`` body)."""
+        lines = [
+            f"plan: domain {self.domain_size}"
+            + (f"^{self.dims}" if self.dims > 1 else "")
+            + f", n_users={self.n_users}, epsilon={self.epsilon:g}, "
+            f"workload={self.workload_name}",
+            f"{'rank':>4}  {'spec':<16} {'family':<10} {'B':>4}  predicted variance",
+        ]
+        for rank, candidate in enumerate(self.candidates, start=1):
+            branching = "-" if candidate.branching is None else str(candidate.branching)
+            lines.append(
+                f"{rank:>4}  {candidate.spec:<16} {candidate.family:<10} "
+                f"{branching:>4}  {candidate.predicted_variance:.6e}"
+            )
+        return "\n".join(lines)
+
+
+def _candidate_lengths(
+    workload: Optional[Union[BoxWorkload, RangeWorkload]],
+    domain_size: int,
+) -> np.ndarray:
+    """Per-query characteristic lengths the bounds are averaged over.
+
+    Boxes use their longest axis (the bounds cover ``r^d`` boxes, so the
+    longest side is the conservative ``r``); with no workload the planner
+    assumes the worst case — full-domain queries.
+    """
+    if workload is None:
+        return np.array([domain_size], dtype=np.int64)
+    if isinstance(workload, BoxWorkload):
+        lengths = np.max(workload.axis_lengths, axis=1)
+    elif isinstance(workload, RangeWorkload):
+        lengths = workload.lengths
+    else:
+        raise ConfigurationError(
+            f"workload must be a BoxWorkload or RangeWorkload, got "
+            f"{type(workload).__name__}"
+        )
+    if lengths.size == 0:
+        return np.array([domain_size], dtype=np.int64)
+    return lengths
+
+
+def _mean_bound(bound, lengths: np.ndarray) -> float:
+    """Average a per-length closed-form bound over the workload lengths.
+
+    Bounds depend on the length only through ``ceil(log_B r)``-style terms,
+    so evaluating unique lengths once keeps planning O(distinct lengths).
+    """
+    unique, counts = np.unique(lengths, return_counts=True)
+    values = np.array([bound(int(length)) for length in unique])
+    return float(np.average(values, weights=counts))
+
+
+def plan(
+    workload: Optional[Union[BoxWorkload, RangeWorkload]] = None,
+    n_users: int = 0,
+    epsilon: float = 1.0,
+    domain_size: Optional[int] = None,
+    dims: Optional[int] = None,
+    branchings: Sequence[int] = DEFAULT_BRANCHINGS,
+    oracles: Sequence[str] = ("oue",),
+) -> Plan:
+    """Rank mechanism configurations by closed-form variance bound.
+
+    Parameters
+    ----------
+    workload:
+        The queries to plan for — a :class:`~repro.data.workloads.BoxWorkload`
+        (d-dimensional) or :class:`~repro.data.workloads.RangeWorkload`
+        (1-D).  ``None`` plans for the worst case (full-domain queries).
+    n_users:
+        Expected population size ``N`` (the bounds scale as ``1/N``; the
+        ranking is invariant to it but the absolute bounds are not).
+    epsilon:
+        Per-user privacy budget.
+    domain_size, dims:
+        Domain shape; inferred from ``workload`` when given (and checked
+        for consistency when both are supplied).
+    branchings:
+        Branching factors to sweep (default brackets the paper's optima).
+    oracles:
+        Frequency oracles to enumerate (the closed forms share ``V_F``,
+        so extra oracles add tie-broken-by-order candidates).
+
+    Returns
+    -------
+    Plan
+        All evaluated candidates, best (lowest bound) first.
+    """
+    if workload is not None:
+        if not isinstance(workload, (BoxWorkload, RangeWorkload)):
+            raise ConfigurationError(
+                f"workload must be a BoxWorkload or RangeWorkload, got "
+                f"{type(workload).__name__}"
+            )
+        workload_dims = workload.dims if isinstance(workload, BoxWorkload) else 1
+        if dims is not None and int(dims) != workload_dims:
+            raise ConfigurationError(
+                f"dims={dims!r} conflicts with the workload's {workload_dims} axes"
+            )
+        dims = workload_dims
+        if domain_size is not None and int(domain_size) != workload.domain_size:
+            raise ConfigurationError(
+                f"domain_size={domain_size!r} conflicts with the workload's "
+                f"domain of {workload.domain_size}"
+            )
+        domain_size = workload.domain_size
+    if domain_size is None:
+        raise ConfigurationError("plan() needs a workload or an explicit domain_size")
+    dims = 1 if dims is None else int(dims)
+    domain_size = int(domain_size)
+    if dims < 1:
+        raise ConfigurationError(f"dims must be a positive integer, got {dims!r}")
+    if not isinstance(n_users, (int, np.integer)) or n_users < 1:
+        raise ConfigurationError(
+            f"n_users must be a positive integer, got {n_users!r}"
+        )
+    n_users = int(n_users)
+    branchings = tuple(dict.fromkeys(int(b) for b in branchings))
+    if not branchings or any(b < 2 for b in branchings):
+        raise ConfigurationError(
+            f"branchings must be integers >= 2, got {branchings!r}"
+        )
+    oracles = tuple(dict.fromkeys(str(o).lower() for o in oracles)) or ("oue",)
+    lengths = _candidate_lengths(workload, domain_size)
+    workload_name = "worst-case" if workload is None else workload.name
+
+    candidates = []
+
+    def add(spec: str, family: str, branching: Optional[int], oracle: str, bound) -> None:
+        candidates.append(
+            PlanCandidate(
+                spec=spec,
+                family=family,
+                dims=dims,
+                branching=branching,
+                oracle=oracle,
+                predicted_variance=_mean_bound(bound, lengths),
+            )
+        )
+
+    if dims == 1:
+        for oracle in oracles:
+            suffix = "" if oracle == "oue" else f"_{oracle}"
+            add(
+                f"flat{suffix}",
+                "flat",
+                None,
+                oracle,
+                lambda r: flat_range_variance(epsilon, n_users, r, domain_size),
+            )
+            if oracle == "oue":
+                # The Haar mechanism has a fixed HRR-based oracle.
+                add(
+                    "haar",
+                    "haar",
+                    None,
+                    "hrr",
+                    lambda r: haar_range_variance(epsilon, n_users, domain_size),
+                )
+            for branching in branchings:
+                add(
+                    f"hh_{branching}{suffix}",
+                    "hh",
+                    branching,
+                    oracle,
+                    lambda r, b=branching: hh_range_variance(
+                        epsilon, n_users, r, domain_size, b
+                    ),
+                )
+                add(
+                    f"hhc_{branching}{suffix}",
+                    "hhc",
+                    branching,
+                    oracle,
+                    lambda r, b=branching: hh_consistent_range_variance(
+                        epsilon, n_users, r, domain_size, b
+                    ),
+                )
+    else:
+        for oracle in oracles:
+            suffix = "" if oracle == "oue" else f"_{oracle}"
+            for branching in branchings:
+                add(
+                    f"grid{dims}d_{branching}{suffix}",
+                    "gridnd",
+                    branching,
+                    oracle,
+                    lambda r, b=branching: grid_nd_box_variance(
+                        epsilon, n_users, r, domain_size, b, dims=dims
+                    ),
+                )
+
+    ranked = tuple(
+        sorted(candidates, key=lambda candidate: candidate.predicted_variance)
+    )
+    return Plan(
+        n_users=n_users,
+        epsilon=float(epsilon),
+        domain_size=domain_size,
+        dims=dims,
+        workload_name=workload_name,
+        candidates=ranked,
+    )

@@ -142,7 +142,9 @@ class ServiceClient:
         mode: Optional[str] = None,
         key: Union[None, int, str] = None,
     ) -> ServiceResponse:
-        """``POST /v1/points`` — 2-D ``(x, y)`` rows for grid mechanisms."""
+        """``POST /v1/points`` — ``(n, d)`` coordinate rows for grid
+        mechanisms (``d = 2`` for ``grid2d``, the mechanism's ``dims``
+        otherwise)."""
         payload: Dict[str, Any] = {"points": np.asarray(points).tolist()}
         if mode is not None:
             payload["mode"] = mode

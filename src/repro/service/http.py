@@ -420,7 +420,7 @@ class ReproHttpServer:
                 if flatten is None:
                     return _HttpResponse.error(
                         400,
-                        "the served mechanism has no 2-D point surface; "
+                        "the served mechanism has no grid point surface; "
                         "POST flattened items to /v1/batches instead",
                     )
                 batch = flatten(batch)

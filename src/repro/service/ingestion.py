@@ -507,18 +507,19 @@ class IngestionService:
         mode: Optional[str] = None,
         key: RoutingKey = None,
     ) -> int:
-        """Route one batch of 2-D ``(x, y)`` points and enqueue it.
+        """Route one batch of ``(n, d)`` coordinate points and enqueue it.
 
         The async counterpart of
         :meth:`~repro.streaming.ShardedCollector.submit_points`: points are
-        validated and flattened by the collector's 2-D mechanism *before*
-        any routing decision is consumed, then follow the normal
-        :meth:`submit` path (backpressure included).
+        validated (column count against the grid mechanism's
+        dimensionality, integer dtype, bounds) and flattened *before* any
+        routing decision is consumed, then follow the normal :meth:`submit`
+        path (backpressure included).
         """
         flatten = getattr(self._collector.shards[0], "flatten_points", None)
         if flatten is None:
             raise ConfigurationError(
-                "the collector's mechanism has no 2-D point surface; "
+                "the collector's mechanism has no grid point surface; "
                 "submit flattened items with submit() instead"
             )
         return await self.submit(flatten(points), mode=mode, key=key)

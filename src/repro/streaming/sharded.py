@@ -330,17 +330,18 @@ class ShardedCollector:
         mode: Optional[str] = None,
         key: RoutingKey = None,
     ) -> int:
-        """Route one batch of 2-D ``(x, y)`` points to a shard.
+        """Route one batch of ``(n, d)`` coordinate points to a shard.
 
-        Only available when the collector's mechanism is two-dimensional
-        (e.g. a ``grid2d`` spec): the points are validated — float
+        Only available when the collector's mechanism has a grid surface
+        (e.g. a ``grid2d`` or ``grid3d_4`` spec): the points are validated —
+        column count against the mechanism's dimensionality, float
         coordinates rejected, bounds checked — and flattened to row-major
         items by the mechanism itself, then submitted like any other batch.
         """
         flatten = getattr(self._shards[0], "flatten_points", None)
         if flatten is None:
             raise ConfigurationError(
-                f"mechanism {self._spec!r} has no 2-D point surface; "
+                f"mechanism {self._spec!r} has no grid point surface; "
                 "submit flattened items with submit() instead"
             )
         return self.submit(flatten(points), shard=shard, mode=mode, key=key)

@@ -52,6 +52,14 @@ TINY = dict(
     kernel_runs_queries=40,
     kernel_runs_branching=2,
     kernel_runs_height=6,
+    gridnd_users=10_000,
+    gridnd_side=16,
+    gridnd_dims=3,
+    gridnd_branching=4,
+    gridnd_shards=2,
+    gridnd_batches=3,
+    gridnd_boxes=120,
+    planner_branchings=(2, 4, 16),
 )
 
 EXPECTED_BENCHMARKS = {
@@ -76,6 +84,8 @@ EXPECTED_BENCHMARKS = {
     "kernel_olh_decode",
     "kernel_badic_axis_runs",
     "transport_grid_shm",
+    "gridnd_fit_points",
+    "planner_pick_vs_worst",
 }
 
 
@@ -123,6 +133,9 @@ class TestRunSuite:
         assert checks["kernel_badic_runs_speedup"] > 0
         assert checks["transport_bit_identical"] is True
         assert checks["shm_transport_speedup"] > 0
+        assert checks["gridnd_restore_bit_identical"] is True
+        assert checks["gridnd_d2_bit_identical"] is True
+        assert checks["planner_pick_beats_worst"] is True
 
     def test_environment_metadata(self, payload):
         environment = payload["environment"]

@@ -106,3 +106,34 @@ class TestExpectedCounts:
         probabilities = cauchy_probabilities(64)
         counts = expected_counts(probabilities, 100_000)
         np.testing.assert_allclose(counts, probabilities * 100_000, atol=1.0)
+
+
+class TestClusteredGridPointsND:
+    def test_shapes_and_bounds(self):
+        from repro.data.synthetic import clustered_grid_points
+
+        points = clustered_grid_points(16, 5000, random_state=91, dims=3)
+        assert points.shape == (5000, 3)
+        assert points.dtype.kind == "i"
+        assert points.min() >= 0 and points.max() < 16
+
+    def test_default_dims_is_two(self):
+        from repro.data.synthetic import clustered_grid_points
+
+        np.testing.assert_array_equal(
+            clustered_grid_points(16, 500, random_state=92),
+            clustered_grid_points(16, 500, random_state=92, dims=2),
+        )
+
+    def test_clusters_occupy_opposite_corners(self):
+        from repro.data.synthetic import clustered_grid_points
+
+        points = clustered_grid_points(64, 20_000, random_state=93, dims=3)
+        # Axis 0 centres sit at 0.3 and 0.75 of the side; the overall mean
+        # lands between them, far from uniform-over-two-tight-clusters only
+        # if the clusters actually separated.
+        first = points[points[:, 0] < 32]
+        second = points[points[:, 0] >= 32]
+        assert len(first) > 2000 and len(second) > 2000
+        assert abs(first[:, 1].mean() - 0.7 * 64) < 6
+        assert abs(second[:, 1].mean() - 0.25 * 64) < 6

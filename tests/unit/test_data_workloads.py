@@ -109,3 +109,74 @@ class TestGenerators:
     def test_random_range_queries_validation(self):
         with pytest.raises(ConfigurationError):
             random_range_queries(10, -1)
+
+
+class TestBoxWorkload:
+    def test_basic_properties(self):
+        from repro.data.workloads import BoxWorkload
+
+        queries = np.array([[0, 3, 1, 2, 0, 0], [2, 2, 0, 7, 3, 5]])
+        workload = BoxWorkload(domain_size=8, dims=3, queries=queries, name="w")
+        assert len(workload) == 2
+        np.testing.assert_array_equal(
+            workload.axis_lengths, [[4, 2, 1], [1, 8, 3]]
+        )
+
+    def test_rejects_invalid_boxes(self):
+        from repro.data.workloads import BoxWorkload
+
+        with pytest.raises(InvalidQueryError):
+            BoxWorkload(8, 2, np.array([[3, 1, 0, 0]]))  # start > end
+        with pytest.raises(InvalidQueryError):
+            BoxWorkload(8, 2, np.array([[0, 8, 0, 0]]))  # exceeds domain
+        with pytest.raises(InvalidQueryError):
+            BoxWorkload(8, 3, np.array([[0, 1, 0, 1]]))  # wrong column count
+
+    def test_true_answers_match_direct_count(self):
+        from repro.data.workloads import BoxWorkload, random_boxes
+
+        rng = np.random.default_rng(9)
+        points = rng.integers(0, 8, size=(5000, 3))
+        counts = np.zeros((8, 8, 8))
+        np.add.at(counts, tuple(points.T), 1)
+        boxes = random_boxes(8, 25, dims=3, random_state=10)
+        workload = BoxWorkload(8, 3, boxes)
+
+        inside = np.ones(len(points), dtype=bool)[:, None]
+        for axis in range(3):
+            inside = inside & (
+                (points[:, axis][:, None] >= boxes[:, 2 * axis])
+                & (points[:, axis][:, None] <= boxes[:, 2 * axis + 1])
+            )
+        np.testing.assert_allclose(
+            workload.true_answers(counts), inside.mean(axis=0)
+        )
+
+    def test_subset_respects_limit(self):
+        from repro.data.workloads import BoxWorkload, random_boxes
+
+        workload = BoxWorkload(16, 2, random_boxes(16, 50, random_state=11))
+        subset = workload.subset(10, random_state=12)
+        assert len(subset) == 10
+        assert subset.dims == 2
+
+
+class TestRandomBoxes:
+    def test_shape_and_ordering(self):
+        from repro.data.workloads import random_boxes
+
+        boxes = random_boxes(32, 40, dims=4, random_state=13)
+        assert boxes.shape == (40, 8)
+        for axis in range(4):
+            assert np.all(boxes[:, 2 * axis] <= boxes[:, 2 * axis + 1])
+        assert boxes.min() >= 0 and boxes.max() < 32
+
+    def test_random_rectangles_is_the_2d_alias(self):
+        """Bit-for-bit RNG compatibility: the legacy name draws the same
+        rectangles as random_boxes(dims=2) from the same seed."""
+        from repro.data.workloads import random_boxes, random_rectangles
+
+        np.testing.assert_array_equal(
+            random_rectangles(32, 25, random_state=14),
+            random_boxes(32, 25, dims=2, random_state=14),
+        )

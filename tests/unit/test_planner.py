@@ -1,0 +1,221 @@
+"""Unit tests for repro.planner."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.variance import (
+    flat_range_variance,
+    grid_nd_box_variance,
+    haar_range_variance,
+    hh_consistent_range_variance,
+    hh_range_variance,
+)
+from repro.core.factory import mechanism_from_spec
+from repro.core.multidim import HierarchicalGrid2D, HierarchicalGridND
+from repro.data.workloads import (
+    BoxWorkload,
+    RangeWorkload,
+    random_boxes,
+    random_range_queries,
+)
+from repro.exceptions import ConfigurationError
+from repro.planner import DEFAULT_BRANCHINGS, Plan, PlanCandidate, plan
+
+
+EPSILON = 1.1
+N_USERS = 50_000
+
+
+@pytest.fixture(scope="module")
+def box_workload():
+    return BoxWorkload(32, 3, random_boxes(32, 40, dims=3, random_state=5))
+
+
+@pytest.fixture(scope="module")
+def range_workload():
+    return random_range_queries(1024, 30, random_state=6)
+
+
+class TestRanking:
+    def test_candidates_sorted_ascending(self, box_workload):
+        chosen = plan(box_workload, n_users=N_USERS, epsilon=EPSILON)
+        bounds = [c.predicted_variance for c in chosen.candidates]
+        assert bounds == sorted(bounds)
+        assert chosen.best is chosen.candidates[0]
+        assert chosen.worst is chosen.candidates[-1]
+        assert chosen.spec == chosen.best.spec
+        assert chosen.predicted_variance == chosen.best.predicted_variance
+
+    def test_pick_minimizes_independently_recomputed_bounds(self, box_workload):
+        """The winner's bound equals the minimum over the candidate set when
+        every bound is recomputed from the closed forms directly."""
+        chosen = plan(box_workload, n_users=N_USERS, epsilon=EPSILON)
+        lengths = np.max(box_workload.axis_lengths, axis=1)
+
+        def bound_for(branching):
+            values = [
+                grid_nd_box_variance(
+                    EPSILON, N_USERS, int(r), 32, branching, dims=3
+                )
+                for r in lengths
+            ]
+            return float(np.mean(values))
+
+        recomputed = {b: bound_for(b) for b in DEFAULT_BRANCHINGS}
+        assert chosen.best.predicted_variance == pytest.approx(
+            min(recomputed.values())
+        )
+        assert recomputed[chosen.best.branching] == pytest.approx(
+            min(recomputed.values())
+        )
+        for candidate in chosen.candidates:
+            assert candidate.predicted_variance == pytest.approx(
+                recomputed[candidate.branching]
+            )
+
+    def test_one_dimensional_pick_minimizes_bounds(self, range_workload):
+        chosen = plan(range_workload, n_users=N_USERS, epsilon=EPSILON)
+        lengths = range_workload.lengths
+
+        def mean(bound):
+            return float(np.mean([bound(int(r)) for r in lengths]))
+
+        recomputed = {
+            "flat": mean(
+                lambda r: flat_range_variance(EPSILON, N_USERS, r, 1024)
+            ),
+            "haar": mean(
+                lambda r: haar_range_variance(EPSILON, N_USERS, 1024)
+            ),
+        }
+        for b in DEFAULT_BRANCHINGS:
+            recomputed[f"hh_{b}"] = mean(
+                lambda r: hh_range_variance(EPSILON, N_USERS, r, 1024, b)
+            )
+            recomputed[f"hhc_{b}"] = mean(
+                lambda r: hh_consistent_range_variance(EPSILON, N_USERS, r, 1024, b)
+            )
+        assert chosen.best.predicted_variance == pytest.approx(
+            min(recomputed.values())
+        )
+        assert recomputed[chosen.best.spec] == pytest.approx(
+            min(recomputed.values())
+        )
+
+    def test_stable_tie_break_by_enumeration_order(self):
+        """Extra oracles share V_F, so same-family-same-B candidates tie and
+        keep enumeration order (oue listed before the extras)."""
+        chosen = plan(
+            n_users=N_USERS,
+            epsilon=EPSILON,
+            domain_size=16,
+            dims=2,
+            branchings=(4,),
+            oracles=("oue", "hrr"),
+        )
+        assert [c.spec for c in chosen.candidates] == ["grid2d_4", "grid2d_4_hrr"]
+        assert (
+            chosen.candidates[0].predicted_variance
+            == chosen.candidates[1].predicted_variance
+        )
+
+
+class TestCandidateSpaces:
+    def test_multidim_candidates_are_grids_only(self, box_workload):
+        chosen = plan(box_workload, n_users=N_USERS, epsilon=EPSILON)
+        assert {c.family for c in chosen.candidates} == {"gridnd"}
+        assert {c.branching for c in chosen.candidates} == set(DEFAULT_BRANCHINGS)
+        assert all(c.spec.startswith("grid3d_") for c in chosen.candidates)
+        assert all(c.dims == 3 for c in chosen.candidates)
+
+    def test_one_dimensional_candidate_space(self, range_workload):
+        chosen = plan(range_workload, n_users=N_USERS, epsilon=EPSILON)
+        families = sorted({c.family for c in chosen.candidates})
+        assert families == ["flat", "haar", "hh", "hhc"]
+        hh_specs = {c.spec for c in chosen.candidates if c.family == "hh"}
+        assert hh_specs == {f"hh_{b}" for b in DEFAULT_BRANCHINGS}
+
+    def test_worst_case_plans_for_full_domain(self):
+        """With no workload the bounds are evaluated at r = domain_size."""
+        chosen = plan(n_users=N_USERS, epsilon=EPSILON, domain_size=64, dims=2)
+        for candidate in chosen.candidates:
+            assert candidate.predicted_variance == pytest.approx(
+                grid_nd_box_variance(
+                    EPSILON, N_USERS, 64, 64, candidate.branching, dims=2
+                )
+            )
+        assert chosen.workload_name == "worst-case"
+
+
+class TestPlanObject:
+    def test_mechanism_instantiates_winning_spec(self, box_workload):
+        chosen = plan(box_workload, n_users=N_USERS, epsilon=EPSILON)
+        mechanism = chosen.mechanism()
+        assert isinstance(mechanism, HierarchicalGridND)
+        assert mechanism.dims == 3
+        assert mechanism.branching == chosen.best.branching
+        assert mechanism.epsilon == EPSILON
+
+    def test_describe_lists_every_candidate(self, box_workload):
+        chosen = plan(box_workload, n_users=N_USERS, epsilon=EPSILON)
+        text = chosen.describe()
+        for candidate in chosen.candidates:
+            assert candidate.spec in text
+        assert "predicted variance" in text
+
+    def test_plan_is_frozen(self, box_workload):
+        chosen = plan(box_workload, n_users=N_USERS, epsilon=EPSILON)
+        with pytest.raises(AttributeError):
+            chosen.n_users = 1
+        assert isinstance(chosen, Plan)
+        assert isinstance(chosen.best, PlanCandidate)
+
+
+class TestAutoSpec:
+    def test_auto_resolves_through_the_planner(self, range_workload):
+        chosen = plan(range_workload, n_users=N_USERS, epsilon=EPSILON)
+        mechanism = mechanism_from_spec(
+            "auto", EPSILON, 1024, n_users=N_USERS, workload=range_workload
+        )
+        assert type(mechanism).__name__ == type(chosen.mechanism()).__name__
+
+    def test_auto_multidim_resolves_to_grid(self):
+        mechanism = mechanism_from_spec("auto_2d", EPSILON, 16, n_users=N_USERS)
+        assert isinstance(mechanism, HierarchicalGrid2D)
+
+    def test_auto_requires_population_size(self):
+        with pytest.raises(ConfigurationError, match="n_users"):
+            mechanism_from_spec("auto", EPSILON, 1024)
+
+
+class TestValidation:
+    def test_needs_workload_or_domain(self):
+        with pytest.raises(ConfigurationError):
+            plan(n_users=N_USERS, epsilon=EPSILON)
+
+    @pytest.mark.parametrize("bad_users", [0, -5, 2.5, "many"])
+    def test_rejects_bad_population(self, bad_users):
+        with pytest.raises(ConfigurationError):
+            plan(n_users=bad_users, epsilon=EPSILON, domain_size=64)
+
+    @pytest.mark.parametrize("bad_branchings", [(), (1,), (2, 1)])
+    def test_rejects_bad_branchings(self, bad_branchings):
+        with pytest.raises(ConfigurationError):
+            plan(
+                n_users=N_USERS,
+                epsilon=EPSILON,
+                domain_size=64,
+                branchings=bad_branchings,
+            )
+
+    def test_rejects_dims_conflicting_with_workload(self, box_workload):
+        with pytest.raises(ConfigurationError, match="dims"):
+            plan(box_workload, n_users=N_USERS, epsilon=EPSILON, dims=2)
+
+    def test_rejects_domain_conflicting_with_workload(self, box_workload):
+        with pytest.raises(ConfigurationError, match="domain_size"):
+            plan(box_workload, n_users=N_USERS, epsilon=EPSILON, domain_size=64)
+
+    def test_rejects_foreign_workload_type(self):
+        with pytest.raises(ConfigurationError, match="workload"):
+            plan(object(), n_users=N_USERS, epsilon=EPSILON)
