@@ -633,6 +633,17 @@ def _run_grid2d_recovery(config, args, spec, side, batches) -> str:
     )
 
 
+def _format_check(value) -> str:
+    """Render a bench check value for the per-check delta table."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
 def _run_bench(config: ExperimentConfig, args: argparse.Namespace):
     """Run a benchmark suite, persist BENCH_<suite>.json and (optionally)
     diff the records against a stored baseline, failing on regressions."""
@@ -678,6 +689,13 @@ def _run_bench(config: ExperimentConfig, args: argparse.Namespace):
         f"parallel grid bit-identical to serial:     {checks['parallel_grid_bit_identical']}",
         f"http ingest latency p50/p99:               "
         f"{checks['http_ingest_p50_ms']:.2f}/{checks['http_ingest_p99_ms']:.2f} ms",
+        f"http query latency p50/p99:                "
+        f"{checks['query_p50_ms']:.2f}/{checks['query_p99_ms']:.2f} ms",
+        f"answer-cache speedup (repeated workload):  {checks['query_cache_speedup']:.2f}x",
+        f"answer-cache hit ratio (served reads):     {checks['query_cache_hit_ratio']:.2f}",
+        f"binary wire speedup vs JSON:               {checks['binary_wire_speedup']:.2f}x",
+        f"cached answers bit-identical:              {checks['cache_bit_identical']}",
+        f"coalesced answers bit-identical:           {checks['coalesce_bit_identical']}",
         f"autoscaled reduce bit-identical to static: {checks['autoscale_bit_identical']}",
         f"grid2d restore bit-identical:              {checks['grid2d_restore_bit_identical']}",
         f"gridnd restore bit-identical:              {checks['gridnd_restore_bit_identical']}",
@@ -723,6 +741,24 @@ def _run_bench(config: ExperimentConfig, args: argparse.Namespace):
             ["benchmark", "baseline thr", "current thr", "ratio", "status"], diff_rows
         ),
     ]
+    check_rows = [
+        [
+            row["name"],
+            _format_check(row["baseline"]),
+            _format_check(row["current"]),
+            f"{row['delta']:+.3f}" if row["delta"] is not None else "-",
+            row["status"],
+        ]
+        for row in diff.get("check_rows", [])
+    ]
+    if check_rows:
+        lines += [
+            "",
+            "Per-check deltas vs baseline (informational; gating is per-record):",
+            format_table(
+                ["check", "baseline", "current", "delta", "status"], check_rows
+            ),
+        ]
     if diff["missing"]:
         lines.append(f"baseline-only records (not run): {', '.join(diff['missing'])}")
     if diff["regressions"]:
@@ -823,8 +859,9 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro serve",
         description=(
-            "Run the HTTP ingestion front in the foreground: POST /v1/batches "
-            "and /v1/points feed a sharded LDP collector, GET /metrics serves "
+            "Run the HTTP service front in the foreground: POST /v1/batches "
+            "and /v1/points feed a sharded LDP collector, POST /v1/query and "
+            "/v1/quantiles answer over the live state, GET /metrics serves "
             "Prometheus text, and --autoscale lets the shard set follow the "
             "load without changing the estimates."
         ),
@@ -885,6 +922,20 @@ def build_serve_parser() -> argparse.ArgumentParser:
         default=16,
         help="accepted batches between autoscale checks",
     )
+    parser.add_argument(
+        "--readonly",
+        action="store_true",
+        help=(
+            "serve a read-only replica: POST /v1/batches and /v1/points "
+            "answer 405, while the query endpoints stay live"
+        ),
+    )
+    parser.add_argument(
+        "--query-cache-size",
+        type=int,
+        default=None,
+        help="answer-cache capacity of the query view (0 disables caching)",
+    )
     return parser
 
 
@@ -923,6 +974,9 @@ def _serve_main(argv: Sequence[str]) -> int:
             grow_at=args.grow_at,
             shrink_at=args.shrink_at,
         )
+    server_kwargs = {}
+    if args.query_cache_size is not None:
+        server_kwargs["query_cache_size"] = args.query_cache_size
     server = HttpServerThread(
         collector,
         host=args.host,
@@ -932,13 +986,16 @@ def _serve_main(argv: Sequence[str]) -> int:
         autoscale=args.autoscale,
         policy=policy,
         check_interval=args.check_interval,
+        readonly=args.readonly,
+        **server_kwargs,
     )
     try:
         server.start()
         print(
             f"serving {args.mechanism} (epsilon={args.epsilon}, D={args.domain}, "
             f"{args.shards} shard{'s' if args.shards != 1 else ''}"
-            f"{', autoscaling' if args.autoscale else ''}) "
+            f"{', autoscaling' if args.autoscale else ''}"
+            f"{', read-only' if args.readonly else ''}) "
             f"on http://{server.host}:{server.port} — Ctrl-C to stop",
             flush=True,
         )

@@ -43,6 +43,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.cache import MISS, AnswerCache
 from repro.data.workloads import RangeWorkload
 from repro.exceptions import (
     ConfigurationError,
@@ -87,6 +88,11 @@ class RangeQueryMechanism(abc.ABC):
         self._ingest_generation = 0
         self._materialized_generation = 0
         self._n_materializations = 0
+        # Answer cache, keyed by (ingest_generation, canonical query key):
+        # read surfaces consult it after _require_fitted() settles the
+        # generation; write paths never touch it — a statistics mutation
+        # invalidates every entry for free by bumping the generation.
+        self._answer_cache = AnswerCache()
 
     # ------------------------------------------------------------------
     # Configuration
@@ -172,6 +178,26 @@ class RangeQueryMechanism(abc.ABC):
     def _mark_clean(self) -> None:
         """Reset the dirty tracking (state was cleared, nothing to rebuild)."""
         self._materialized_generation = self._ingest_generation
+
+    # ------------------------------------------------------------------
+    # Answer cache
+    # ------------------------------------------------------------------
+    def set_answer_cache_size(self, maxsize: int) -> "RangeQueryMechanism":
+        """Bound the generation-keyed answer cache (``0`` disables it).
+
+        The cache memoizes range/box/quantile answers under a
+        ``(ingest_generation, query)`` key, so repeated queries between
+        writes skip the run-decomposition + gather entirely; any write
+        invalidates every entry by bumping the generation.  Cached answers
+        are bit-identical to recomputed ones (the estimates are a pure
+        function of the statistics at a fixed generation).
+        """
+        self._answer_cache.resize(maxsize)
+        return self
+
+    def answer_cache_stats(self) -> dict:
+        """Hit/miss/eviction counters and size/bound of the answer cache."""
+        return self._answer_cache.stats()
 
     # ------------------------------------------------------------------
     # Collection phase
@@ -474,7 +500,13 @@ class RangeQueryMechanism(abc.ABC):
         """Estimated fraction of users whose item lies in ``[start, end]``."""
         self._require_fitted()
         start, end = self._check_range(start, end)
-        return float(self._answer_range(start, end))
+        key = ("range", start, end)
+        cached = self._answer_cache.get(self._ingest_generation, key)
+        if cached is not MISS:
+            return cached
+        value = float(self._answer_range(start, end))
+        self._answer_cache.put(self._ingest_generation, key, value)
+        return value
 
     def answer_ranges(self, queries: np.ndarray) -> np.ndarray:
         """Vectorised :meth:`answer_range` over an ``(n, 2)`` query array."""
@@ -482,9 +514,15 @@ class RangeQueryMechanism(abc.ABC):
         queries = np.asarray(queries, dtype=np.int64)
         if queries.ndim != 2 or queries.shape[1] != 2:
             raise InvalidQueryError("queries must be an (n, 2) array")
-        return np.array(
+        key = ("ranges", queries.shape[0], queries.tobytes())
+        cached = self._answer_cache.get(self._ingest_generation, key)
+        if cached is not MISS:
+            return cached
+        value = np.array(
             [self._answer_range(*self._check_range(int(a), int(b))) for a, b in queries]
         )
+        self._answer_cache.put(self._ingest_generation, key, value)
+        return value
 
     def answer_workload(self, workload: RangeWorkload) -> np.ndarray:
         """Answer every query of a :class:`~repro.data.workloads.RangeWorkload`."""
@@ -534,7 +572,18 @@ class RangeQueryMechanism(abc.ABC):
         from repro.core.quantiles import estimate_quantiles
 
         self._require_fitted()
-        return estimate_quantiles(self, phis)
+        try:
+            key = ("quantiles", tuple(float(phi) for phi in phis))
+        except (TypeError, ValueError):
+            # Unkeyable targets bypass the cache; estimate_quantiles owns
+            # the precise validation error.
+            return estimate_quantiles(self, phis)
+        cached = self._answer_cache.get(self._ingest_generation, key)
+        if cached is not MISS:
+            return list(cached)
+        value = estimate_quantiles(self, phis)
+        self._answer_cache.put(self._ingest_generation, key, tuple(value))
+        return value
 
     @abc.abstractmethod
     def _answer_range(self, start: int, end: int) -> float:

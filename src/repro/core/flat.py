@@ -16,6 +16,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.base import RangeQueryMechanism
+from repro.core.cache import MISS
 from repro.exceptions import InvalidQueryError
 from repro.frequency_oracles.accumulators import OracleAccumulator
 from repro.frequency_oracles.registry import make_oracle
@@ -162,7 +163,13 @@ class FlatMechanism(RangeQueryMechanism):
         ):
             # Fall back to the base implementation for its precise errors.
             return super().answer_ranges(queries)
-        return self._prefix[queries[:, 1] + 1] - self._prefix[queries[:, 0]]
+        key = ("ranges", queries.shape[0], queries.tobytes())
+        cached = self._answer_cache.get(self._ingest_generation, key)
+        if cached is not MISS:
+            return cached
+        value = self._prefix[queries[:, 1] + 1] - self._prefix[queries[:, 0]]
+        self._answer_cache.put(self._ingest_generation, key, value)
+        return value
 
     def per_query_variance(self, range_length: int) -> float:
         """Theoretical variance ``r * V_F`` of a length-``r`` query (Fact 1)."""

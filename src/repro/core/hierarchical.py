@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.base import RangeQueryMechanism
+from repro.core.cache import MISS
 from repro.exceptions import ConfigurationError, InvalidQueryError
 from repro.frequency_oracles.accumulators import OracleAccumulator
 from repro.frequency_oracles.registry import make_oracle
@@ -389,10 +390,17 @@ class HierarchicalHistogramMechanism(RangeQueryMechanism):
         ):
             # Fall back to the base implementation for its precise errors.
             return super().answer_ranges(queries)
+        key = ("ranges", queries.shape[0], queries.tobytes())
+        cached = self._answer_cache.get(self._ingest_generation, key)
+        if cached is not MISS:
+            return cached
         if not self._consistency:
-            return batched_range_sums(self._tree, self._level_prefix, queries)
-        leaf_prefix = self._level_prefix[self._tree.height]
-        return leaf_prefix[queries[:, 1] + 1] - leaf_prefix[queries[:, 0]]
+            value = batched_range_sums(self._tree, self._level_prefix, queries)
+        else:
+            leaf_prefix = self._level_prefix[self._tree.height]
+            value = leaf_prefix[queries[:, 1] + 1] - leaf_prefix[queries[:, 0]]
+        self._answer_cache.put(self._ingest_generation, key, value)
+        return value
 
     def estimate_frequencies(self) -> np.ndarray:
         """Leaf-level estimates restricted to the original domain."""

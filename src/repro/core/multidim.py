@@ -48,6 +48,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.base import RangeQueryMechanism
+from repro.core.cache import MISS
 from repro.exceptions import (
     InvalidDomainError,
     InvalidQueryError,
@@ -524,7 +525,18 @@ class HierarchicalGridND(RangeQueryMechanism):
                 f"box queries need one (start, end) pair per axis; "
                 f"got {len(ranges)} pairs for {self._dims} axes"
             )
-        return self._sum_runs(decompose_box_to_runs(self._tree, ranges))
+        try:
+            key = ("box", tuple((int(a), int(b)) for a, b in ranges))
+        except (TypeError, ValueError):
+            # Unkeyable bounds bypass the cache; the decomposition owns
+            # the precise validation error.
+            return self._sum_runs(decompose_box_to_runs(self._tree, ranges))
+        cached = self._answer_cache.get(self._ingest_generation, key)
+        if cached is not MISS:
+            return cached
+        value = self._sum_runs(decompose_box_to_runs(self._tree, ranges))
+        self._answer_cache.put(self._ingest_generation, key, value)
+        return value
 
     def answer_boxes(self, queries: np.ndarray) -> np.ndarray:
         """Vectorised :meth:`answer_box` over ``(n, 2d)`` rows holding the
@@ -546,6 +558,10 @@ class HierarchicalGridND(RangeQueryMechanism):
             )
         if queries.shape[0] == 0:
             return np.zeros(0, dtype=np.float64)
+        key = ("boxes", queries.shape[0], queries.tobytes())
+        cached = self._answer_cache.get(self._ingest_generation, key)
+        if cached is not MISS:
+            return cached
         starts = queries[:, 0::2]
         ends = queries[:, 1::2]
         if (
@@ -589,6 +605,7 @@ class HierarchicalGridND(RangeQueryMechanism):
                     else:
                         value = value + prefix[index]
                 answers += value
+        self._answer_cache.put(self._ingest_generation, key, answers)
         return answers
 
     def _sum_runs(self, axis_runs: Sequence[List[NodeRun]]) -> float:
@@ -756,9 +773,15 @@ class HierarchicalGrid2D(HierarchicalGridND):
         Both ranges are inclusive ``[start, end]`` pairs.
         """
         self._require_fitted()
+        key = ("rect", int(x_range[0]), int(x_range[1]), int(y_range[0]), int(y_range[1]))
+        cached = self._answer_cache.get(self._ingest_generation, key)
+        if cached is not MISS:
+            return cached
         x_runs = decompose_to_runs(self._tree, int(x_range[0]), int(x_range[1]))
         y_runs = decompose_to_runs(self._tree, int(y_range[0]), int(y_range[1]))
-        return self._sum_runs([x_runs, y_runs])
+        value = self._sum_runs([x_runs, y_runs])
+        self._answer_cache.put(self._ingest_generation, key, value)
+        return value
 
     def answer_rectangles(self, queries: np.ndarray) -> np.ndarray:
         """Vectorised :meth:`answer_rectangle` over ``(n, 4)`` rows

@@ -270,6 +270,17 @@ class LdpRangeQuerySession:
         self._mechanism.materialize()
         return self
 
+    def set_answer_cache_size(self, maxsize: int) -> "LdpRangeQuerySession":
+        """Bound the mechanism's generation-keyed answer cache (``0``
+        disables it); see
+        :meth:`repro.core.base.RangeQueryMechanism.set_answer_cache_size`."""
+        self._mechanism.set_answer_cache_size(maxsize)
+        return self
+
+    def answer_cache_stats(self) -> dict:
+        """Hit/miss/eviction counters of the mechanism's answer cache."""
+        return self._mechanism.answer_cache_stats()
+
     def range_query(self, start: int, end: int) -> float:
         """Estimated fraction of the population inside ``[start, end]``."""
         return self._mechanism.answer_range(start, end)

@@ -31,6 +31,7 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from repro.core.base import RangeQueryMechanism
+from repro.core.cache import MISS
 from repro.exceptions import ConfigurationError, InvalidQueryError
 from repro.frequency_oracles.hadamard import HadamardAccumulator, HadamardRandomizedResponse
 from repro.transforms.haar import haar_inverse, haar_range_weights
@@ -331,7 +332,13 @@ class HaarWaveletMechanism(RangeQueryMechanism):
             or np.any(queries[:, 0] > queries[:, 1])
         ):
             return super().answer_ranges(queries)
-        return self._prefix[queries[:, 1] + 1] - self._prefix[queries[:, 0]]
+        key = ("ranges", queries.shape[0], queries.tobytes())
+        cached = self._answer_cache.get(self._ingest_generation, key)
+        if cached is not MISS:
+            return cached
+        value = self._prefix[queries[:, 1] + 1] - self._prefix[queries[:, 0]]
+        self._answer_cache.put(self._ingest_generation, key, value)
+        return value
 
     def per_query_variance_bound(self) -> float:
         """Equation (3): ``log2^2(D) V_F / 2`` independent of the range."""

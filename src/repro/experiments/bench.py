@@ -9,7 +9,10 @@ streaming ingest under lazy materialization (vs the eager
 refresh-per-batch baseline, with a lazy-vs-eager bit-identity check), an
 end-to-end HTTP batch ingest against a localhost service (raw p50/p99
 request latency, with explicit mid-run scale events and a static-replay
-bit-identity check), and an end-to-end epsilon grid (serial vs parallel)
+bit-identity check), the hot read path (the generation-keyed answer cache
+on a repeated box workload, and live HTTP query serving with p50/p99 read
+latency, a JSON-vs-npy wire comparison and cached/coalesced bit-identity
+checks), and an end-to-end epsilon grid (serial vs parallel)
 — and writes the measurements to ``BENCH_<suite>.json`` so the perf
 trajectory of the repo is recorded rather than anecdotal.
 
@@ -125,6 +128,17 @@ SUITES: Dict[str, Dict[str, object]] = {
         http_queue_size=8,
         http_batches=60,
         http_batch_users=500,
+        cache_side=32,
+        cache_users=30_000,
+        cache_boxes=64,
+        cache_workload_repeat=25,
+        query_side=32,
+        query_points=15_000,
+        query_point_batches=6,
+        query_boxes=32,
+        query_requests=30,
+        query_shards=2,
+        query_queue_size=8,
         kernel_runs_queries=4000,
         kernel_runs_branching=2,
         kernel_runs_height=16,
@@ -174,6 +188,17 @@ SUITES: Dict[str, Dict[str, object]] = {
         http_queue_size=8,
         http_batches=200,
         http_batch_users=2000,
+        cache_side=64,
+        cache_users=200_000,
+        cache_boxes=400,
+        cache_workload_repeat=50,
+        query_side=64,
+        query_points=100_000,
+        query_point_batches=10,
+        query_boxes=200,
+        query_requests=150,
+        query_shards=4,
+        query_queue_size=8,
         kernel_runs_queries=20_000,
         kernel_runs_branching=2,
         kernel_runs_height=20,
@@ -1084,6 +1109,261 @@ def _bench_http_ingest(params: dict) -> List[BenchRecord]:
     ]
 
 
+def _bench_answer_cache(params: dict) -> List[BenchRecord]:
+    """Generation-keyed answer cache: repeated box workload, cache on vs off.
+
+    A fitted 2-D grid answers the same :class:`BoxWorkload` over and over —
+    the dashboard-refresh read pattern the cache targets.  With the cache on
+    every sweep after the first is pure lookups; with
+    ``set_answer_cache_size(0)`` every call recomputes the per-level-pair
+    gathers.  The record's extras carry the ``speedup_vs_uncached`` wall
+    ratio, the observed hit ratio, and two contracts surfaced as the
+    ``cache_bit_identical`` check: cached answers match the uncached compute
+    bit-for-bit, and a ``partial_fit`` between reads invalidates the cache
+    (the generation key changes) so post-write answers come from fresh
+    estimates, again bit-identical to an uncached mechanism fed the same
+    stream.
+    """
+    from repro.core.multidim import HierarchicalGrid2D
+    from repro.data.synthetic import clustered_grid_points
+    from repro.data.workloads import BoxWorkload, random_boxes
+
+    side = int(params["cache_side"])
+    n_users = int(params["cache_users"])
+    n_boxes = int(params["cache_boxes"])
+    sweeps = int(params["cache_workload_repeat"])
+    epsilon = float(params["epsilon"])
+    repeats = int(params["repeats"])
+    points = clustered_grid_points(side, n_users, random_state=35)
+    workload = BoxWorkload(
+        side, 2, random_boxes(side, n_boxes, dims=2, random_state=36),
+        name="cache-boxes",
+    )
+    queries = workload.queries
+
+    def fitted_grid() -> HierarchicalGrid2D:
+        grid = HierarchicalGrid2D(epsilon, side, branching=2).fit_points(
+            points, random_state=37
+        )
+        grid.materialize()
+        return grid
+
+    grid = fitted_grid()
+
+    def sweep(mechanism: HierarchicalGrid2D) -> np.ndarray:
+        answers = None
+        for _ in range(sweeps):
+            answers = mechanism.answer_boxes(queries)
+        return answers
+
+    # Uncached reference first: its answers are the ground truth the cached
+    # run must reproduce bit-for-bit.
+    grid.set_answer_cache_size(0)
+    uncached = sweep(grid)
+    wall_off = _best_wall(lambda: sweep(grid), repeats)
+    grid.set_answer_cache_size(max(sweeps, 4))
+    cached = sweep(grid)
+    wall_on = _best_wall(lambda: sweep(grid), repeats)
+    stats = grid.answer_cache_stats()
+    lookups = int(stats["hits"]) + int(stats["misses"])
+    hit_ratio = float(stats["hits"]) / lookups if lookups else 0.0
+    identical = bool(np.array_equal(cached, uncached))
+
+    # Invalidation contract: a write between reads bumps the generation, so
+    # the next read recomputes — and matches an uncached twin fed the same
+    # stream (bit-identity across the invalidation boundary).
+    extra = np.random.default_rng(38).integers(0, side, size=(256, 2))
+    warm, cold = fitted_grid(), fitted_grid()
+    cold.set_answer_cache_size(0)
+    before = warm.answer_boxes(queries)
+    warm.answer_boxes(queries)  # hit — served from the cache
+    for twin in (warm, cold):
+        twin.partial_fit_points(extra, np.random.default_rng(39))
+        twin.materialize()
+    invalidation_ok = bool(
+        np.array_equal(warm.answer_boxes(queries), cold.answer_boxes(queries))
+        and not np.array_equal(warm.answer_boxes(queries), before)
+    )
+
+    return [
+        BenchRecord(
+            name="answer_cache",
+            wall_seconds=wall_on,
+            work_items=sweeps * n_boxes,
+            unit="queries/s",
+            rss_max_kb=_rss_max_kb(),
+            extras={
+                "side": side,
+                "boxes": n_boxes,
+                "workload_sweeps": sweeps,
+                "uncached_wall_seconds": wall_off,
+                "speedup_vs_uncached": wall_off / wall_on,
+                "hit_ratio": hit_ratio,
+                "cache_stats": dict(stats),
+                "bit_identical": identical,
+                "invalidation_bit_identical": invalidation_ok,
+            },
+        )
+    ]
+
+
+def _bench_query_serving(params: dict) -> List[BenchRecord]:
+    """End-to-end HTTP query serving: live reads against a sharded ingest.
+
+    One :class:`HttpServerThread` ingests a clustered 2-D point population,
+    then a :class:`ServiceClient` replays the same box workload
+    ``query_requests`` times through ``POST /v1/query`` — the raw
+    per-request wall gives exact p50/p99 read latency and the server-side
+    answer-cache hit ratio comes from its own stats.  Three companion
+    measurements ride along in extras: the same requests against a replica
+    with ``query_cache_size=0`` (the over-the-wire cache speedup), a mixed
+    read/write phase alternating ``POST /v1/points`` with queries (users/s
+    while generations keep bumping), and the same point payload shipped as
+    JSON vs ``application/x-npy`` (the ``binary_wire_speedup`` check).
+    Coalesced-vs-serial execution is checked in-process: the workload split
+    across concurrent awaiters of a :class:`QueryCoalescer` must match the
+    one-shot batched call bit-for-bit (``coalesce_bit_identical``).
+    """
+    import asyncio
+
+    from repro.data.synthetic import clustered_grid_points
+    from repro.data.workloads import random_boxes
+    from repro.service.client import ServiceClient
+    from repro.service.http import HttpServerThread
+    from repro.service.query import QueryCoalescer
+
+    side = int(params["query_side"])
+    n_points = int(params["query_points"])
+    n_batches = int(params["query_point_batches"])
+    n_boxes = int(params["query_boxes"])
+    n_requests = int(params["query_requests"])
+    n_shards = int(params["query_shards"])
+    queue_size = int(params["query_queue_size"])
+    epsilon = float(params["epsilon"])
+    points = clustered_grid_points(side, n_points, random_state=44)
+    batches = np.array_split(points, max(1, n_batches))
+    boxes = random_boxes(side, n_boxes, dims=2, random_state=45)
+    write_batches = np.array_split(
+        clustered_grid_points(side, max(n_requests * 8, 64), random_state=46),
+        max(1, n_requests // 4),
+    )
+
+    def collector() -> ShardedCollector:
+        return ShardedCollector(
+            "grid2d_2",
+            epsilon=epsilon,
+            domain_size=side,
+            n_shards=n_shards,
+            random_state=47,
+        )
+
+    def post_all(client: ServiceClient, binary: bool) -> float:
+        start = time.perf_counter()
+        for batch in batches:
+            client.post_points(batch, binary=binary)
+        return time.perf_counter() - start
+
+    def query_sweep(client: ServiceClient) -> List[float]:
+        walls: List[float] = []
+        for _ in range(n_requests):
+            request_start = time.perf_counter()
+            client.query_boxes(boxes)
+            walls.append(time.perf_counter() - request_start)
+        return walls
+
+    with HttpServerThread(collector(), queue_size=queue_size) as server:
+        with ServiceClient(server.host, server.port) as client:
+            # Wire-format comparison doubles as the ingest load: the same
+            # payload lands twice, once per encoding.
+            wall_json = post_all(client, binary=False)
+            wall_npy = post_all(client, binary=True)
+            start = time.perf_counter()
+            latencies = query_sweep(client)
+            wall_reads = time.perf_counter() - start
+            quantile_items = client.query_quantiles((0.25, 0.5, 0.75))
+            binary_answers = client.query_boxes(boxes, binary=True)
+            json_answers = client.query_boxes(boxes, binary=False)
+            # Mixed read/write: every write bumps the ingest generation, so
+            # each following read rebuilds the view and misses the cache.
+            mixed_start = time.perf_counter()
+            mixed_users = 0
+            for batch in write_batches:
+                client.post_points(batch, binary=True)
+                client.query_boxes(boxes)
+                mixed_users += int(batch.shape[0])
+            wall_mixed = time.perf_counter() - mixed_start
+            stats = server.stats()
+
+    cache = stats["query"]["answer_cache"]
+    lookups = int(cache["hits"]) + int(cache["misses"])
+    hit_ratio = float(cache["hits"]) / lookups if lookups else 0.0
+
+    # Replica with the cache disabled: same ingest, same reads.
+    with HttpServerThread(
+        collector(), queue_size=queue_size, query_cache_size=0
+    ) as server_off:
+        with ServiceClient(server_off.host, server_off.port) as client_off:
+            post_all(client_off, binary=False)
+            post_all(client_off, binary=True)
+            start = time.perf_counter()
+            query_sweep(client_off)
+            wall_reads_off = time.perf_counter() - start
+
+    # Coalesced-vs-serial bit-identity, in-process on a private event loop:
+    # concurrent awaiters over workload slices must reproduce the one-shot
+    # batched answers exactly.
+    local = collector()
+    for batch in batches:
+        local.submit_points(batch)
+    mechanism = local.reduce()
+    serial = mechanism.answer_boxes(boxes)
+    coalescer = QueryCoalescer()
+
+    async def coalesced_run() -> List[np.ndarray]:
+        slices = np.array_split(boxes, min(4, max(1, boxes.shape[0])))
+        return await asyncio.gather(
+            *(coalescer.answer_boxes(mechanism, part) for part in slices)
+        )
+
+    coalesced = np.concatenate(asyncio.run(coalesced_run()))
+    coalesce_identical = bool(np.array_equal(serial, coalesced))
+
+    ordered = np.sort(np.asarray(latencies))
+    p50 = float(ordered[int(0.50 * (ordered.size - 1))])
+    p99 = float(ordered[int(0.99 * (ordered.size - 1))])
+    return [
+        BenchRecord(
+            name="query_serving",
+            wall_seconds=wall_reads,
+            work_items=n_requests * n_boxes,
+            unit="queries/s",
+            rss_max_kb=_rss_max_kb(),
+            extras={
+                "side": side,
+                "shards": n_shards,
+                "boxes": n_boxes,
+                "requests": n_requests,
+                "latency_p50_ms": p50 * 1000.0,
+                "latency_p99_ms": p99 * 1000.0,
+                "cache_hit_ratio": hit_ratio,
+                "cache_stats": dict(cache),
+                "uncached_wall_seconds": wall_reads_off,
+                "wire_cache_speedup": wall_reads_off / wall_reads,
+                "mixed_rw_users_per_s": mixed_users / wall_mixed,
+                "ingest_wall_json_seconds": wall_json,
+                "ingest_wall_npy_seconds": wall_npy,
+                "binary_wire_speedup": wall_json / wall_npy,
+                "binary_response_bit_identical": bool(
+                    np.array_equal(binary_answers, json_answers)
+                ),
+                "quantile_items": [int(item) for item in quantile_items],
+                "coalesce_bit_identical": coalesce_identical,
+                "coalescer_stats": coalescer.stats(),
+            },
+        )
+    ]
+
+
 # ----------------------------------------------------------------------
 # Suite driver
 # ----------------------------------------------------------------------
@@ -1143,6 +1423,8 @@ def run_suite(
     records.extend(_bench_gridnd(params))
     records.extend(_bench_stream_ingest(params))
     records.extend(_bench_http_ingest(params))
+    records.extend(_bench_answer_cache(params))
+    records.extend(_bench_query_serving(params))
     records.extend(_bench_epsilon_grid(params, workers, transport))
     records.extend(_bench_transport_grid(params, workers))
 
@@ -1153,6 +1435,8 @@ def run_suite(
     hh_stream = by_name["hh_consistent_stream_ingest"]
     grid_stream = by_name["grid2d_stream_ingest"]
     http_ingest = by_name["http_ingest"]
+    answer_cache = by_name["answer_cache"]
+    query_serving = by_name["query_serving"]
     # The speedup number is informational at smoke scale (tiny grids, and
     # one-core hosts degenerate to the serial plan); only a full-suite run
     # with real parallelism is expected to beat serial, so only there does
@@ -1175,6 +1459,21 @@ def run_suite(
         "autoscale_bit_identical": http_ingest.extras["autoscale_bit_identical"],
         "http_ingest_p50_ms": http_ingest.extras["latency_p50_ms"],
         "http_ingest_p99_ms": http_ingest.extras["latency_p99_ms"],
+        # The hot-read-path contracts: cached answers are bit-identical to
+        # the uncached compute (including across a generation-bump
+        # invalidation), and coalesced execution is bit-identical to the
+        # one-shot batched call.
+        "query_cache_speedup": answer_cache.extras["speedup_vs_uncached"],
+        "query_cache_hit_ratio": query_serving.extras["cache_hit_ratio"],
+        "query_p50_ms": query_serving.extras["latency_p50_ms"],
+        "query_p99_ms": query_serving.extras["latency_p99_ms"],
+        "binary_wire_speedup": query_serving.extras["binary_wire_speedup"],
+        "cache_bit_identical": bool(
+            answer_cache.extras["bit_identical"]
+            and answer_cache.extras["invalidation_bit_identical"]
+            and query_serving.extras["binary_response_bit_identical"]
+        ),
+        "coalesce_bit_identical": query_serving.extras["coalesce_bit_identical"],
         "grid2d_restore_bit_identical": grid2d.extras["restore_bit_identical"],
         "gridnd_restore_bit_identical": by_name["gridnd_fit_points"].extras[
             "restore_bit_identical"
@@ -1286,7 +1585,10 @@ def compare_payloads(
         throughput and wall, ``throughput_ratio``, ``status`` of ``ok`` /
         ``regression`` / ``new``); ``regressions`` — names of regressed
         records; ``missing`` — baseline records absent from the current
-        run; ``fail_threshold`` echoed back.
+        run; ``check_rows`` — one entry per current *check* (name,
+        baseline/current value, ``delta`` for numeric checks, ``status`` of
+        ``ok`` / ``changed`` / ``new``, informational only — regression
+        decisions stay record-based); ``fail_threshold`` echoed back.
     """
     if not 0.0 <= float(fail_threshold) < 1.0:
         raise ConfigurationError(
@@ -1338,5 +1640,42 @@ def compare_payloads(
         "rows": rows,
         "regressions": regressions,
         "missing": sorted(baseline_by_name),
+        "check_rows": _compare_checks(current, baseline),
         "fail_threshold": fail_threshold,
     }
+
+
+def _compare_checks(
+    current: Dict[str, object], baseline: Dict[str, object]
+) -> List[Dict[str, object]]:
+    """Per-check deltas between two payloads' ``checks`` maps.
+
+    Purely informational — a check value drifting (a speedup shrinking, a
+    latency growing) is worth seeing in the diff, but gating stays on
+    per-record throughput so machine-to-machine noise in derived ratios
+    cannot fail CI on its own.
+    """
+    baseline_checks = dict(baseline.get("checks") or {})
+    rows: List[Dict[str, object]] = []
+    for name, value in (current.get("checks") or {}).items():
+        base = baseline_checks.get(name)
+        row: Dict[str, object] = {
+            "name": name,
+            "current": value,
+            "baseline": base,
+            "delta": None,
+        }
+        if name not in baseline_checks:
+            row["status"] = "new"
+        elif (
+            isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            and isinstance(base, (int, float))
+            and not isinstance(base, bool)
+        ):
+            row["delta"] = float(value) - float(base)
+            row["status"] = "ok"
+        else:
+            row["status"] = "ok" if value == base else "changed"
+        rows.append(row)
+    return rows

@@ -63,6 +63,7 @@ from repro.service.metrics import (
     MetricsRegistry,
     render_ingestion_stats,
 )
+from repro.service.query import QueryCoalescer
 from repro.streaming.routing import (
     HashRouter,
     LeastLoadedRouter,
@@ -84,6 +85,7 @@ __all__ = [
     "LeastLoadedRouter",
     "LoadSignal",
     "MetricsRegistry",
+    "QueryCoalescer",
     "ReproHttpServer",
     "RoundRobinRouter",
     "ServiceClient",

@@ -15,17 +15,20 @@ service's three conventions and nothing else:
 
 from __future__ import annotations
 
+import io
 import json
 import time
 from dataclasses import dataclass
-from http.client import HTTPConnection
-from typing import Any, Dict, Optional, Sequence, Union
+from http.client import HTTPConnection, HTTPException
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError, ServiceOverloadedError
 
 __all__ = ["ServiceClient", "ServiceResponse"]
+
+_NPY = "application/x-npy"
 
 
 @dataclass(frozen=True)
@@ -69,9 +72,10 @@ class ServiceClient:
         method: str,
         path: str,
         payload: Optional[Dict[str, Any]] = None,
+        body: Optional[bytes] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> ServiceResponse:
-        body = None
-        headers = {}
+        headers = dict(headers or {})
         if payload is not None:
             body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -83,8 +87,10 @@ class ServiceClient:
             self._connection.request(method, path, body=body, headers=headers)
             raw = self._connection.getresponse()
             data = raw.read()
-        except (ConnectionError, OSError):
-            # One reconnect: the server may have closed an idle keep-alive.
+        except (ConnectionError, OSError, HTTPException):
+            # One reconnect: the server may have closed an idle keep-alive,
+            # or an earlier failed exchange left the connection mid-request
+            # (http.client then raises CannotSendRequest forever after).
             self.close()
             self._connection = HTTPConnection(
                 self._host, self._port, timeout=self._timeout
@@ -141,16 +147,37 @@ class ServiceClient:
         points: Union[Sequence[Sequence[int]], np.ndarray],
         mode: Optional[str] = None,
         key: Union[None, int, str] = None,
+        binary: bool = False,
     ) -> ServiceResponse:
         """``POST /v1/points`` — ``(n, d)`` coordinate rows for grid
         mechanisms (``d = 2`` for ``grid2d``, the mechanism's ``dims``
-        otherwise)."""
+        otherwise).  ``binary=True`` ships the array as an
+        ``application/x-npy`` body instead of JSON — the wire fast path;
+        ``mode``/``key`` cannot ride along (no envelope)."""
+        if binary:
+            if mode is not None or key is not None:
+                raise ConfigurationError(
+                    "binary point submission carries no JSON envelope; "
+                    "mode/key are JSON-only fields"
+                )
+            return self._request(
+                "POST",
+                "/v1/points",
+                body=self._npy_bytes(np.asarray(points, dtype=np.int64)),
+                headers={"Content-Type": _NPY},
+            )
         payload: Dict[str, Any] = {"points": np.asarray(points).tolist()}
         if mode is not None:
             payload["mode"] = mode
         if key is not None:
             payload["key"] = key
         return self._request("POST", "/v1/points", payload)
+
+    @staticmethod
+    def _npy_bytes(array: np.ndarray) -> bytes:
+        buffer = io.BytesIO()
+        np.save(buffer, array, allow_pickle=False)
+        return buffer.getvalue()
 
     def post_batch_retrying(
         self,
@@ -181,6 +208,96 @@ class ServiceClient:
                 f"batch still rejected after {attempts} attempts"
             )
         return response
+
+    # ------------------------------------------------------------------
+    # Query endpoints
+    # ------------------------------------------------------------------
+    def _post_query_retrying(
+        self,
+        path: str,
+        payload: Dict[str, Any],
+        binary: bool,
+        max_attempts: int,
+        max_sleep: float,
+    ) -> ServiceResponse:
+        """One query POST with the same keep-alive + one-reconnect +
+        ``Retry-After`` discipline as :meth:`post_batch_retrying`."""
+        if max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be a positive integer, got {max_attempts!r}"
+            )
+        headers = {"Accept": _NPY} if binary else None
+        response = self._request("POST", path, payload, headers=headers)
+        attempts = 1
+        while response.status == 503 and attempts < int(max_attempts):
+            hint = response.retry_after if response.retry_after is not None else max_sleep
+            time.sleep(min(float(hint), float(max_sleep)))
+            response = self._request("POST", path, payload, headers=headers)
+            attempts += 1
+        if response.status == 503:
+            raise ServiceOverloadedError(
+                f"query still rejected after {attempts} attempts"
+            )
+        if not response.ok:
+            try:
+                message = response.json().get("error", response.text)
+            except (ValueError, UnicodeDecodeError):
+                message = f"{len(response.body)} undecodable bytes"
+            raise ConfigurationError(
+                f"{path} returned HTTP {response.status}: {message}"
+            )
+        return response
+
+    def query_boxes(
+        self,
+        boxes: Union[Sequence[Sequence[int]], np.ndarray],
+        binary: bool = False,
+        max_attempts: int = 50,
+        max_sleep: float = 0.05,
+    ) -> np.ndarray:
+        """``POST /v1/query`` with ``(n, 2d)`` per-axis bound rows; returns
+        the estimated fractions as a float array.  ``binary=True``
+        negotiates an ``application/x-npy`` response body."""
+        payload = {"boxes": np.asarray(boxes).tolist()}
+        response = self._post_query_retrying(
+            "/v1/query", payload, binary, max_attempts, max_sleep
+        )
+        if binary:
+            return np.load(io.BytesIO(response.body), allow_pickle=False)
+        return np.asarray(response.json()["answers"], dtype=np.float64)
+
+    def query_ranges(
+        self,
+        ranges: Union[Sequence[Sequence[int]], np.ndarray],
+        binary: bool = False,
+        max_attempts: int = 50,
+        max_sleep: float = 0.05,
+    ) -> np.ndarray:
+        """``POST /v1/query`` with ``(n, 2)`` flat-domain range rows."""
+        payload = {"ranges": np.asarray(ranges).tolist()}
+        response = self._post_query_retrying(
+            "/v1/query", payload, binary, max_attempts, max_sleep
+        )
+        if binary:
+            return np.load(io.BytesIO(response.body), allow_pickle=False)
+        return np.asarray(response.json()["answers"], dtype=np.float64)
+
+    def query_quantiles(
+        self,
+        phis: Sequence[float],
+        binary: bool = False,
+        max_attempts: int = 50,
+        max_sleep: float = 0.05,
+    ) -> List[int]:
+        """``POST /v1/quantiles``; returns one domain item per target."""
+        payload = {"phis": [float(phi) for phi in phis]}
+        response = self._post_query_retrying(
+            "/v1/quantiles", payload, binary, max_attempts, max_sleep
+        )
+        if binary:
+            values = np.load(io.BytesIO(response.body), allow_pickle=False)
+            return [int(value) for value in values]
+        return [int(value) for value in response.json()["quantiles"]]
 
     def healthz(self) -> ServiceResponse:
         return self._request("GET", "/healthz")

@@ -12,7 +12,17 @@ rule is stdlib + numpy:
   ``Retry-After`` hint instead of parking the remote producer.
 * ``POST /v1/points`` — JSON ``{"points": [[x, y], ...]}`` for 2-D grid
   mechanisms; the collector's mechanism flattens to row-major items before
-  any routing decision is consumed.
+  any routing decision is consumed.  Both submit endpoints also accept a
+  raw ``application/x-npy`` body (the batch array itself, no JSON
+  envelope) — the binary fast path that skips JSON encode/decode.
+* ``POST /v1/query`` — JSON ``{"boxes": [[a1, b1, ...], ...]}`` or
+  ``{"ranges": [[a, b], ...]}``; answered from the service's reduced +
+  materialized read view (rebuilt only when the collector's generation
+  signature moves) with concurrent requests micro-batched through
+  :class:`~repro.service.query.QueryCoalescer`.  ``Accept:
+  application/x-npy`` negotiates a binary response body.
+* ``POST /v1/quantiles`` — JSON ``{"phis": [0.5, ...]}``, same view and
+  content negotiation.
 * ``GET /healthz`` — liveness JSON.
 * ``GET /metrics`` — Prometheus text exposition (version 0.0.4): the
   service's :meth:`~repro.service.IngestionService.stats` snapshot plus
@@ -39,6 +49,7 @@ two lines.
 from __future__ import annotations
 
 import asyncio
+import io
 import json
 import threading
 import time
@@ -46,8 +57,10 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.core.cache import DEFAULT_ANSWER_CACHE_SIZE
 from repro.exceptions import (
     ConfigurationError,
+    NotFittedError,
     ReproError,
     ServiceOverloadedError,
 )
@@ -57,6 +70,7 @@ from repro.service.metrics import (
     MetricsRegistry,
     ingestion_stats_lines,
 )
+from repro.service.query import QueryCoalescer
 from repro.streaming.sharded import ShardedCollector
 
 __all__ = ["HttpServerThread", "ReproHttpServer"]
@@ -72,11 +86,23 @@ RETRY_AFTER_SECONDS = 1
 
 _JSON = "application/json"
 _PROM = "text/plain; version=0.0.4; charset=utf-8"
+#: Binary wire format: one ``.npy`` serialized array as the whole body
+#: (``numpy.save``/``numpy.load`` with ``allow_pickle=False``).  Accepted
+#: as a request Content-Type on the submit endpoints and negotiated as a
+#: response type on the query endpoints via the Accept header.
+_NPY = "application/x-npy"
 
 #: Path label used for unknown routes so 404 floods cannot mint unbounded
 #: label cardinality in the request counter.
 _OTHER_PATH = "<other>"
-_KNOWN_PATHS = ("/v1/batches", "/v1/points", "/healthz", "/metrics")
+_KNOWN_PATHS = (
+    "/v1/batches",
+    "/v1/points",
+    "/v1/query",
+    "/v1/quantiles",
+    "/healthz",
+    "/metrics",
+)
 
 
 class _HttpRequest:
@@ -169,6 +195,7 @@ class ReproHttpServer:
         service: IngestionService,
         autoscaler: Optional[ShardAutoscaler] = None,
         max_body_bytes: int = MAX_BODY_BYTES,
+        readonly: bool = False,
     ) -> None:
         if not isinstance(service, IngestionService):
             raise ConfigurationError(
@@ -182,6 +209,8 @@ class ReproHttpServer:
         self._service = service
         self._autoscaler = autoscaler
         self._max_body_bytes = int(max_body_bytes)
+        self._readonly = bool(readonly)
+        self._coalescer = QueryCoalescer()
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: set = set()
         self._handler_tasks: set = set()
@@ -263,6 +292,10 @@ class ReproHttpServer:
                     self._record("?", _OTHER_PATH, request.status, started)
                     break
                 response = self._dispatch(request)
+                if asyncio.iscoroutine(response):
+                    # Query routes coalesce with other in-flight requests,
+                    # so they hand back a coroutine instead of a response.
+                    response = await response
                 writer.write(response.encode(keep_alive=request.keep_alive))
                 await writer.drain()
                 self._record(
@@ -347,7 +380,10 @@ class ReproHttpServer:
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
-    def _dispatch(self, request: _HttpRequest) -> _HttpResponse:
+    def _dispatch(self, request: _HttpRequest):
+        """Route to a response, or to a *coroutine* producing one (query
+        routes — the connection loop awaits those so concurrent requests
+        can coalesce)."""
         if request.path == "/healthz":
             if request.method != "GET":
                 return _HttpResponse.error(405, "healthz is GET-only")
@@ -359,11 +395,27 @@ class ReproHttpServer:
         if request.path == "/v1/batches":
             if request.method != "POST":
                 return _HttpResponse.error(405, "batches is POST-only")
+            if self._readonly:
+                return _HttpResponse.error(
+                    405, "read-only replica: ingest endpoints are disabled"
+                )
             return self._handle_submit(request, points=False)
         if request.path == "/v1/points":
             if request.method != "POST":
                 return _HttpResponse.error(405, "points is POST-only")
+            if self._readonly:
+                return _HttpResponse.error(
+                    405, "read-only replica: ingest endpoints are disabled"
+                )
             return self._handle_submit(request, points=True)
+        if request.path == "/v1/query":
+            if request.method != "POST":
+                return _HttpResponse.error(405, "query is POST-only")
+            return self._handle_query(request)
+        if request.path == "/v1/quantiles":
+            if request.method != "POST":
+                return _HttpResponse.error(405, "quantiles is POST-only")
+            return self._handle_quantiles(request)
         return _HttpResponse.error(404, f"no route for {request.path}")
 
     def _handle_healthz(self) -> _HttpResponse:
@@ -386,32 +438,70 @@ class ReproHttpServer:
         payload = ("\n".join(lines) + "\n").encode("utf-8")
         return _HttpResponse(200, payload, _PROM)
 
-    def _handle_submit(self, request: _HttpRequest, points: bool) -> _HttpResponse:
-        try:
-            payload = json.loads(request.body.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as error:
-            return _HttpResponse.error(400, f"malformed JSON body: {error}")
-        if not isinstance(payload, dict):
-            return _HttpResponse.error(400, "body must be a JSON object")
+    @staticmethod
+    def _is_npy(request: _HttpRequest) -> bool:
+        content_type = request.headers.get("content-type", "")
+        return content_type.split(";", 1)[0].strip().lower() == _NPY
 
-        mismatch = self._spec_mismatch(payload)
-        if mismatch is not None:
-            return mismatch
+    @staticmethod
+    def _wants_npy(request: _HttpRequest) -> bool:
+        accept = request.headers.get("accept", "")
+        return any(
+            part.split(";", 1)[0].strip().lower() == _NPY
+            for part in accept.split(",")
+        )
 
-        field = "points" if points else "items"
-        raw = payload.get(field)
-        if raw is None:
-            return _HttpResponse.error(400, f"missing required field {field!r}")
+    @staticmethod
+    def _decode_npy_body(body: bytes):
+        """``(array, None)`` or ``(None, error response)`` for a binary
+        request body."""
         try:
-            batch = np.asarray(raw, dtype=np.int64)
-        except (TypeError, ValueError, OverflowError):
-            return _HttpResponse.error(
-                400, f"{field!r} must be an array of integers"
+            array = np.load(io.BytesIO(body), allow_pickle=False)
+        except (ValueError, OSError, EOFError) as error:
+            return None, _HttpResponse.error(400, f"malformed npy body: {error}")
+        if not isinstance(array, np.ndarray) or not np.issubdtype(
+            array.dtype, np.integer
+        ):
+            return None, _HttpResponse.error(
+                400, "npy body must be an integer array"
             )
-        mode = payload.get("mode")
-        key = payload.get("key")
-        if key is not None and not isinstance(key, (int, str)):
-            return _HttpResponse.error(400, "'key' must be an integer or string")
+        return array.astype(np.int64, copy=False), None
+
+    def _handle_submit(self, request: _HttpRequest, points: bool) -> _HttpResponse:
+        field = "points" if points else "items"
+        mode = None
+        key = None
+        if self._is_npy(request):
+            # Binary fast path: the body is the batch array itself — no
+            # JSON envelope, so no mode/key/spec claims to check.
+            batch, error = self._decode_npy_body(request.body)
+            if error is not None:
+                return error
+        else:
+            try:
+                payload = json.loads(request.body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                return _HttpResponse.error(400, f"malformed JSON body: {error}")
+            if not isinstance(payload, dict):
+                return _HttpResponse.error(400, "body must be a JSON object")
+
+            mismatch = self._spec_mismatch(payload)
+            if mismatch is not None:
+                return mismatch
+
+            raw = payload.get(field)
+            if raw is None:
+                return _HttpResponse.error(400, f"missing required field {field!r}")
+            try:
+                batch = np.asarray(raw, dtype=np.int64)
+            except (TypeError, ValueError, OverflowError):
+                return _HttpResponse.error(
+                    400, f"{field!r} must be an array of integers"
+                )
+            mode = payload.get("mode")
+            key = payload.get("key")
+            if key is not None and not isinstance(key, (int, str)):
+                return _HttpResponse.error(400, "'key' must be an integer or string")
 
         collector = self._service.collector
         try:
@@ -471,6 +561,128 @@ class ReproHttpServer:
                 )
         return None
 
+    # ------------------------------------------------------------------
+    # Query serving
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _answers_response(
+        request: _HttpRequest, answers: np.ndarray, generation: int
+    ) -> _HttpResponse:
+        """Render a query result, honouring ``Accept: application/x-npy``.
+
+        The generation travels in a header either way so binary consumers
+        keep the freshness information without a JSON envelope.
+        """
+        headers = {"X-Repro-Generation": str(int(generation))}
+        if ReproHttpServer._wants_npy(request):
+            buffer = io.BytesIO()
+            np.save(buffer, answers, allow_pickle=False)
+            return _HttpResponse(200, buffer.getvalue(), _NPY, headers)
+        return _HttpResponse.json(
+            200,
+            {"answers": answers.tolist(), "generation": int(generation)},
+            headers,
+        )
+
+    def _decode_query_payload(self, request: _HttpRequest):
+        """``(payload dict, None)`` or ``(None, error response)``."""
+        try:
+            payload = json.loads(request.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            return None, _HttpResponse.error(400, f"malformed JSON body: {error}")
+        if not isinstance(payload, dict):
+            return None, _HttpResponse.error(400, "body must be a JSON object")
+        mismatch = self._spec_mismatch(payload)
+        if mismatch is not None:
+            return None, mismatch
+        return payload, None
+
+    async def _query_view(self):
+        """``(view, None)`` or ``(None, error response)``.
+
+        ``NotFittedError`` maps to 409: the request is valid but conflicts
+        with the server's current state (nothing collected yet) — the
+        producer side must land data first, no rephrasing will help.
+        """
+        try:
+            view = await self._service.refresh_query_view()
+        except NotFittedError as error:
+            return None, _HttpResponse.error(409, str(error))
+        except ReproError as error:
+            return None, _HttpResponse.error(400, str(error))
+        return view, None
+
+    async def _handle_query(self, request: _HttpRequest) -> _HttpResponse:
+        payload, error = self._decode_query_payload(request)
+        if error is not None:
+            return error
+        raw_boxes = payload.get("boxes")
+        raw_ranges = payload.get("ranges")
+        if (raw_boxes is None) == (raw_ranges is None):
+            return _HttpResponse.error(
+                400, "provide exactly one of 'boxes' or 'ranges'"
+            )
+        try:
+            queries = np.asarray(
+                raw_boxes if raw_boxes is not None else raw_ranges, dtype=np.int64
+            )
+        except (TypeError, ValueError, OverflowError):
+            return _HttpResponse.error(
+                400, "queries must be an array of integer bounds"
+            )
+        view, error = await self._query_view()
+        if error is not None:
+            return error
+        if raw_boxes is not None and getattr(view, "answer_boxes", None) is None:
+            return _HttpResponse.error(
+                400,
+                "the served mechanism has no box surface; "
+                "query flattened 'ranges' instead",
+            )
+        try:
+            if raw_boxes is not None:
+                answers = await self._coalescer.answer_boxes(view, queries)
+            else:
+                answers = await self._coalescer.answer_ranges(view, queries)
+        except ReproError as error:
+            return _HttpResponse.error(400, str(error))
+        return self._answers_response(
+            request, np.asarray(answers, dtype=np.float64), view.ingest_generation
+        )
+
+    async def _handle_quantiles(self, request: _HttpRequest) -> _HttpResponse:
+        payload, error = self._decode_query_payload(request)
+        if error is not None:
+            return error
+        raw = payload.get("phis")
+        if raw is None:
+            return _HttpResponse.error(400, "missing required field 'phis'")
+        try:
+            phis = [float(phi) for phi in np.asarray(raw, dtype=np.float64).reshape(-1)]
+        except (TypeError, ValueError):
+            return _HttpResponse.error(400, "'phis' must be an array of numbers")
+        view, error = await self._query_view()
+        if error is not None:
+            return error
+        try:
+            values = view.quantiles(phis)
+        except ReproError as error:
+            return _HttpResponse.error(400, str(error))
+        generation = view.ingest_generation
+        if self._wants_npy(request):
+            buffer = io.BytesIO()
+            np.save(buffer, np.asarray(values, dtype=np.int64), allow_pickle=False)
+            return _HttpResponse(
+                200, buffer.getvalue(), _NPY,
+                {"X-Repro-Generation": str(int(generation))},
+            )
+        return _HttpResponse.json(
+            200,
+            {"quantiles": [int(value) for value in values],
+             "generation": int(generation)},
+            {"X-Repro-Generation": str(int(generation))},
+        )
+
 
 class HttpServerThread:
     """Service + server + (optional) autoscaler on a dedicated loop thread.
@@ -492,6 +704,8 @@ class HttpServerThread:
         autoscale: bool = False,
         policy: Optional[AutoscalePolicy] = None,
         check_interval: int = 16,
+        readonly: bool = False,
+        query_cache_size: int = DEFAULT_ANSWER_CACHE_SIZE,
     ) -> None:
         self._collector = collector
         self._host = str(host)
@@ -501,6 +715,8 @@ class HttpServerThread:
         self._autoscale = bool(autoscale) or policy is not None
         self._policy = policy
         self._check_interval = int(check_interval)
+        self._readonly = bool(readonly)
+        self._query_cache_size = int(query_cache_size)
         self._thread: Optional[threading.Thread] = None
         self._ready = threading.Event()
         self._startup_error: Optional[BaseException] = None
@@ -624,6 +840,7 @@ class HttpServerThread:
             self._collector,
             queue_size=self._queue_size,
             parallelism=self._parallelism,
+            query_cache_size=self._query_cache_size,
         )
         await service.start()
         autoscaler = None
@@ -633,7 +850,9 @@ class HttpServerThread:
                 policy=self._policy or AutoscalePolicy(),
                 check_interval=self._check_interval,
             )
-        server = ReproHttpServer(service, autoscaler=autoscaler)
+        server = ReproHttpServer(
+            service, autoscaler=autoscaler, readonly=self._readonly
+        )
         try:
             await server.start(self._host, self._requested_port)
             self._port = server.port

@@ -39,6 +39,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.base import RangeQueryMechanism
+from repro.core.cache import DEFAULT_ANSWER_CACHE_SIZE
 from repro.core.session import LdpRangeQuerySession
 from repro.exceptions import ConfigurationError, ServiceOverloadedError
 from repro.streaming.routing import RoutingKey
@@ -109,6 +110,9 @@ class IngestionService:
         ``0`` (default) aggregates on the event-loop thread; ``> 0`` runs
         shard aggregation on a thread pool of that size so distinct shards
         overlap.
+    query_cache_size:
+        Entry bound of the answer cache installed on each materialized
+        :meth:`query_view` (``0`` disables caching — every query recomputes).
 
     Use as an async context manager::
 
@@ -124,6 +128,7 @@ class IngestionService:
         collector: ShardedCollector,
         queue_size: int = 8,
         parallelism: int = 0,
+        query_cache_size: int = DEFAULT_ANSWER_CACHE_SIZE,
     ) -> None:
         if not isinstance(collector, ShardedCollector):
             raise ConfigurationError(
@@ -137,9 +142,24 @@ class IngestionService:
             raise ConfigurationError(
                 f"parallelism must be a non-negative integer, got {parallelism!r}"
             )
+        if not isinstance(query_cache_size, (int, np.integer)) or query_cache_size < 0:
+            raise ConfigurationError(
+                f"query_cache_size must be a non-negative integer, "
+                f"got {query_cache_size!r}"
+            )
         self._collector = collector
         self._queue_size = int(queue_size)
         self._parallelism = int(parallelism)
+        self._query_cache_size = int(query_cache_size)
+        # Read-serving state: the latest reduced + materialized view of the
+        # sharded statistics, keyed by the collector's generation signature
+        # so a new batch (or scale event) forces a rebuild on the next read.
+        self._query_view: Optional[RangeQueryMechanism] = None
+        self._query_view_signature: Optional[tuple] = None
+        self._query_views_built = 0
+        # Counters folded in from retired views so the service's cache
+        # hit/miss/eviction totals stay monotone across view rebuilds.
+        self._retired_cache_counters = {"hits": 0, "misses": 0, "evictions": 0}
         self._queues: Optional[List[asyncio.Queue]] = None
         self._workers: List[asyncio.Task] = []
         self._pool: Optional[ThreadPoolExecutor] = None
@@ -262,7 +282,34 @@ class IngestionService:
                 "shrink_events": int(self._shrink_events),
                 "streams_spawned": int(self._collector.streams_spawned),
             },
+            "query": self._query_stats(),
             "per_shard": per_shard,
+        }
+
+    def _query_stats(self) -> dict:
+        """Read-serving counters: views built plus the answer-cache
+        counters, accumulated across view rebuilds so they stay monotone
+        (a generation bump retires the old view's cache; its hit/miss
+        history must not vanish from the service's counters)."""
+        view = self._query_view
+        if view is not None:
+            cache = view.answer_cache_stats()
+            for key, value in self._retired_cache_counters.items():
+                cache[key] += value
+        else:
+            cache = {
+                "hits": 0,
+                "misses": 0,
+                "evictions": 0,
+                "size": 0,
+                "maxsize": int(self._query_cache_size),
+            }
+        return {
+            "views_built": int(self._query_views_built),
+            "view_generation": (
+                int(getattr(view, "ingest_generation", 0)) if view is not None else 0
+            ),
+            "answer_cache": cache,
         }
 
     # ------------------------------------------------------------------
@@ -535,6 +582,65 @@ class IngestionService:
     def session(self) -> LdpRangeQuerySession:
         """Wrap :meth:`reduce` in a high-level analysis session."""
         return self._collector.session()
+
+    # ------------------------------------------------------------------
+    # Read serving
+    # ------------------------------------------------------------------
+    @property
+    def query_view(self) -> Optional[RangeQueryMechanism]:
+        """The latest built read view (``None`` before the first read)."""
+        return self._query_view
+
+    @property
+    def query_views_built(self) -> int:
+        """Reduced+materialized views built so far (cache-miss counter)."""
+        return self._query_views_built
+
+    async def refresh_query_view(self) -> RangeQueryMechanism:
+        """A reduced, materialized, answer-cached view of the live shards.
+
+        The read side of the service: returns the cached view as long as
+        the collector's :meth:`~repro.streaming.ShardedCollector
+        .generation_signature` is unchanged (O(shards) integer compares per
+        request); otherwise drains the shard queues to a generation
+        boundary, reduces, materializes the estimates off the per-query
+        path and installs a fresh answer cache of ``query_cache_size``
+        entries.  Reads therefore see every batch that was *absorbed* when
+        the view was built — the same freshness contract ``reduce()`` on a
+        live collection offers — while repeated queries between writes stay
+        O(1) cache hits.
+
+        Raises :class:`~repro.exceptions.NotFittedError` while no shard has
+        absorbed anything yet.
+        """
+        self._require_started()
+        signature = self._collector.generation_signature()
+        if self._query_view is not None and signature == self._query_view_signature:
+            return self._query_view
+        # Drain to a generation boundary before the synchronous reduce: a
+        # queue.join() only returns once every in-flight absorb (including
+        # thread-pool ones) has called task_done, so no worker can be
+        # mutating a shard's statistics while reduce() reads them.
+        while True:
+            await asyncio.gather(*(queue.join() for queue in self._queues))
+            if self._pending_puts == 0 and all(
+                queue.qsize() == 0 for queue in self._queues
+            ):
+                break
+            await asyncio.sleep(0)
+        self._raise_pending_error()
+        signature = self._collector.generation_signature()
+        view = self._collector.reduce()
+        view.set_answer_cache_size(self._query_cache_size)
+        view.materialize()
+        if self._query_view is not None:
+            retired = self._query_view.answer_cache_stats()
+            for key in self._retired_cache_counters:
+                self._retired_cache_counters[key] += int(retired[key])
+        self._query_view = view
+        self._query_view_signature = signature
+        self._query_views_built += 1
+        return view
 
     # ------------------------------------------------------------------
     # Internals

@@ -403,6 +403,44 @@ def ingestion_stats_lines(stats: Mapping[str, object]) -> List[str]:
         stats.get("materializations_performed", 0),
     )
 
+    # Read-serving families: tolerate snapshots without a "query" section
+    # (pre-read-path services, synthetic test dicts) by rendering zeros.
+    query = dict(stats.get("query") or {})
+    answer_cache = dict(query.get("answer_cache") or {})
+    lines += counter(
+        "repro_query_views_built_total",
+        "Reduced+materialized read views built (one per generation change).",
+        query.get("views_built", 0),
+    )
+    lines += counter(
+        "repro_query_cache_hits_total",
+        "Answer-cache hits on the live read view.",
+        answer_cache.get("hits", 0),
+    )
+    lines += counter(
+        "repro_query_cache_misses_total",
+        "Answer-cache misses on the live read view.",
+        answer_cache.get("misses", 0),
+    )
+    lines += counter(
+        "repro_query_cache_evictions_total",
+        "Answer-cache LRU evictions on the live read view.",
+        answer_cache.get("evictions", 0),
+    )
+    lines += [
+        "# HELP repro_query_cache_size Live answer-cache entry count.",
+        "# TYPE repro_query_cache_size gauge",
+        _sample_line(
+            "repro_query_cache_size", {}, int(answer_cache.get("size", 0))
+        ),
+        "# HELP repro_query_cache_capacity Answer-cache entry bound "
+        "(0 disables caching).",
+        "# TYPE repro_query_cache_capacity gauge",
+        _sample_line(
+            "repro_query_cache_capacity", {}, int(answer_cache.get("maxsize", 0))
+        ),
+    ]
+
     gauge_specs = [
         (
             "repro_ingest_queue_depth",

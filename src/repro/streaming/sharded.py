@@ -432,6 +432,23 @@ class ShardedCollector:
     # ------------------------------------------------------------------
     # Reduction
     # ------------------------------------------------------------------
+    def generation_signature(self) -> tuple:
+        """Fingerprint of the collected state a :meth:`reduce` would see.
+
+        Combines the live stream ids (which change on every scale event)
+        with each shard's monotone ``ingest_generation`` — two signatures
+        are equal exactly when no batch has been absorbed and no shard
+        added, retired or restored in between, so a cached ``reduce()``
+        result keyed by this tuple is fresh by construction.  Cheap (no
+        statistics are touched), so read paths may poll it per request.
+        """
+        return (
+            tuple(int(stream) for stream in self._stream_ids),
+            tuple(
+                int(getattr(shard, "ingest_generation", 0)) for shard in self._shards
+            ),
+        )
+
     def reduce(self) -> RangeQueryMechanism:
         """Merge all fitted shards into one fresh queryable mechanism.
 

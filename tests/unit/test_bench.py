@@ -49,6 +49,17 @@ TINY = dict(
     http_queue_size=4,
     http_batches=12,
     http_batch_users=50,
+    cache_side=8,
+    cache_users=400,
+    cache_boxes=16,
+    cache_workload_repeat=5,
+    query_side=8,
+    query_points=400,
+    query_point_batches=2,
+    query_boxes=8,
+    query_requests=6,
+    query_shards=2,
+    query_queue_size=4,
     kernel_runs_queries=40,
     kernel_runs_branching=2,
     kernel_runs_height=6,
@@ -80,6 +91,8 @@ EXPECTED_BENCHMARKS = {
     "epsilon_grid_serial",
     "epsilon_grid_parallel",
     "http_ingest",
+    "answer_cache",
+    "query_serving",
     "kernel_unary_column_sums",
     "kernel_olh_decode",
     "kernel_badic_axis_runs",
@@ -126,6 +139,13 @@ class TestRunSuite:
         assert checks["autoscale_bit_identical"] is True
         assert checks["http_ingest_p50_ms"] > 0
         assert checks["http_ingest_p99_ms"] >= checks["http_ingest_p50_ms"]
+        assert checks["query_p50_ms"] > 0
+        assert checks["query_p99_ms"] >= checks["query_p50_ms"]
+        assert checks["query_cache_speedup"] > 0
+        assert 0.0 <= checks["query_cache_hit_ratio"] <= 1.0
+        assert checks["binary_wire_speedup"] > 0
+        assert checks["cache_bit_identical"] is True
+        assert checks["coalesce_bit_identical"] is True
         assert checks["kernels_bit_identical"] is True
         assert checks["kernel_backend"] in ("numpy", "numba")
         assert checks["kernel_unary_speedup"] > 0
@@ -222,3 +242,27 @@ class TestComparePayloads:
         assert diff["regressions"] == []
         assert diff["missing"] == []
         assert all(row["status"] == "ok" for row in diff["rows"])
+        assert all(row["status"] == "ok" for row in diff["check_rows"])
+        numeric = [row for row in diff["check_rows"] if row["delta"] is not None]
+        assert numeric and all(row["delta"] == 0.0 for row in numeric)
+
+    def test_check_rows_report_deltas_not_regressions(self):
+        baseline = _payload_with({"a": 100.0})
+        baseline["checks"] = {"speedup": 4.0, "identical": True, "backend": "numpy"}
+        current = _payload_with({"a": 100.0})
+        current["checks"] = {
+            "speedup": 3.0,
+            "identical": False,
+            "backend": "numpy",
+            "fresh": 1.0,
+        }
+        diff = compare_payloads(current, baseline)
+        rows = {row["name"]: row for row in diff["check_rows"]}
+        assert rows["speedup"]["delta"] == -1.0
+        assert rows["speedup"]["status"] == "ok"
+        assert rows["identical"]["status"] == "changed"
+        assert rows["identical"]["delta"] is None
+        assert rows["backend"]["status"] == "ok"
+        assert rows["fresh"]["status"] == "new"
+        # Check drift never gates: regressions stay record-based.
+        assert diff["regressions"] == []

@@ -1,0 +1,149 @@
+"""Unit tests for the coalesced query executor (repro.service.query)."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.factory import mechanism_from_spec
+from repro.data.workloads import random_boxes
+from repro.exceptions import ConfigurationError, InvalidQueryError
+from repro.service import QueryCoalescer
+
+SIDE = 16
+DOMAIN = 64
+
+
+@pytest.fixture(scope="module")
+def grid():
+    mechanism = mechanism_from_spec("grid2d_2", epsilon=1.1, domain_size=SIDE)
+    points = np.random.default_rng(5).integers(0, SIDE, size=(4000, 2))
+    return mechanism.fit_points(points, random_state=6).materialize()
+
+
+@pytest.fixture(scope="module")
+def flat():
+    mechanism = mechanism_from_spec("flat_oue", epsilon=1.1, domain_size=DOMAIN)
+    items = np.random.default_rng(7).integers(0, DOMAIN, size=4000)
+    return mechanism.fit_items(items, random_state=8).materialize()
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestCoalescing:
+    def test_concurrent_boxes_share_one_batched_call(self, grid):
+        boxes = random_boxes(SIDE, 24, dims=2, random_state=9)
+        serial = grid.answer_boxes(boxes)
+        coalescer = QueryCoalescer()
+
+        async def main():
+            parts = np.array_split(boxes, 4)
+            return await asyncio.gather(
+                *(coalescer.answer_boxes(grid, part) for part in parts)
+            )
+
+        coalesced = np.concatenate(run(main()))
+        np.testing.assert_array_equal(coalesced, serial)
+        stats = coalescer.stats()
+        assert stats["flushes"] == 1
+        assert stats["coalesced_calls"] == 1
+        assert stats["coalesced_queries"] == 24
+
+    def test_concurrent_ranges_share_one_batched_call(self, flat):
+        queries = np.sort(
+            np.random.default_rng(10).integers(0, DOMAIN, size=(20, 2)), axis=1
+        )
+        serial = flat.answer_ranges(queries)
+        coalescer = QueryCoalescer()
+
+        async def main():
+            parts = np.array_split(queries, 5)
+            return await asyncio.gather(
+                *(coalescer.answer_ranges(flat, part) for part in parts)
+            )
+
+        np.testing.assert_array_equal(np.concatenate(run(main())), serial)
+        assert coalescer.stats()["coalesced_calls"] == 1
+
+    def test_single_waiter_answered_without_concatenation(self, grid):
+        boxes = random_boxes(SIDE, 6, dims=2, random_state=11)
+        coalescer = QueryCoalescer()
+        answers = run(coalescer.answer_boxes(grid, boxes))
+        np.testing.assert_array_equal(answers, grid.answer_boxes(boxes))
+        stats = coalescer.stats()
+        assert stats["flushes"] == 1
+        assert stats["coalesced_calls"] == 0  # lone waiter: direct call
+
+    def test_different_mechanisms_grouped_separately(self, grid, flat):
+        boxes = random_boxes(SIDE, 8, dims=2, random_state=12)
+        queries = np.sort(
+            np.random.default_rng(13).integers(0, DOMAIN, size=(8, 2)), axis=1
+        )
+        coalescer = QueryCoalescer()
+
+        async def main():
+            return await asyncio.gather(
+                coalescer.answer_boxes(grid, boxes),
+                coalescer.answer_ranges(flat, queries),
+            )
+
+        box_answers, range_answers = run(main())
+        np.testing.assert_array_equal(box_answers, grid.answer_boxes(boxes))
+        np.testing.assert_array_equal(range_answers, flat.answer_ranges(queries))
+
+    def test_sequential_awaits_flush_separately(self, grid):
+        boxes = random_boxes(SIDE, 4, dims=2, random_state=14)
+        coalescer = QueryCoalescer()
+
+        async def main():
+            first = await coalescer.answer_boxes(grid, boxes)
+            second = await coalescer.answer_boxes(grid, boxes)
+            return first, second
+
+        first, second = run(main())
+        np.testing.assert_array_equal(first, second)
+        assert coalescer.stats()["flushes"] == 2
+
+
+class TestErrorIsolation:
+    def test_bad_waiter_does_not_poison_the_batch(self, grid):
+        good = random_boxes(SIDE, 6, dims=2, random_state=15)
+        bad = np.array([[0, SIDE + 5, 0, SIDE + 5]], dtype=np.int64)  # out of domain
+        coalescer = QueryCoalescer()
+
+        async def main():
+            return await asyncio.gather(
+                coalescer.answer_boxes(grid, good),
+                coalescer.answer_boxes(grid, bad),
+                return_exceptions=True,
+            )
+
+        good_answers, bad_outcome = run(main())
+        np.testing.assert_array_equal(good_answers, grid.answer_boxes(good))
+        assert isinstance(bad_outcome, InvalidQueryError)
+
+    def test_shape_error_raised_immediately(self, grid):
+        coalescer = QueryCoalescer()
+        with pytest.raises(InvalidQueryError):
+            run(coalescer.answer_ranges(grid, np.zeros((3, 3), dtype=np.int64)))
+
+    def test_non_mechanism_rejected(self):
+        coalescer = QueryCoalescer()
+        with pytest.raises(ConfigurationError):
+            run(coalescer.answer_boxes(object(), np.zeros((1, 4), dtype=np.int64)))
+
+    def test_missing_surface_rejected(self, flat):
+        coalescer = QueryCoalescer()
+        with pytest.raises(InvalidQueryError):
+            run(coalescer.answer_boxes(flat, np.zeros((1, 4), dtype=np.int64)))
+
+
+class TestStats:
+    def test_counters_start_at_zero(self):
+        assert QueryCoalescer().stats() == {
+            "flushes": 0,
+            "coalesced_queries": 0,
+            "coalesced_calls": 0,
+        }
